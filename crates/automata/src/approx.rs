@@ -1,0 +1,379 @@
+//! Approximate counting of accepted labellings over a fixed tree shape, in
+//! the style of Arenas–Croquevielle–Jayaram–Riveros (Lemma 51).
+//!
+//! For every tree node `t` (bottom-up) and every automaton state `q`, the
+//! algorithm maintains an estimate of `|L(t, q)|` — the number of labellings
+//! of the subtree rooted at `t` that admit a run starting from `q` — together
+//! with a pool of (approximately) uniform sample labellings from `L(t, q)`.
+//! The set `L(t, q)` decomposes into a union of *components*, one per
+//! transition `(q, σ) → …`:
+//!
+//! * leaf node, `(q, σ) → ∅`: the single labelling `{t ↦ σ}`;
+//! * unary node, `(q, σ) → q₁`: `{t ↦ σ} × L(c, q₁)`;
+//! * binary node, `(q, σ) → (q₁, q₂)`: `{t ↦ σ} × L(c₁, q₁) × L(c₂, q₂)`.
+//!
+//! Components may overlap (this is exactly the projection problem that makes
+//! #TA hard), so their union is estimated by Karp–Luby: draw a component with
+//! probability proportional to its estimated size, draw an element from it,
+//! and count it only if the chosen component is the *first* one containing
+//! it; membership is decidable exactly in polynomial time
+//! ([`TreeAutomaton::subtree_accepts_from`]). The same draws provide the
+//! node's sample pool (rejection sampling). Per-level error budgets are set
+//! from `ε` and the tree size; see DESIGN.md (substitutions) for the relation
+//! to ACJR's rigorous analysis.
+
+use crate::automaton::{TransitionTarget, TreeAutomaton};
+use crate::tree::{LabeledTree, TreeShape};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Tuning parameters for [`approx_count_fixed_shape`].
+#[derive(Debug, Clone)]
+pub struct TaApproxConfig {
+    /// Target relative error.
+    pub epsilon: f64,
+    /// Target failure probability.
+    pub delta: f64,
+    /// Karp–Luby trials per union estimation (0 = derive from ε and the
+    /// number of components).
+    pub union_trials: usize,
+    /// Sample-pool size kept per (node, state).
+    pub sample_pool: usize,
+}
+
+impl TaApproxConfig {
+    /// A configuration with sensible defaults for the given accuracy target.
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        TaApproxConfig {
+            epsilon,
+            delta,
+            union_trials: 0,
+            sample_pool: 48,
+        }
+    }
+
+    fn trials(&self, components: usize) -> usize {
+        if self.union_trials > 0 {
+            return self.union_trials;
+        }
+        let base = (24.0 / (self.epsilon * self.epsilon)).ceil() as usize;
+        base.max(16 * components).clamp(64, 20_000)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeStateInfo {
+    estimate: f64,
+    samples: Vec<Vec<usize>>,
+}
+
+/// One component of the union defining `L(t, q)`.
+struct Component {
+    label: usize,
+    target: TransitionTarget,
+    weight: f64,
+}
+
+/// Approximately count the labellings of `shape` accepted by `a`
+/// (`|{ψ : (shape, ψ) accepted}|`), i.e. the `N`-slice restricted to this
+/// shape — which for the Lemma 52 automata equals `|L_N(A)| = |Ans(ϕ, D)|`.
+pub fn approx_count_fixed_shape<R: Rng>(
+    a: &TreeAutomaton,
+    shape: &TreeShape,
+    config: &TaApproxConfig,
+    rng: &mut R,
+) -> f64 {
+    let order = shape.postorder();
+    // info[t]: state → (estimate, samples)
+    let mut info: Vec<HashMap<usize, NodeStateInfo>> = vec![HashMap::new(); shape.num_nodes()];
+
+    // Which states can possibly start a run at some node? Restrict attention
+    // to states appearing on the left of some transition.
+    let states_with_transitions: Vec<usize> = {
+        let mut s: Vec<usize> = a.transitions().iter().map(|&(q, _, _)| q).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+
+    for &t in &order {
+        let children = shape.children(t);
+        for &q in &states_with_transitions {
+            // Build the components of L(t, q).
+            let mut components: Vec<Component> = Vec::new();
+            for (label, target) in a.transitions_from(q) {
+                let weight = match (target, children.len()) {
+                    (TransitionTarget::Leaf, 0) => 1.0,
+                    (TransitionTarget::Unary(q1), 1) => info[children[0]]
+                        .get(&q1)
+                        .map(|i| i.estimate)
+                        .unwrap_or(0.0),
+                    (TransitionTarget::Binary(q1, q2), 2) => {
+                        let l = info[children[0]]
+                            .get(&q1)
+                            .map(|i| i.estimate)
+                            .unwrap_or(0.0);
+                        let r = info[children[1]]
+                            .get(&q2)
+                            .map(|i| i.estimate)
+                            .unwrap_or(0.0);
+                        l * r
+                    }
+                    _ => 0.0,
+                };
+                if weight > 0.0 {
+                    components.push(Component {
+                        label,
+                        target,
+                        weight,
+                    });
+                }
+            }
+            if components.is_empty() {
+                continue;
+            }
+            let entry = estimate_union(a, shape, t, children, &info, &components, config, rng);
+            if entry.estimate > 0.0 {
+                info[t].insert(q, entry);
+            }
+        }
+    }
+
+    info[shape.root()]
+        .get(&a.initial())
+        .map(|i| i.estimate)
+        .unwrap_or(0.0)
+}
+
+/// Karp–Luby estimation of `|∪ components|` plus rejection sampling of a pool
+/// of (approximately) uniform members.
+#[allow(clippy::too_many_arguments)]
+fn estimate_union<R: Rng>(
+    a: &TreeAutomaton,
+    shape: &TreeShape,
+    node: usize,
+    children: &[usize],
+    info: &[HashMap<usize, NodeStateInfo>],
+    components: &[Component],
+    config: &TaApproxConfig,
+    rng: &mut R,
+) -> NodeStateInfo {
+    let total: f64 = components.iter().map(|c| c.weight).sum();
+
+    // Single component: no overlap possible; the estimate is exact relative to
+    // the child estimates and sampling is direct. This covers the join and
+    // forget nodes of the Lemma 52 automata, keeping the variance low.
+    if components.len() == 1 {
+        let c = &components[0];
+        let mut samples = Vec::with_capacity(config.sample_pool);
+        for _ in 0..config.sample_pool {
+            if let Some(s) = draw_from_component(shape, node, children, info, c, rng) {
+                samples.push(s);
+            }
+        }
+        return NodeStateInfo {
+            estimate: c.weight,
+            samples,
+        };
+    }
+
+    let trials = config.trials(components.len());
+    let mut canonical = 0usize;
+    let mut pool: Vec<Vec<usize>> = Vec::new();
+    for _ in 0..trials {
+        // pick a component proportional to weight
+        let mut pick = rng.gen::<f64>() * total;
+        let mut idx = 0;
+        for (i, c) in components.iter().enumerate() {
+            if pick < c.weight {
+                idx = i;
+                break;
+            }
+            pick -= c.weight;
+            idx = i;
+        }
+        let Some(labeling) = draw_from_component(shape, node, children, info, &components[idx], rng)
+        else {
+            continue;
+        };
+        // canonical test: idx is the first component containing the labelling
+        let first = components.iter().position(|c| {
+            membership(a, shape, node, children, c, &labeling)
+        });
+        if first == Some(idx) {
+            canonical += 1;
+            if pool.len() < config.sample_pool {
+                pool.push(labeling);
+            }
+        }
+    }
+    let p = canonical as f64 / trials as f64;
+    NodeStateInfo {
+        estimate: total * p,
+        samples: pool,
+    }
+}
+
+/// Draw a labelling of the subtree rooted at `node` from the given component
+/// (uniformly, relative to the child sample pools). Returns `None` if a
+/// needed child sample pool is empty.
+fn draw_from_component<R: Rng>(
+    shape: &TreeShape,
+    node: usize,
+    children: &[usize],
+    info: &[HashMap<usize, NodeStateInfo>],
+    component: &Component,
+    rng: &mut R,
+) -> Option<Vec<usize>> {
+    let mut labeling = vec![0usize; shape.num_nodes()];
+    labeling[node] = component.label;
+    match (component.target, children.len()) {
+        (TransitionTarget::Leaf, 0) => Some(labeling),
+        (TransitionTarget::Unary(q1), 1) => {
+            let child_info = info[children[0]].get(&q1)?;
+            if child_info.samples.is_empty() {
+                return None;
+            }
+            let s = &child_info.samples[rng.gen_range(0..child_info.samples.len())];
+            for &u in &shape.subtree(children[0]) {
+                labeling[u] = s[u];
+            }
+            Some(labeling)
+        }
+        (TransitionTarget::Binary(q1, q2), 2) => {
+            let left_info = info[children[0]].get(&q1)?;
+            let right_info = info[children[1]].get(&q2)?;
+            if left_info.samples.is_empty() || right_info.samples.is_empty() {
+                return None;
+            }
+            let sl = &left_info.samples[rng.gen_range(0..left_info.samples.len())];
+            let sr = &right_info.samples[rng.gen_range(0..right_info.samples.len())];
+            for &u in &shape.subtree(children[0]) {
+                labeling[u] = sl[u];
+            }
+            for &u in &shape.subtree(children[1]) {
+                labeling[u] = sr[u];
+            }
+            Some(labeling)
+        }
+        _ => None,
+    }
+}
+
+/// Is the subtree labelling a member of the component's set?
+fn membership(
+    a: &TreeAutomaton,
+    shape: &TreeShape,
+    node: usize,
+    children: &[usize],
+    component: &Component,
+    labeling: &[usize],
+) -> bool {
+    if labeling[node] != component.label {
+        return false;
+    }
+    let tree = LabeledTree::new(shape.clone(), labeling.to_vec());
+    match (component.target, children.len()) {
+        (TransitionTarget::Leaf, 0) => true,
+        (TransitionTarget::Unary(q1), 1) => a.subtree_accepts_from(&tree, children[0], q1),
+        (TransitionTarget::Binary(q1, q2), 2) => {
+            a.subtree_accepts_from(&tree, children[0], q1)
+                && a.subtree_accepts_from(&tree, children[1], q2)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::count_labelings_fixed_shape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn approx(a: &TreeAutomaton, shape: &TreeShape, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        approx_count_fixed_shape(a, shape, &TaApproxConfig::new(0.2, 0.05), &mut rng)
+    }
+
+    #[test]
+    fn deterministic_automaton_is_counted_exactly() {
+        let (a, _) = TreeAutomaton::all_zero_labels();
+        let shape = TreeShape::new(vec![vec![1, 2], vec![], vec![3], vec![]], 0);
+        assert_eq!(approx(&a, &shape, 1), 1.0);
+    }
+
+    #[test]
+    fn empty_language_gives_zero() {
+        let a = TreeAutomaton::new(2, 2, 0);
+        let shape = TreeShape::new(vec![vec![1], vec![]], 0);
+        assert_eq!(approx(&a, &shape, 2), 0.0);
+    }
+
+    #[test]
+    fn overlapping_unions_are_not_double_counted() {
+        // root delegates to state 1 or 2 with heavy overlap on leaves
+        let mut a = TreeAutomaton::new(3, 4, 0);
+        a.add_transition(0, 0, TransitionTarget::Unary(1));
+        a.add_transition(0, 0, TransitionTarget::Unary(2));
+        for label in 0..4 {
+            a.add_transition(1, label, TransitionTarget::Leaf);
+        }
+        for label in 0..3 {
+            a.add_transition(2, label, TransitionTarget::Leaf);
+        }
+        let shape = TreeShape::new(vec![vec![1], vec![]], 0);
+        let exact = count_labelings_fixed_shape(&a, &shape) as f64; // 4, not 7
+        assert_eq!(exact, 4.0);
+        let est = approx(&a, &shape, 3);
+        assert!(
+            (est - exact).abs() <= 0.25 * exact,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn nondeterministic_binary_automaton_close_to_exact() {
+        // Accepts trees where the root reads label 0 and each leaf reads any
+        // of several labels depending on the delegated state; components
+        // overlap substantially.
+        let mut a = TreeAutomaton::new(4, 5, 0);
+        a.add_transition(0, 0, TransitionTarget::Binary(1, 2));
+        a.add_transition(0, 0, TransitionTarget::Binary(2, 3));
+        for label in 0..3 {
+            a.add_transition(1, label, TransitionTarget::Leaf);
+        }
+        for label in 1..5 {
+            a.add_transition(2, label, TransitionTarget::Leaf);
+        }
+        for label in 2..4 {
+            a.add_transition(3, label, TransitionTarget::Leaf);
+        }
+        let shape = TreeShape::new(vec![vec![1, 2], vec![], vec![]], 0);
+        let exact = count_labelings_fixed_shape(&a, &shape) as f64;
+        assert!(exact > 0.0);
+        let est = approx(&a, &shape, 4);
+        assert!(
+            (est - exact).abs() <= 0.25 * exact,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn deeper_tree_with_unary_chains() {
+        // parity-style automaton with some nondeterminism: accepts chains of
+        // length 4 with labels in {0,1} at even positions and {0} at odd.
+        let mut a = TreeAutomaton::new(2, 2, 0);
+        a.add_transition(0, 0, TransitionTarget::Unary(1));
+        a.add_transition(0, 1, TransitionTarget::Unary(1));
+        a.add_transition(1, 0, TransitionTarget::Unary(0));
+        a.add_transition(1, 0, TransitionTarget::Leaf);
+        let chain = TreeShape::new(vec![vec![1], vec![2], vec![3], vec![]], 0);
+        let exact = count_labelings_fixed_shape(&a, &chain) as f64;
+        let est = approx(&a, &chain, 5);
+        assert!(
+            (est - exact).abs() <= 0.25 * exact.max(1.0),
+            "estimate {est} vs exact {exact}"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! E4 (Corollary 6): counting locally injective homomorphisms.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqc_core::lihom::PatternGraph;
+use cqc_core::{count_locally_injective_homomorphisms, ApproxConfig};
+use cqc_workloads::erdos_renyi;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cor6_lihom");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    let pattern = PatternGraph::path(3);
+    for n in [20usize, 40] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = erdos_renyi(n, 4.0 / n as f64, &mut rng);
+        let edges = g.undirected_edges();
+        let cfg = ApproxConfig::new(0.3, 0.1).with_seed(n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                count_locally_injective_homomorphisms(&pattern, n, &edges, &cfg)
+                    .unwrap()
+                    .estimate
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation: homomorphism engines (backtracking vs tree-decomposition DP) —
+//! the Hom oracle cost that dominates the FPTRAS inner loop.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqc_data::StructureBuilder;
+use cqc_hom::{BacktrackingDecider, DecompositionDecider};
+use cqc_workloads::erdos_renyi;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hom_engines");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    // pattern: a 6-cycle; target: random digraphs of growing size
+    let mut pb = StructureBuilder::new(6);
+    pb.relation("E", 2);
+    for i in 0..6u32 {
+        pb.fact("E", &[i, (i + 1) % 6]).unwrap();
+    }
+    let pattern = pb.build();
+    for n in [20usize, 40, 80] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = erdos_renyi(n, 4.0 / n as f64, &mut rng);
+        let mut tb = StructureBuilder::new(n);
+        tb.relation("E", 2);
+        for (u, v) in g.edges {
+            tb.fact("E", &[u as u32, v as u32]).unwrap();
+        }
+        let target = tb.build();
+        let dp = DecompositionDecider::new();
+        let bt = BacktrackingDecider::new();
+        group.bench_with_input(BenchmarkId::new("decomposition_dp", n), &n, |b, _| {
+            b.iter(|| dp.decide(&pattern, &target))
+        });
+        group.bench_with_input(BenchmarkId::new("backtracking", n), &n, |b, _| {
+            b.iter(|| bt.decide(&pattern, &target))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E6 (Theorem 16): FPRAS for CQs of bounded fractional hypertreewidth.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqc_core::{fpras_count, ApproxConfig};
+use cqc_workloads::{erdos_renyi, footnote4_star_query, graph_database};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm16_fpras");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    let spec = footnote4_star_query(3, false);
+    for n in [30usize, 60] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = erdos_renyi(n, 4.0 / n as f64, &mut rng);
+        let db = graph_database(&g, "E", false);
+        let cfg = ApproxConfig::new(0.25, 0.1).with_seed(n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| fpras_count(&spec.query, &db, &cfg).unwrap().estimate)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E10: width-measure computation cost (treewidth, hw, fhw, adaptive width).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqc_hypergraph::adaptive::adaptive_width_bounds;
+use cqc_hypergraph::fwidth::{minimise_width, WidthMeasure};
+use cqc_hypergraph::treewidth::treewidth_exact;
+use cqc_hypergraph::Hypergraph;
+
+fn grid(rows: usize, cols: usize) -> Hypergraph {
+    let mut h = Hypergraph::new(rows * cols);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                h.add_edge(&[id(r, c), id(r, c + 1)]);
+            }
+            if r + 1 < rows {
+                h.add_edge(&[id(r, c), id(r + 1, c)]);
+            }
+        }
+    }
+    h
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("width_measures");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    let h = grid(3, 4);
+    group.bench_function("treewidth_exact_grid3x4", |b| {
+        b.iter(|| treewidth_exact(&h).0)
+    });
+    group.bench_function("fhw_grid3x4", |b| {
+        b.iter(|| minimise_width(&h, WidthMeasure::FractionalHypertreewidth).0)
+    });
+    group.bench_function("hw_grid3x4", |b| {
+        b.iter(|| minimise_width(&h, WidthMeasure::Hypertreewidth).0)
+    });
+    let small = grid(2, 3);
+    group.bench_function("adaptive_width_grid2x3", |b| {
+        b.iter(|| adaptive_width_bounds(&small, 1).upper)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! The CLI accepts a subcommand followed by `--flag value` / `--flag=value`
+//! options and bare `--switch` flags. Everything is collected up front so the
+//! individual commands can pull out what they need and reject leftovers.
+
+use crate::CliError;
+use std::collections::BTreeMap;
+use std::str::FromStr;
+
+/// Parsed command-line arguments: the subcommand, its options and switches.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument), if any.
+    pub command: Option<String>,
+    /// `--key value` and `--key=value` options.
+    options: BTreeMap<String, String>,
+    /// Bare `--switch` flags.
+    switches: Vec<String>,
+    /// Positional arguments after the subcommand.
+    positional: Vec<String>,
+    /// Option keys that have been consumed by the command.
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// The switches that do not take a value.
+const KNOWN_SWITCHES: &[&str] = &["symmetric", "help", "exact", "quiet", "names"];
+
+impl Args {
+    /// Parse raw arguments (excluding the program name).
+    pub fn parse(argv: &[String]) -> Result<Self, CliError> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            if let Some(stripped) = token.strip_prefix("--") {
+                if let Some((key, value)) = stripped.split_once('=') {
+                    args.options.insert(key.to_string(), value.to_string());
+                } else if KNOWN_SWITCHES.contains(&stripped) {
+                    args.switches.push(stripped.to_string());
+                } else {
+                    let value = argv.get(i + 1).ok_or_else(|| {
+                        CliError::Usage(format!("option `--{stripped}` expects a value"))
+                    })?;
+                    if value.starts_with("--") {
+                        return Err(CliError::Usage(format!(
+                            "option `--{stripped}` expects a value, found `{value}`"
+                        )));
+                    }
+                    args.options.insert(stripped.to_string(), value.clone());
+                    i += 1;
+                }
+            } else if args.command.is_none() {
+                args.command = Some(token.clone());
+            } else {
+                args.positional.push(token.clone());
+            }
+            i += 1;
+        }
+        Ok(args)
+    }
+
+    /// The raw value of an option, if present.
+    pub fn value_of(&self, key: &str) -> Option<&str> {
+        self.consumed.borrow_mut().push(key.to_string());
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A required option.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.value_of(key)
+            .ok_or_else(|| CliError::Usage(format!("missing required option `--{key}`")))
+    }
+
+    /// Parse an optional numeric (or otherwise `FromStr`) option with a
+    /// default value.
+    pub fn get_or<T>(&self, key: &str, default: T) -> Result<T, CliError>
+    where
+        T: FromStr,
+        <T as FromStr>::Err: std::fmt::Display,
+    {
+        match self.value_of(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse::<T>().map_err(|e| {
+                CliError::Usage(format!("invalid value `{raw}` for `--{key}`: {e}"))
+            }),
+        }
+    }
+
+    /// Parse a required `FromStr` option.
+    pub fn get_required<T>(&self, key: &str) -> Result<T, CliError>
+    where
+        T: FromStr,
+        <T as FromStr>::Err: std::fmt::Display,
+    {
+        let raw = self.require(key)?;
+        raw.parse::<T>()
+            .map_err(|e| CliError::Usage(format!("invalid value `{raw}` for `--{key}`: {e}")))
+    }
+
+    /// Whether a bare switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Positional arguments after the subcommand.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Reject options that no command consumed — catches typos like
+    /// `--epsilo 0.1` early instead of silently ignoring them.
+    pub fn reject_unknown(&self) -> Result<(), CliError> {
+        let consumed = self.consumed.borrow();
+        for key in self.options.keys() {
+            if !consumed.iter().any(|c| c == key) {
+                return Err(CliError::Usage(format!("unknown option `--{key}`")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience for tests and the binary: build `Args` from string literals.
+pub fn args_from<I, S>(items: I) -> Result<Args, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let v: Vec<String> = items.into_iter().map(Into::into).collect();
+    Args::parse(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subcommand_options_and_switches() {
+        let a = args_from(["count", "--query", "ans(x) :- E(x, y)", "--epsilon=0.1", "--quiet"])
+            .unwrap();
+        assert_eq!(a.command.as_deref(), Some("count"));
+        assert_eq!(a.value_of("query"), Some("ans(x) :- E(x, y)"));
+        assert_eq!(a.value_of("epsilon"), Some("0.1"));
+        assert!(a.switch("quiet"));
+        assert!(!a.switch("symmetric"));
+    }
+
+    #[test]
+    fn numeric_options_with_defaults() {
+        let a = args_from(["count", "--epsilon", "0.5"]).unwrap();
+        assert_eq!(a.get_or("epsilon", 0.25f64).unwrap(), 0.5);
+        assert_eq!(a.get_or("delta", 0.05f64).unwrap(), 0.05);
+        assert!(a.get_or::<u64>("epsilon", 7).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(args_from(["count", "--query"]).is_err());
+        assert!(args_from(["count", "--query", "--db"]).is_err());
+    }
+
+    #[test]
+    fn required_options() {
+        let a = args_from(["count", "--db", "x.facts"]).unwrap();
+        assert_eq!(a.require("db").unwrap(), "x.facts");
+        assert!(a.require("query").is_err());
+        assert!(a.get_required::<f64>("missing").is_err());
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        let a = args_from(["count", "--epsilo", "0.1"]).unwrap();
+        // nothing consumed `--epsilo`
+        assert!(a.reject_unknown().is_err());
+        let b = args_from(["count", "--epsilon", "0.1"]).unwrap();
+        let _ = b.value_of("epsilon");
+        assert!(b.reject_unknown().is_ok());
+    }
+
+    #[test]
+    fn positional_arguments_are_collected() {
+        let a = args_from(["classify", "extra1", "extra2"]).unwrap();
+        assert_eq!(a.positional(), &["extra1".to_string(), "extra2".to_string()]);
+    }
+}

@@ -1,0 +1,239 @@
+//! The `count` and `exact` commands: estimate or exactly compute
+//! `|Ans(ϕ, D)|`, reporting which scheme of Figure 1 was used.
+
+use crate::common::{approx_config, load_database, load_query};
+use crate::{Args, CliError};
+use cqc_core::{
+    approx_count_answers, exact_count_answers, fpras_count, fptras_count, CountMethod,
+};
+use cqc_query::QueryClass;
+use std::fmt::Write as _;
+
+/// Which algorithm the user asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Method {
+    /// Dispatch on the query class (Figure 1).
+    Auto,
+    /// Force the FPRAS of Theorem 16 (CQs only).
+    Fpras,
+    /// Force the FPTRAS of Theorems 5 / 13.
+    Fptras,
+    /// Exact brute-force baseline.
+    Exact,
+}
+
+fn parse_method(raw: &str) -> Result<Method, CliError> {
+    match raw {
+        "auto" => Ok(Method::Auto),
+        "fpras" => Ok(Method::Fpras),
+        "fptras" => Ok(Method::Fptras),
+        "exact" | "brute" | "bruteforce" => Ok(Method::Exact),
+        other => Err(CliError::Usage(format!(
+            "unknown method `{other}` (expected auto | fpras | fptras | exact)"
+        ))),
+    }
+}
+
+/// Run `cqc count`.
+pub fn run_count(args: &Args) -> Result<String, CliError> {
+    let query = load_query(args)?;
+    let db = load_database(args)?;
+    let cfg = approx_config(args)?;
+    let method = parse_method(args.value_of("method").unwrap_or("auto"))?;
+    let quiet = args.switch("quiet");
+
+    let mut out = String::new();
+    if !quiet {
+        writeln!(out, "query class : {:?}", query.class()).unwrap();
+        writeln!(out, "‖ϕ‖         : {}", query.size()).unwrap();
+        writeln!(out, "free vars   : {}", query.num_free_vars()).unwrap();
+        writeln!(out, "database    : {} elements, {} facts", db.universe_size(), db.fact_count())
+            .unwrap();
+        writeln!(out, "ε, δ        : {}, {}", cfg.epsilon, cfg.delta).unwrap();
+    }
+
+    match method {
+        Method::Auto => {
+            let r = approx_count_answers(&query, &db, &cfg)
+                .map_err(|e| CliError::Count(e.to_string()))?;
+            let scheme = match r.method {
+                CountMethod::Fpras => "FPRAS (Theorem 16)",
+                CountMethod::Fptras => "FPTRAS (Theorems 5/13)",
+                CountMethod::Exact => "exact",
+            };
+            writeln!(out, "scheme      : {scheme}").unwrap();
+            writeln!(out, "exact value : {}", r.exact).unwrap();
+            writeln!(out, "estimate    : {}", r.estimate).unwrap();
+        }
+        Method::Fpras => {
+            if query.class() != QueryClass::CQ {
+                return Err(CliError::Count(
+                    "the FPRAS of Theorem 16 applies to plain CQs only; queries with \
+                     disequalities or negations admit no FPRAS unless NP = RP \
+                     (Observation 10) — use `--method fptras`"
+                        .into(),
+                ));
+            }
+            let r = fpras_count(&query, &db, &cfg).map_err(|e| CliError::Count(e.to_string()))?;
+            writeln!(out, "scheme      : FPRAS (Theorem 16)").unwrap();
+            writeln!(out, "fhw used    : {:.3}", r.fhw).unwrap();
+            writeln!(out, "automaton   : {} states over {} tree nodes", r.states, r.tree_nodes)
+                .unwrap();
+            writeln!(out, "exact value : {}", r.exact).unwrap();
+            writeln!(out, "estimate    : {}", r.estimate).unwrap();
+        }
+        Method::Fptras => {
+            let r = fptras_count(&query, &db, &cfg).map_err(|e| CliError::Count(e.to_string()))?;
+            writeln!(out, "scheme      : FPTRAS (Theorems 5/13)").unwrap();
+            if let Some(tw) = r.query_treewidth {
+                writeln!(out, "treewidth   : {tw}").unwrap();
+            }
+            writeln!(out, "oracle calls: {} EdgeFree, {} Hom", r.oracle_calls, r.hom_calls)
+                .unwrap();
+            writeln!(out, "repetitions : {}", r.repetitions).unwrap();
+            writeln!(out, "exact value : {}", r.exact).unwrap();
+            writeln!(out, "estimate    : {}", r.estimate).unwrap();
+        }
+        Method::Exact => {
+            let v = exact_count_answers(&query, &db);
+            writeln!(out, "scheme      : exact (brute-force baseline)").unwrap();
+            writeln!(out, "estimate    : {v}").unwrap();
+        }
+    }
+    Ok(out)
+}
+
+/// Run `cqc exact`.
+pub fn run_exact(args: &Args) -> Result<String, CliError> {
+    let query = load_query(args)?;
+    let db = load_database(args)?;
+    let v = exact_count_answers(&query, &db);
+    Ok(format!("{v}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args_from;
+    use std::path::PathBuf;
+
+    fn write_temp(name: &str, contents: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("cqc-cli-test-{}-{name}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    const DB: &str = "\
+universe 6
+relation E 2
+E 0 1
+E 0 2
+E 1 2
+E 2 3
+E 3 4
+E 3 5
+E 5 0
+";
+
+    #[test]
+    fn method_parsing() {
+        assert_eq!(parse_method("auto").unwrap(), Method::Auto);
+        assert_eq!(parse_method("fpras").unwrap(), Method::Fpras);
+        assert_eq!(parse_method("fptras").unwrap(), Method::Fptras);
+        assert_eq!(parse_method("brute").unwrap(), Method::Exact);
+        assert!(parse_method("magic").is_err());
+    }
+
+    #[test]
+    fn exact_command_counts_the_friends_query() {
+        let db = write_temp("exact.facts", DB);
+        let out = run_exact(
+            &args_from([
+                "exact",
+                "--db",
+                db.to_str().unwrap(),
+                "--query",
+                "ans(x) :- E(x, y), E(x, z), y != z",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(out.trim(), "2");
+        std::fs::remove_file(db).ok();
+    }
+
+    #[test]
+    fn count_auto_dispatches_and_reports() {
+        let db = write_temp("auto.facts", DB);
+        let out = run_count(
+            &args_from([
+                "count",
+                "--db",
+                db.to_str().unwrap(),
+                "--query",
+                "ans(x) :- E(x, y), E(x, z), y != z",
+                "--epsilon",
+                "0.2",
+                "--seed",
+                "7",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("FPTRAS"), "{out}");
+        assert!(out.contains("estimate"), "{out}");
+        std::fs::remove_file(db).ok();
+    }
+
+    #[test]
+    fn fpras_is_refused_for_dcqs() {
+        let db = write_temp("refuse.facts", DB);
+        let err = run_count(
+            &args_from([
+                "count",
+                "--db",
+                db.to_str().unwrap(),
+                "--query",
+                "ans(x) :- E(x, y), E(x, z), y != z",
+                "--method",
+                "fpras",
+            ])
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("Observation 10"), "{err}");
+        std::fs::remove_file(db).ok();
+    }
+
+    #[test]
+    fn missing_query_is_a_usage_error() {
+        let db = write_temp("noquery.facts", DB);
+        let err = run_count(
+            &args_from(["count", "--db", db.to_str().unwrap()]).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        std::fs::remove_file(db).ok();
+    }
+
+    #[test]
+    fn bad_epsilon_is_rejected() {
+        let db = write_temp("eps.facts", DB);
+        let err = run_count(
+            &args_from([
+                "count",
+                "--db",
+                db.to_str().unwrap(),
+                "--query",
+                "ans(x, y) :- E(x, y)",
+                "--epsilon",
+                "1.5",
+            ])
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        std::fs::remove_file(db).ok();
+    }
+}

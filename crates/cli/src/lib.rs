@@ -1,0 +1,193 @@
+//! # cqc-cli — command-line interface for `cqcount`
+//!
+//! A small tool exposing the library's counting, sampling and classification
+//! machinery on databases stored in the textual facts-file format of
+//! [`cqc_data::io`]:
+//!
+//! ```text
+//! cqc generate --family erdos-renyi --n 200 --avg-degree 3 --out social.facts
+//! cqc count    --db social.facts --query "ans(x) :- E(x, y), E(x, z), y != z"
+//! cqc sample   --db social.facts --query "ans(x) :- E(x, y), E(x, z), y != z" --count 5
+//! cqc classify --query "ans(x1, x2) :- E(y, x1), E(y, x2), x1 != x2"
+//! cqc exact    --db social.facts --query "ans(x, y) :- E(x, z), E(z, y)"
+//! ```
+//!
+//! Every command is implemented as a library function returning its output as
+//! a `String`, so the test suite can exercise the tool end to end without
+//! spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod classify;
+pub mod count;
+pub mod generate;
+pub mod sample;
+
+use std::fmt;
+
+pub use args::{args_from, Args};
+
+/// Errors surfaced by the command-line tool.
+#[derive(Debug, Clone)]
+pub enum CliError {
+    /// The command line itself is malformed.
+    Usage(String),
+    /// The query text could not be parsed.
+    Query(String),
+    /// A facts file could not be read or written.
+    Io(String),
+    /// The database file is malformed.
+    Facts(String),
+    /// The counting algorithm rejected the instance.
+    Count(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Query(m) => write!(f, "query error: {m}"),
+            CliError::Io(m) => write!(f, "io error: {m}"),
+            CliError::Facts(m) => write!(f, "facts file error: {m}"),
+            CliError::Count(m) => write!(f, "counting error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage text printed by `cqc help` (and on usage errors).
+pub const USAGE: &str = "\
+cqc — approximately counting answers to conjunctive queries with disequalities and negations
+
+USAGE:
+    cqc <COMMAND> [OPTIONS]
+
+COMMANDS:
+    count      Estimate |Ans(ϕ, D)| (FPRAS / FPTRAS / exact, dispatched per Figure 1)
+    exact      Count |Ans(ϕ, D)| exactly (brute-force baseline)
+    sample     Draw approximately uniform answers (Section 6)
+    classify   Report the query class and its width measures (Figure 1 column)
+    generate   Generate a workload database and write it as a facts file
+    help       Show this message
+
+COMMON OPTIONS:
+    --query TEXT          query in textual syntax, e.g. \"ans(x) :- E(x, y), E(x, z), y != z\"
+    --query-file PATH     read the query text from a file instead
+    --db PATH             database in facts-file format
+    --epsilon E           relative error (default 0.25)
+    --delta D             failure probability (default 0.05)
+    --seed S              RNG seed (default 0xC0FFEE)
+    --method M            auto | fpras | fptras | exact   (count only, default auto)
+    --count N             number of samples                (sample only, default 10)
+    --names               print element names instead of indices (sample only)
+
+GENERATE OPTIONS:
+    --family F            erdos-renyi | grid | regular | ternary
+    --n N                 number of vertices / universe size
+    --avg-degree D        expected out-degree (erdos-renyi)
+    --degree D            out-degree (regular)
+    --rows R --cols C     grid dimensions
+    --facts M             number of facts (ternary)
+    --relation NAME       relation name (default E; ignored for ternary)
+    --symmetric           also add every reversed edge
+    --out PATH            output file (default: stdout)
+";
+
+/// Run the tool on the given raw arguments (excluding the program name) and
+/// return the textual report it would print.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(argv)?;
+    let command = args.command.clone().unwrap_or_else(|| "help".to_string());
+    let out = match command.as_str() {
+        "count" => count::run_count(&args)?,
+        "exact" => count::run_exact(&args)?,
+        "sample" => sample::run_sample(&args)?,
+        "classify" => classify::run_classify(&args)?,
+        "generate" => generate::run_generate(&args)?,
+        "help" | "--help" | "-h" => USAGE.to_string(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown command `{other}`; run `cqc help`"
+            )))
+        }
+    };
+    args.reject_unknown()?;
+    Ok(out)
+}
+
+/// Shared helpers used by the individual commands.
+pub(crate) mod common {
+    use super::CliError;
+    use crate::Args;
+    use cqc_core::ApproxConfig;
+    use cqc_data::{parse_facts, Structure};
+    use cqc_query::{parse_query, Query};
+
+    /// Load the query from `--query` or `--query-file`.
+    pub fn load_query(args: &Args) -> Result<Query, CliError> {
+        let text = if let Some(q) = args.value_of("query") {
+            q.to_string()
+        } else if let Some(path) = args.value_of("query-file") {
+            std::fs::read_to_string(path)
+                .map_err(|e| CliError::Io(format!("cannot read `{path}`: {e}")))?
+        } else {
+            return Err(CliError::Usage(
+                "provide the query with `--query` or `--query-file`".into(),
+            ));
+        };
+        parse_query(text.trim()).map_err(|e| CliError::Query(e.to_string()))
+    }
+
+    /// Load the database from `--db`.
+    pub fn load_database(args: &Args) -> Result<Structure, CliError> {
+        let path = args.require("db")?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Io(format!("cannot read `{path}`: {e}")))?;
+        parse_facts(&text).map_err(|e| CliError::Facts(e.to_string()))
+    }
+
+    /// Build the approximation configuration from the common options.
+    pub fn approx_config(args: &Args) -> Result<ApproxConfig, CliError> {
+        let epsilon: f64 = args.get_or("epsilon", 0.25)?;
+        let delta: f64 = args.get_or("delta", 0.05)?;
+        if !(0.0 < epsilon && epsilon < 1.0) {
+            return Err(CliError::Usage("`--epsilon` must lie in (0, 1)".into()));
+        }
+        if !(0.0 < delta && delta < 1.0) {
+            return Err(CliError::Usage("`--delta` must lie in (0, 1)".into()));
+        }
+        let seed: u64 = args.get_or("seed", 0xC0FFEE)?;
+        Ok(ApproxConfig::new(epsilon, delta).with_seed(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_is_returned_for_no_command_and_help() {
+        let out = run(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+        let out = run(&["help".to_string()]).unwrap();
+        assert!(out.contains("classify"));
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        let err = run(&["frobnicate".to_string()]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn error_display_variants() {
+        assert!(CliError::Query("x".into()).to_string().contains("query"));
+        assert!(CliError::Io("x".into()).to_string().contains("io"));
+        assert!(CliError::Facts("x".into()).to_string().contains("facts"));
+        assert!(CliError::Count("x".into()).to_string().contains("counting"));
+    }
+}

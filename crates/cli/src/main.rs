@@ -1,0 +1,14 @@
+//! The `cqc` binary: a thin wrapper around [`cqc_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match cqc_cli::run(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!();
+            eprintln!("{}", cqc_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The `sample` command: draw approximately uniform answers (Section 6).
+
+use crate::common::{approx_config, load_database, load_query};
+use crate::{Args, CliError};
+use cqc_core::sample_answers;
+use std::fmt::Write as _;
+
+/// Run `cqc sample`.
+pub fn run_sample(args: &Args) -> Result<String, CliError> {
+    let query = load_query(args)?;
+    let db = load_database(args)?;
+    let cfg = approx_config(args)?;
+    let count: usize = args.get_or("count", 10)?;
+    let use_names = args.switch("names");
+
+    let samples =
+        sample_answers(&query, &db, count, &cfg).map_err(|e| CliError::Count(e.to_string()))?;
+
+    let mut out = String::new();
+    if samples.is_empty() {
+        writeln!(out, "no answers").unwrap();
+        return Ok(out);
+    }
+    let free: Vec<&str> = query
+        .free_vars()
+        .iter()
+        .map(|&v| query.variable_name(v))
+        .collect();
+    writeln!(out, "# {}", free.join(", ")).unwrap();
+    for s in &samples {
+        let rendered: Vec<String> = s
+            .iter()
+            .map(|&v| {
+                if use_names {
+                    db.element_name(v)
+                } else {
+                    v.0.to_string()
+                }
+            })
+            .collect();
+        writeln!(out, "{}", rendered.join(", ")).unwrap();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args_from;
+    use std::path::PathBuf;
+
+    fn write_temp(name: &str, contents: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("cqc-cli-sample-{}-{name}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    const DB: &str = "\
+universe 6
+relation E 2
+E 0 1
+E 0 2
+E 3 4
+E 3 5
+element 0 alice
+element 3 dana
+";
+
+    #[test]
+    fn samples_are_answers_of_the_friends_query() {
+        let db = write_temp("ok.facts", DB);
+        let out = run_sample(
+            &args_from([
+                "sample",
+                "--db",
+                db.to_str().unwrap(),
+                "--query",
+                "ans(x) :- E(x, y), E(x, z), y != z",
+                "--count",
+                "6",
+                "--seed",
+                "3",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        // only persons 0 and 3 have two distinct friends
+        for line in out.lines().skip(1) {
+            assert!(line == "0" || line == "3", "unexpected sample line {line}");
+        }
+        std::fs::remove_file(db).ok();
+    }
+
+    #[test]
+    fn names_switch_prints_element_names() {
+        let db = write_temp("names.facts", DB);
+        let out = run_sample(
+            &args_from([
+                "sample",
+                "--db",
+                db.to_str().unwrap(),
+                "--query",
+                "ans(x) :- E(x, y), E(x, z), y != z",
+                "--count",
+                "4",
+                "--names",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        for line in out.lines().skip(1) {
+            assert!(line == "alice" || line == "dana", "unexpected sample line {line}");
+        }
+        std::fs::remove_file(db).ok();
+    }
+
+    #[test]
+    fn empty_answer_set_reports_no_answers() {
+        let db = write_temp("empty.facts", "universe 3\nrelation E 2\n");
+        let out = run_sample(
+            &args_from([
+                "sample",
+                "--db",
+                db.to_str().unwrap(),
+                "--query",
+                "ans(x, y) :- E(x, y)",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("no answers"));
+        std::fs::remove_file(db).ok();
+    }
+}

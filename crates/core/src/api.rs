@@ -1,0 +1,191 @@
+//! Top-level configuration, result and dispatch types.
+
+use crate::fpras::fpras_count;
+use crate::fptras::fptras_count;
+use cqc_data::Structure;
+use cqc_query::{count_answers_via_solutions, Query, QueryClass};
+use std::fmt;
+
+/// Errors surfaced by the counting algorithms.
+#[derive(Debug, Clone)]
+pub enum CoreError {
+    /// `sig(ϕ) ⊄ sig(D)` or another database/query mismatch.
+    IncompatibleDatabase(String),
+    /// The requested algorithm does not apply to this query class
+    /// (e.g. FPRAS requested for a DCQ — ruled out by Observation 10).
+    UnsupportedQueryClass(String),
+    /// An internal invariant was violated (always a bug).
+    InternalInvariant(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::IncompatibleDatabase(m) => write!(f, "incompatible database: {m}"),
+            CoreError::UnsupportedQueryClass(m) => write!(f, "unsupported query class: {m}"),
+            CoreError::InternalInvariant(m) => write!(f, "internal invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Configuration shared by all approximate counters.
+#[derive(Debug, Clone)]
+pub struct ApproxConfig {
+    /// Relative error `ε ∈ (0, 1)`.
+    pub epsilon: f64,
+    /// Failure probability `δ ∈ (0, 1)`.
+    pub delta: f64,
+    /// RNG seed (all algorithms are deterministic given the seed).
+    pub seed: u64,
+    /// Override for the number of colour-coding repetitions `Q` per
+    /// `EdgeFree` oracle call (default: derived from `δ` and `|Δ(ϕ)|`, see
+    /// [`crate::AnswerOracle::recommended_repetitions`]).
+    pub colour_repetitions: Option<usize>,
+    /// The FPRAS switches from the exact fixed-shape #TA counter to the
+    /// sampling counter once the automaton has more states than this.
+    pub fpras_exact_state_budget: usize,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> Self {
+        ApproxConfig {
+            epsilon: 0.25,
+            delta: 0.05,
+            seed: 0xC0FFEE,
+            colour_repetitions: None,
+            fpras_exact_state_budget: 4_000,
+        }
+    }
+}
+
+impl ApproxConfig {
+    /// A configuration with the given accuracy parameters and defaults
+    /// elsewhere.
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        ApproxConfig {
+            epsilon,
+            delta,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Which algorithm produced a [`CountEstimate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountMethod {
+    /// The FPRAS of Theorem 16 (CQs of bounded fractional hypertreewidth).
+    Fpras,
+    /// The FPTRAS of Theorems 5 / 13 (ECQs / DCQs).
+    Fptras,
+    /// Exact baseline.
+    Exact,
+}
+
+/// The result of [`approx_count_answers`].
+#[derive(Debug, Clone)]
+pub struct CountEstimate {
+    /// The estimate of `|Ans(ϕ, D)|`.
+    pub estimate: f64,
+    /// The algorithm used.
+    pub method: CountMethod,
+    /// Whether the value is exact rather than approximate.
+    pub exact: bool,
+}
+
+/// Approximately count `|Ans(ϕ, D)|`, dispatching on the query class exactly
+/// along the lines of Figure 1 of the paper:
+///
+/// * plain CQs → the FPRAS of Theorem 16,
+/// * DCQs and ECQs → the FPTRAS of Theorems 5 / 13.
+pub fn approx_count_answers(
+    query: &Query,
+    db: &Structure,
+    config: &ApproxConfig,
+) -> Result<CountEstimate, CoreError> {
+    match query.class() {
+        QueryClass::CQ => {
+            let r = fpras_count(query, db, config)?;
+            Ok(CountEstimate {
+                estimate: r.estimate,
+                method: CountMethod::Fpras,
+                exact: r.exact,
+            })
+        }
+        QueryClass::DCQ | QueryClass::ECQ => {
+            let r = fptras_count(query, db, config)?;
+            Ok(CountEstimate {
+                estimate: r.estimate,
+                method: CountMethod::Fptras,
+                exact: r.exact,
+            })
+        }
+    }
+}
+
+/// Exact answer counting (baseline; exponential in the query size).
+pub fn exact_count_answers(query: &Query, db: &Structure) -> u64 {
+    count_answers_via_solutions(query, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqc_data::StructureBuilder;
+    use cqc_query::parse_query;
+
+    fn tiny_db() -> Structure {
+        let mut b = StructureBuilder::new(4);
+        b.relation("E", 2);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] {
+            b.fact("E", &[u, v]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn dispatch_by_query_class() {
+        let db = tiny_db();
+        let cfg = ApproxConfig::new(0.25, 0.1).with_seed(1);
+
+        let cq = parse_query("ans(x, y) :- E(x, z), E(z, y)").unwrap();
+        let r = approx_count_answers(&cq, &db, &cfg).unwrap();
+        assert_eq!(r.method, CountMethod::Fpras);
+        assert_eq!(r.estimate, exact_count_answers(&cq, &db) as f64);
+
+        let dcq = parse_query("ans(x) :- E(x, y), E(x, z), y != z").unwrap();
+        let r = approx_count_answers(&dcq, &db, &cfg).unwrap();
+        assert_eq!(r.method, CountMethod::Fptras);
+        let truth = exact_count_answers(&dcq, &db) as f64;
+        assert!((r.estimate - truth).abs() <= 0.3 * truth.max(1.0));
+
+        let ecq = parse_query("ans(x, y) :- E(x, y), !E(y, x)").unwrap();
+        let r = approx_count_answers(&ecq, &db, &cfg).unwrap();
+        assert_eq!(r.method, CountMethod::Fptras);
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = ApproxConfig::default();
+        assert!(c.epsilon > 0.0 && c.epsilon < 1.0);
+        assert!(c.delta > 0.0 && c.delta < 1.0);
+        assert!(c.fpras_exact_state_budget > 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CoreError::UnsupportedQueryClass("x".into());
+        assert!(e.to_string().contains("unsupported"));
+        let e = CoreError::IncompatibleDatabase("y".into());
+        assert!(e.to_string().contains("incompatible"));
+        let e = CoreError::InternalInvariant("z".into());
+        assert!(e.to_string().contains("invariant"));
+    }
+}

@@ -1,0 +1,391 @@
+//! The FPRAS of Theorem 16: counting answers to conjunctive queries (without
+//! disequalities or negations) whose hypergraph has bounded fractional
+//! hypertreewidth.
+//!
+//! Pipeline (Section 5.2):
+//! 1. a *nice* tree decomposition of `H(ϕ)` of small fractional
+//!    hypertreewidth (Lemma 43; decomposition search in `cqc-hypergraph`);
+//! 2. per-bag solution relations `Sol(ϕ, D, B_t)` (Definition 47) computed by
+//!    the fractional-cover join of Lemma 48 (`cqc-hom::bag_partial_solutions`);
+//! 3. the tree automaton of Lemma 52, whose accepted labellings of the fixed
+//!    tree shape are in bijection with `Ans(ϕ, D)` (parsimonious reduction);
+//! 4. #TA counting (Lemma 51): exact fixed-shape counting when the state
+//!    space is small, the ACJR-style sampling counter otherwise.
+
+use crate::api::{ApproxConfig, CoreError};
+use cqc_automata::{
+    approx_count_fixed_shape, count_labelings_fixed_shape, TaApproxConfig, TransitionTarget,
+    TreeAutomaton, TreeShape,
+};
+use cqc_data::{Structure, Val};
+use cqc_hom::bag_partial_solutions;
+use cqc_hypergraph::fwidth::{minimise_width, WidthMeasure};
+use cqc_hypergraph::NiceTreeDecomposition;
+use cqc_query::{build_a_structure, build_b_structure, query_hypergraph, Query, QueryClass, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Diagnostic report of an FPRAS run.
+#[derive(Debug, Clone)]
+pub struct FprasReport {
+    /// The estimate (exact when `exact` is set).
+    pub estimate: f64,
+    /// Whether the N-slice was counted exactly.
+    pub exact: bool,
+    /// Fractional hypertreewidth of the decomposition that was used.
+    pub fhw: f64,
+    /// Number of tree-decomposition nodes (= automaton tree size `N`).
+    pub tree_nodes: usize,
+    /// Number of automaton states (`Σ_t |Sol_t|`).
+    pub states: usize,
+}
+
+/// The Lemma 52 construction: the tree automaton, its fixed shape, and
+/// book-keeping sizes.
+pub struct Lemma52Automaton {
+    /// The constructed automaton.
+    pub automaton: TreeAutomaton,
+    /// The (fixed) tree shape mirroring the nice tree decomposition.
+    pub shape: TreeShape,
+    /// Number of states.
+    pub states: usize,
+}
+
+/// Run the FPRAS of Theorem 16 on a CQ.
+///
+/// Returns an error for queries with disequalities or negations — by
+/// Observation 10 no FPRAS exists for those (unless NP = RP); use
+/// [`crate::fptras_count`] instead.
+pub fn fpras_count(
+    query: &Query,
+    db: &Structure,
+    config: &ApproxConfig,
+) -> Result<FprasReport, CoreError> {
+    if query.class() != QueryClass::CQ {
+        return Err(CoreError::UnsupportedQueryClass(
+            "the FPRAS of Theorem 16 applies to CQs without disequalities or negations \
+             (Observation 10 rules out an FPRAS for DCQs/ECQs unless NP = RP)"
+                .into(),
+        ));
+    }
+    if !query.compatible_with(db.signature()) {
+        return Err(CoreError::IncompatibleDatabase(
+            "sig(ϕ) is not contained in sig(D)".into(),
+        ));
+    }
+
+    // Step 1: nice tree decomposition of H(ϕ) with small fractional
+    // hypertreewidth.
+    let h = query_hypergraph(query);
+    let (fhw, td) = minimise_width(&h, WidthMeasure::FractionalHypertreewidth);
+    let nice = td.into_nice();
+    nice.validate_nice()
+        .map_err(CoreError::InternalInvariant)?;
+
+    // Steps 2 + 3: per-bag solutions and the Lemma 52 automaton.
+    let construction = build_lemma52_automaton(query, db, &nice)?;
+    let tree_nodes = construction.shape.num_nodes();
+
+    // Step 4: count the accepted labellings of the fixed shape.
+    // The exact subset-DP is used when the state space is small; otherwise the
+    // sampling-based counter (Lemma 51 / ACJR) takes over.
+    let exact_state_budget = config.fpras_exact_state_budget;
+    let (estimate, exact) = if construction.states <= exact_state_budget {
+        (
+            count_labelings_fixed_shape(&construction.automaton, &construction.shape) as f64,
+            true,
+        )
+    } else {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x51CE));
+        let ta_config = TaApproxConfig::new(config.epsilon, config.delta);
+        (
+            approx_count_fixed_shape(
+                &construction.automaton,
+                &construction.shape,
+                &ta_config,
+                &mut rng,
+            ),
+            false,
+        )
+    };
+
+    Ok(FprasReport {
+        estimate,
+        exact,
+        fhw,
+        tree_nodes,
+        states: construction.states,
+    })
+}
+
+/// Build the tree automaton of Lemma 52 for `(ϕ, D)` over the given nice tree
+/// decomposition of `H(ϕ)`.
+pub fn build_lemma52_automaton(
+    query: &Query,
+    db: &Structure,
+    nice: &NiceTreeDecomposition,
+) -> Result<Lemma52Automaton, CoreError> {
+    let a_structure = build_a_structure(query);
+    let b_structure =
+        build_b_structure(query, db).map_err(CoreError::IncompatibleDatabase)?;
+    let td = &nice.td;
+    let n_nodes = td.num_nodes();
+
+    // The automaton's tree shape mirrors the decomposition tree.
+    let children: Vec<Vec<usize>> = (0..n_nodes).map(|t| td.children(t).to_vec()).collect();
+    let shape = TreeShape::new(children, td.root());
+
+    // Per-node solution relations Sol(ϕ, D, B_t) (Definition 47, Lemma 48).
+    // Bags are sorted variable-index lists.
+    let bags: Vec<Vec<usize>> = (0..n_nodes)
+        .map(|t| td.bag(t).iter().copied().collect())
+        .collect();
+    let sols: Vec<Vec<Vec<Val>>> = bags
+        .iter()
+        .map(|bag| bag_partial_solutions(&a_structure, &b_structure, bag))
+        .collect();
+
+    // If the root (empty bag) has no solution, there are no answers at all:
+    // represent this with a trivially empty automaton.
+    if sols[td.root()].is_empty() {
+        let automaton = TreeAutomaton::new(1, 1, 0);
+        return Ok(Lemma52Automaton {
+            automaton,
+            shape,
+            states: 1,
+        });
+    }
+
+    // States: (t, α); labels: (t, proj(α, free(ϕ))).
+    let mut state_id: HashMap<(usize, Vec<Val>), usize> = HashMap::new();
+    for (t, sol) in sols.iter().enumerate() {
+        for alpha in sol {
+            let id = state_id.len();
+            state_id.entry((t, alpha.clone())).or_insert(id);
+        }
+    }
+    let free: Vec<Var> = query.free_vars().to_vec();
+    let project_free = |t: usize, alpha: &[Val]| -> Vec<Val> {
+        bags[t]
+            .iter()
+            .zip(alpha)
+            .filter(|(v, _)| free.contains(&Var(**v as u32)))
+            .map(|(_, val)| *val)
+            .collect()
+    };
+    let mut label_id: HashMap<(usize, Vec<Val>), usize> = HashMap::new();
+    for (t, sol) in sols.iter().enumerate() {
+        for alpha in sol {
+            let lbl = (t, project_free(t, alpha));
+            let id = label_id.len();
+            label_id.entry(lbl).or_insert(id);
+        }
+    }
+
+    let root_state = state_id[&(td.root(), vec![])];
+    let mut automaton = TreeAutomaton::new(state_id.len(), label_id.len().max(1), root_state);
+
+    // Helper: restriction of α (over bag of t) to the bag of another node.
+    let restrict = |from: usize, alpha: &[Val], to_bag: &[usize]| -> Vec<Val> {
+        to_bag
+            .iter()
+            .map(|v| {
+                let pos = bags[from]
+                    .iter()
+                    .position(|x| x == v)
+                    .expect("restriction target is a subset");
+                alpha[pos]
+            })
+            .collect()
+    };
+    // Helper: are α (over bag of t) and α₁ (over bag of t1) consistent?
+    let consistent = |t: usize, alpha: &[Val], t1: usize, alpha1: &[Val]| -> bool {
+        bags[t].iter().zip(alpha).all(|(v, val)| {
+            match bags[t1].iter().position(|x| x == v) {
+                Some(p) => alpha1[p] == *val,
+                None => true,
+            }
+        })
+    };
+
+    for t in 0..n_nodes {
+        let ch = td.children(t);
+        for alpha in &sols[t] {
+            let q = state_id[&(t, alpha.clone())];
+            let lbl = label_id[&(t, project_free(t, alpha))];
+            match ch.len() {
+                0 => {
+                    // leaf: empty bag, empty assignment
+                    automaton.add_transition(q, lbl, TransitionTarget::Leaf);
+                }
+                1 => {
+                    let c = ch[0];
+                    if bags[c].iter().all(|v| bags[t].contains(v)) && bags[t].len() > bags[c].len()
+                    {
+                        // B_c ⊆ B_t, drop one variable: deterministic restriction
+                        let beta = restrict(t, alpha, &bags[c]);
+                        if let Some(&qc) = state_id.get(&(c, beta)) {
+                            automaton.add_transition(q, lbl, TransitionTarget::Unary(qc));
+                        }
+                    } else {
+                        // B_t ⊆ B_c, child introduces one variable: one
+                        // transition per consistent child solution
+                        for alpha1 in &sols[c] {
+                            if consistent(t, alpha, c, alpha1) {
+                                let qc = state_id[&(c, alpha1.clone())];
+                                automaton.add_transition(q, lbl, TransitionTarget::Unary(qc));
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    // join node: both children share the bag and the solution
+                    let c1 = ch[0];
+                    let c2 = ch[1];
+                    if let (Some(&q1), Some(&q2)) = (
+                        state_id.get(&(c1, alpha.clone())),
+                        state_id.get(&(c2, alpha.clone())),
+                    ) {
+                        automaton.add_transition(q, lbl, TransitionTarget::Binary(q1, q2));
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(Lemma52Automaton {
+        states: state_id.len(),
+        automaton,
+        shape,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ApproxConfig;
+    use cqc_data::StructureBuilder;
+    use cqc_query::{count_answers_via_solutions, parse_query};
+
+    fn config(eps: f64, delta: f64, seed: u64) -> ApproxConfig {
+        ApproxConfig {
+            epsilon: eps,
+            delta,
+            seed,
+            ..ApproxConfig::default()
+        }
+    }
+
+    fn path_graph(n: usize) -> Structure {
+        let mut b = StructureBuilder::new(n);
+        b.relation("E", 2);
+        for i in 0..n - 1 {
+            b.fact("E", &[i as u32, (i + 1) as u32]).unwrap();
+        }
+        b.build()
+    }
+
+    fn random_graph(n: usize, seed: u64, m: usize) -> Structure {
+        let mut b = StructureBuilder::new(n);
+        b.relation("E", 2);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..m {
+            let u = (next() % n as u64) as u32;
+            let v = (next() % n as u64) as u32;
+            b.fact("E", &[u, v]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn exact_regime_matches_ground_truth() {
+        // path query with an existential middle variable
+        let q = parse_query("ans(x, y) :- E(x, z), E(z, y)").unwrap();
+        for db in [path_graph(6), random_graph(8, 3, 14)] {
+            let truth = count_answers_via_solutions(&q, &db) as f64;
+            let r = fpras_count(&q, &db, &config(0.2, 0.05, 1)).unwrap();
+            assert!(r.exact);
+            assert_eq!(r.estimate, truth, "db answers {truth}");
+            assert!(r.fhw <= 1.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn footnote_4_star_query_exact() {
+        // ∃y E(y, x1) ∧ E(y, x2): decision easy, exact counting hard in
+        // general — the FPRAS handles it.
+        let q = parse_query("ans(x1, x2) :- E(y, x1), E(y, x2)").unwrap();
+        for db in [path_graph(7), random_graph(9, 5, 18)] {
+            let truth = count_answers_via_solutions(&q, &db) as f64;
+            let r = fpras_count(&q, &db, &config(0.2, 0.05, 2)).unwrap();
+            assert!(r.exact);
+            assert_eq!(r.estimate, truth);
+        }
+    }
+
+    #[test]
+    fn approximate_regime_is_close() {
+        // force the sampling path by shrinking the exact-state budget
+        let q = parse_query("ans(x1, x2) :- E(y, x1), E(y, x2)").unwrap();
+        let db = random_graph(12, 7, 40);
+        let truth = count_answers_via_solutions(&q, &db) as f64;
+        let mut cfg = config(0.2, 0.05, 3);
+        cfg.fpras_exact_state_budget = 0;
+        let r = fpras_count(&q, &db, &cfg).unwrap();
+        assert!(!r.exact);
+        assert!(
+            (r.estimate - truth).abs() <= 0.3 * truth.max(1.0),
+            "estimate {} vs truth {}",
+            r.estimate,
+            truth
+        );
+    }
+
+    #[test]
+    fn triangle_query_with_existential_apex() {
+        let q = parse_query("ans(x, y) :- E(x, y), E(y, z), E(x, z)").unwrap();
+        let mut b = StructureBuilder::new(5);
+        b.relation("E", 2);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3), (1, 3), (3, 4)] {
+            b.fact("E", &[u, v]).unwrap();
+        }
+        let db = b.build();
+        let truth = count_answers_via_solutions(&q, &db) as f64;
+        let r = fpras_count(&q, &db, &config(0.25, 0.1, 4)).unwrap();
+        assert_eq!(r.estimate, truth);
+    }
+
+    #[test]
+    fn no_answers_gives_zero() {
+        let q = parse_query("ans(x) :- E(x, y), E(y, x)").unwrap();
+        let db = path_graph(5); // no 2-cycles
+        let r = fpras_count(&q, &db, &config(0.3, 0.1, 5)).unwrap();
+        assert_eq!(r.estimate, 0.0);
+    }
+
+    #[test]
+    fn dcq_is_rejected() {
+        let q = parse_query("ans(x) :- E(x, y), E(x, z), y != z").unwrap();
+        let db = path_graph(4);
+        assert!(matches!(
+            fpras_count(&q, &db, &config(0.3, 0.1, 6)),
+            Err(CoreError::UnsupportedQueryClass(_))
+        ));
+    }
+
+    #[test]
+    fn boolean_cq() {
+        let q = parse_query("ans() :- E(x, y), E(y, z)").unwrap();
+        let r = fpras_count(&q, &path_graph(4), &config(0.3, 0.1, 7)).unwrap();
+        assert_eq!(r.estimate, 1.0);
+        let r = fpras_count(&q, &path_graph(2), &config(0.3, 0.1, 8)).unwrap();
+        assert_eq!(r.estimate, 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # cqc-core — approximately counting answers to conjunctive queries with
+//! disequalities and negations
+//!
+//! The public API of the reproduction of Focke, Goldberg, Roth and Živný,
+//! *Approximately Counting Answers to Conjunctive Queries with Disequalities
+//! and Negations* (PODS 2022). The main entry points are:
+//!
+//! * [`approx_count_answers`] — dispatching front end: FPRAS (Theorem 16) for
+//!   plain CQs, FPTRAS (Theorems 5 / 13) for queries with disequalities
+//!   and/or negations.
+//! * [`fptras_count`] — the FPTRAS of Theorems 5 and 13: the
+//!   Dell–Lapinskas–Meeks edge counter driven by a colour-coding `EdgeFree`
+//!   oracle simulated through `Hom` queries (Section 3, Lemmas 22 and 30).
+//! * [`fpras_count`] — the FPRAS of Theorem 16 for CQs of bounded fractional
+//!   hypertreewidth: nice tree decomposition → per-bag solutions (Lemma 48)
+//!   → tree automaton (Lemma 52) → #TA counting (Lemma 51).
+//! * [`exact_count_answers`] / [`naive_monte_carlo`] — baselines.
+//! * [`sample_answers`] — approximately uniform answer sampling (Section 6).
+//! * [`count_union`] — Karp–Luby counting for unions of queries (Section 6).
+//! * [`count_locally_injective_homomorphisms`] — Corollary 6.
+//! * [`hamiltonian_path_query`] — the Observation 10 construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod baseline;
+pub mod fpras;
+pub mod fptras;
+pub mod hamiltonian;
+pub mod lihom;
+pub mod oracle;
+pub mod sampling;
+pub mod unions;
+
+pub use api::{approx_count_answers, exact_count_answers, ApproxConfig, CoreError, CountEstimate, CountMethod};
+pub use baseline::{bruteforce_count, naive_monte_carlo};
+pub use fpras::{fpras_count, FprasReport};
+pub use fptras::{fptras_count, FptrasReport};
+pub use hamiltonian::{hamiltonian_path_query, undirected_graph_database};
+pub use lihom::{count_locally_injective_homomorphisms, locally_injective_query};
+pub use oracle::AnswerOracle;
+pub use sampling::sample_answers;
+pub use unions::count_union;

@@ -1,0 +1,101 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Errors produced while building or manipulating relational structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A tuple was inserted whose length does not match the declared arity.
+    ArityMismatch {
+        /// Relation symbol name.
+        symbol: String,
+        /// Declared arity of the symbol.
+        expected: usize,
+        /// Length of the offending tuple.
+        got: usize,
+    },
+    /// A tuple referenced a universe element that does not exist.
+    ValueOutOfRange {
+        /// The offending value.
+        value: u32,
+        /// Size of the universe.
+        universe: usize,
+    },
+    /// A relation symbol was declared twice with different arities.
+    ConflictingArity {
+        /// Relation symbol name.
+        symbol: String,
+        /// First declared arity.
+        first: usize,
+        /// Second declared arity.
+        second: usize,
+    },
+    /// A relation symbol was used without being declared.
+    UnknownSymbol(String),
+    /// A declared arity was zero; the paper requires positive arities.
+    ZeroArity(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ArityMismatch {
+                symbol,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for relation `{symbol}`: expected {expected}, got a tuple of length {got}"
+            ),
+            DataError::ValueOutOfRange { value, universe } => write!(
+                f,
+                "value {value} is outside the universe of size {universe}"
+            ),
+            DataError::ConflictingArity {
+                symbol,
+                first,
+                second,
+            } => write!(
+                f,
+                "relation `{symbol}` declared with conflicting arities {first} and {second}"
+            ),
+            DataError::UnknownSymbol(s) => write!(f, "unknown relation symbol `{s}`"),
+            DataError::ZeroArity(s) => {
+                write!(f, "relation `{s}` declared with arity 0; arities must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_symbol() {
+        let e = DataError::ArityMismatch {
+            symbol: "E".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("E"));
+        assert!(e.to_string().contains("2"));
+        let e = DataError::UnknownSymbol("R".into());
+        assert!(e.to_string().contains("R"));
+        let e = DataError::ZeroArity("Z".into());
+        assert!(e.to_string().contains("Z"));
+        let e = DataError::ConflictingArity {
+            symbol: "E".into(),
+            first: 1,
+            second: 2,
+        };
+        assert!(e.to_string().contains("conflicting"));
+        let e = DataError::ValueOutOfRange {
+            value: 7,
+            universe: 3,
+        };
+        assert!(e.to_string().contains("7"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # cqc-data — relational database / structure substrate
+//!
+//! This crate implements the relational substrate that the paper
+//! *Approximately Counting Answers to Conjunctive Queries with Disequalities
+//! and Negations* (PODS 2022) assumes: finite signatures, relational
+//! structures (databases), facts, and the size measure `‖D‖` used throughout
+//! the paper (Section 1.1 and Section 2.2).
+//!
+//! The central types are:
+//!
+//! * [`Signature`] — a finite set of relation symbols with specified positive
+//!   arities (interned via [`SymbolId`]).
+//! * [`Relation`] — a finite set of tuples over the universe, with per-column
+//!   value indices to support joins and homomorphism search.
+//! * [`Structure`] — a finite universe together with one relation per symbol.
+//!   The paper's *database* `D` and the structures `A(ϕ)`, `B(ϕ, D)`,
+//!   `Â(ϕ)`, `B̂(ϕ, D, V₁..V_ℓ, f)` of Sections 2 and 3 are all values of
+//!   this type.
+//! * [`StructureBuilder`] — a convenient, validated way to assemble structures.
+//!
+//! Universe elements are dense `u32` identifiers ([`Val`]); optional
+//! human-readable names can be attached for debugging and examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod io;
+pub mod relation;
+pub mod signature;
+pub mod structure;
+pub mod tuple;
+
+pub use error::DataError;
+pub use io::{parse_facts, write_facts, FactsError};
+pub use relation::Relation;
+pub use signature::{Signature, SymbolId};
+pub use structure::{Database, Structure, StructureBuilder};
+pub use tuple::{Tuple, Val};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,152 @@
+//! Exact edge counting by recursive halving, using only `EdgeFree` queries.
+
+use crate::oracle::{full_parts, EdgeFreeOracle};
+use std::collections::BTreeSet;
+
+/// Count the hyperedges of the oracle's hypergraph exactly, using only
+/// `EdgeFree` queries on class-aligned ℓ-partite subsets.
+///
+/// The strategy is recursive halving: if the current region is edge-free the
+/// count is 0; if every class is a singleton it is 1 (ℓ-uniformity); otherwise
+/// split the largest class in two and recurse. The number of oracle calls is
+/// `O(|E| · ℓ · log N + 1)`.
+pub fn exact_edge_count<O: EdgeFreeOracle>(oracle: &mut O) -> u64 {
+    let parts = full_parts(oracle);
+    count_region(oracle, &parts, None).expect("no budget given")
+}
+
+/// Like [`exact_edge_count`] but gives up (returning `None`) once more than
+/// `budget` oracle calls would be needed. Used by the approximate counter to
+/// detect that the (sub-sampled) region still contains too many edges.
+pub fn exact_edge_count_with_budget<O: EdgeFreeOracle>(
+    oracle: &mut O,
+    parts: &[BTreeSet<usize>],
+    budget: u64,
+) -> Option<u64> {
+    let mut remaining = budget;
+    count_region(oracle, parts, Some(&mut remaining))
+}
+
+fn count_region<O: EdgeFreeOracle>(
+    oracle: &mut O,
+    parts: &[BTreeSet<usize>],
+    mut budget: Option<&mut u64>,
+) -> Option<u64> {
+    if let Some(b) = budget.as_deref_mut() {
+        if *b == 0 {
+            return None;
+        }
+        *b -= 1;
+    }
+    if oracle.edge_free(parts) {
+        return Some(0);
+    }
+    // Not edge-free. If every class is a singleton the region is exactly one
+    // potential edge, and since it is not edge-free, it *is* an edge.
+    if parts.iter().all(|p| p.len() == 1) {
+        return Some(1);
+    }
+    // Split the largest class into two halves.
+    let (idx, _) = parts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, p)| p.len())
+        .expect("non-empty: some class has ≥ 2 vertices");
+    let items: Vec<usize> = parts[idx].iter().copied().collect();
+    let (left, right) = items.split_at(items.len() / 2);
+    let mut left_parts = parts.to_vec();
+    left_parts[idx] = left.iter().copied().collect();
+    let mut right_parts = parts.to_vec();
+    right_parts[idx] = right.iter().copied().collect();
+    let l = count_region(oracle, &left_parts, budget.as_deref_mut())?;
+    let r = count_region(oracle, &right_parts, budget)?;
+    Some(l + r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::ExplicitHypergraph;
+    use crate::oracle::CountingOracle;
+
+    #[test]
+    fn counts_small_hypergraphs_exactly() {
+        let cases = vec![
+            ExplicitHypergraph::new(vec![4, 4], vec![]),
+            ExplicitHypergraph::new(vec![4, 4], vec![vec![0, 0]]),
+            ExplicitHypergraph::new(vec![4, 4], vec![vec![0, 0], vec![1, 2], vec![3, 3]]),
+            ExplicitHypergraph::complete(vec![3, 3]),
+            ExplicitHypergraph::complete(vec![2, 2, 2]),
+            ExplicitHypergraph::new(
+                vec![5, 3, 2],
+                vec![vec![0, 0, 0], vec![4, 2, 1], vec![2, 1, 0], vec![2, 1, 1]],
+            ),
+        ];
+        for h in cases {
+            let expected = h.num_edges() as u64;
+            let mut oracle = h;
+            assert_eq!(exact_edge_count(&mut oracle), expected);
+        }
+    }
+
+    #[test]
+    fn single_class_hypergraph() {
+        // ℓ = 1: edges are single vertices
+        let h = ExplicitHypergraph::new(vec![6], vec![vec![0], vec![3], vec![5]]);
+        let mut oracle = h;
+        assert_eq!(exact_edge_count(&mut oracle), 3);
+    }
+
+    #[test]
+    fn oracle_call_count_is_reasonable() {
+        // |E| = 4, N = 16 per class, ℓ = 2: calls should be well below the
+        // brute-force 256 and in the ballpark of |E|·ℓ·log N.
+        let h = ExplicitHypergraph::new(
+            vec![16, 16],
+            vec![vec![0, 0], vec![5, 7], vec![9, 2], vec![15, 15]],
+        );
+        let mut oracle = CountingOracle::new(h);
+        assert_eq!(exact_edge_count(&mut oracle), 4);
+        assert!(oracle.calls() < 150, "used {} calls", oracle.calls());
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let h = ExplicitHypergraph::complete(vec![8, 8]);
+        let mut oracle = h;
+        let parts = full_parts(&oracle);
+        assert_eq!(
+            exact_edge_count_with_budget(&mut oracle, &parts, 10),
+            None
+        );
+        // a generous budget succeeds
+        assert_eq!(
+            exact_edge_count_with_budget(&mut oracle, &parts, 100_000),
+            Some(64)
+        );
+    }
+
+    #[test]
+    fn count_restricted_region() {
+        let h = ExplicitHypergraph::new(
+            vec![4, 4],
+            vec![vec![0, 0], vec![1, 1], vec![2, 2], vec![3, 3]],
+        );
+        let mut oracle = h;
+        // restrict class 0 to {0, 1}: two edges remain
+        let parts = vec![[0, 1].into_iter().collect(), (0..4).collect()];
+        assert_eq!(
+            exact_edge_count_with_budget(&mut oracle, &parts, 10_000),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn zero_classes_edge_case() {
+        // ℓ = 0: the hypergraph can have at most the empty edge; our explicit
+        // representation yields exactly one (the empty tuple).
+        let h = ExplicitHypergraph::complete(vec![]);
+        let mut oracle = h;
+        assert_eq!(exact_edge_count(&mut oracle), 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! An explicit ℓ-partite ℓ-uniform hypergraph with a built-in `EdgeFree`
+//! oracle — used for testing the framework independently of query answering
+//! and as ground truth in experiments.
+
+use crate::oracle::EdgeFreeOracle;
+use std::collections::BTreeSet;
+
+/// An explicitly stored ℓ-partite ℓ-uniform hypergraph.
+///
+/// Edges are stored as vectors of length `ℓ`; the `i`-th entry is the vertex
+/// chosen from class `i` (an index below `class_sizes[i]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplicitHypergraph {
+    class_sizes: Vec<usize>,
+    edges: Vec<Vec<usize>>,
+}
+
+impl ExplicitHypergraph {
+    /// Create a hypergraph from explicit class sizes and edges.
+    ///
+    /// # Panics
+    /// Panics if an edge has the wrong length or references an out-of-range
+    /// vertex. Duplicate edges are collapsed.
+    pub fn new(class_sizes: Vec<usize>, edges: Vec<Vec<usize>>) -> Self {
+        let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
+        for e in &edges {
+            assert_eq!(e.len(), class_sizes.len(), "edge arity mismatch");
+            for (i, &v) in e.iter().enumerate() {
+                assert!(v < class_sizes[i], "vertex {v} out of range in class {i}");
+            }
+            seen.insert(e.clone());
+        }
+        ExplicitHypergraph {
+            class_sizes,
+            edges: seen.into_iter().collect(),
+        }
+    }
+
+    /// The exact number of edges (ground truth).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[Vec<usize>] {
+        &self.edges
+    }
+
+    /// A complete ℓ-partite hypergraph (every combination is an edge).
+    pub fn complete(class_sizes: Vec<usize>) -> Self {
+        let mut edges = vec![vec![]];
+        for &size in &class_sizes {
+            let mut next = Vec::new();
+            for e in &edges {
+                for v in 0..size {
+                    let mut e2 = e.clone();
+                    e2.push(v);
+                    next.push(e2);
+                }
+            }
+            edges = next;
+        }
+        if class_sizes.is_empty() {
+            edges = vec![vec![]];
+        }
+        ExplicitHypergraph {
+            class_sizes,
+            edges,
+        }
+    }
+}
+
+impl EdgeFreeOracle for ExplicitHypergraph {
+    fn num_classes(&self) -> usize {
+        self.class_sizes.len()
+    }
+
+    fn class_size(&self, i: usize) -> usize {
+        self.class_sizes[i]
+    }
+
+    fn edge_free(&mut self, parts: &[BTreeSet<usize>]) -> bool {
+        assert_eq!(parts.len(), self.class_sizes.len());
+        !self
+            .edges
+            .iter()
+            .any(|e| e.iter().enumerate().all(|(i, v)| parts[i].contains(v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::full_parts;
+
+    #[test]
+    fn edge_free_detection() {
+        let mut h = ExplicitHypergraph::new(vec![3, 3], vec![vec![0, 1], vec![2, 2]]);
+        assert_eq!(h.num_edges(), 2);
+        let full = full_parts(&h);
+        assert!(!h.edge_free(&full));
+        // restrict class 0 to {1}: no edge has 1 in class 0
+        let parts = vec![[1].into_iter().collect(), full[1].clone()];
+        assert!(h.edge_free(&parts));
+        // restrict to exactly the edge (2,2)
+        let parts = vec![[2].into_iter().collect(), [2].into_iter().collect()];
+        assert!(!h.edge_free(&parts));
+        // empty class set
+        let parts = vec![BTreeSet::new(), full[1].clone()];
+        assert!(h.edge_free(&parts));
+    }
+
+    #[test]
+    fn duplicates_collapse_and_validation() {
+        let h = ExplicitHypergraph::new(vec![2, 2], vec![vec![0, 0], vec![0, 0]]);
+        assert_eq!(h.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_vertex_panics() {
+        ExplicitHypergraph::new(vec![2, 2], vec![vec![0, 5]]);
+    }
+
+    #[test]
+    fn complete_hypergraph() {
+        let h = ExplicitHypergraph::complete(vec![3, 4]);
+        assert_eq!(h.num_edges(), 12);
+        let h = ExplicitHypergraph::complete(vec![2, 2, 2]);
+        assert_eq!(h.num_edges(), 8);
+        let h = ExplicitHypergraph::complete(vec![5]);
+        assert_eq!(h.num_edges(), 5);
+    }
+
+    #[test]
+    fn three_partite_membership() {
+        let mut h =
+            ExplicitHypergraph::new(vec![2, 3, 2], vec![vec![0, 2, 1], vec![1, 0, 0]]);
+        let parts = vec![
+            [0].into_iter().collect(),
+            [2].into_iter().collect(),
+            [1].into_iter().collect(),
+        ];
+        assert!(!h.edge_free(&parts));
+        let parts = vec![
+            [0].into_iter().collect(),
+            [0].into_iter().collect(),
+            [1].into_iter().collect(),
+        ];
+        assert!(h.edge_free(&parts));
+    }
+}

@@ -1,0 +1,167 @@
+//! (Approximately) uniform hyperedge sampling by self-reducible descent.
+//!
+//! The sampling extension of Section 6 of the paper lifts approximate
+//! counting to approximate uniform sampling. In the `EdgeFree` oracle model
+//! this takes the form of a self-reducible descent: repeatedly split a class
+//! in two, count the edges on each side, and descend into one side with
+//! probability proportional to its count, until a single edge remains.
+//! With exact counts (used here via recursive halving) the sample is exactly
+//! uniform; plugging in approximate counts yields an approximately uniform
+//! sampler with the usual multiplicative bias bound.
+
+use crate::exact::exact_edge_count_with_budget;
+use crate::oracle::{full_parts, EdgeFreeOracle};
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// Sample a hyperedge uniformly at random, or return `None` if the hypergraph
+/// has no edges. The returned vector has one vertex per class.
+///
+/// Uses exact counting (recursive halving) for the descent probabilities, so
+/// the output distribution is exactly uniform over `E(H)`; the cost is
+/// `O(|E| · poly(ℓ, log N))` oracle calls per sample, which is fine for the
+/// moderate answer counts exercised by the examples and experiments. (A
+/// fully polynomial approximate sampler is obtained by replacing the exact
+/// counts with [`crate::approx_edge_count`]; see Section 6 of the paper.)
+pub fn sample_edge<O: EdgeFreeOracle, R: Rng>(oracle: &mut O, rng: &mut R) -> Option<Vec<usize>> {
+    let mut parts = full_parts(oracle);
+    if oracle.edge_free(&parts) {
+        return None;
+    }
+    loop {
+        // done when every class is a singleton
+        if parts.iter().all(|p| p.len() == 1) {
+            return Some(
+                parts
+                    .iter()
+                    .map(|p| *p.iter().next().expect("singleton"))
+                    .collect(),
+            );
+        }
+        // split the largest class
+        let (idx, _) = parts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| p.len())
+            .expect("some class has ≥ 2 vertices");
+        let items: Vec<usize> = parts[idx].iter().copied().collect();
+        let (left, right) = items.split_at(items.len() / 2);
+        let mut left_parts = parts.clone();
+        left_parts[idx] = left.iter().copied().collect();
+        let mut right_parts = parts.clone();
+        right_parts[idx] = right.iter().copied().collect();
+        let cl = exact_edge_count_with_budget(oracle, &left_parts, u64::MAX)
+            .expect("unbounded budget");
+        let cr = exact_edge_count_with_budget(oracle, &right_parts, u64::MAX)
+            .expect("unbounded budget");
+        debug_assert!(cl + cr > 0, "parent region had an edge");
+        let go_left = (rng.gen_range(0..cl + cr)) < cl;
+        parts = if go_left { left_parts } else { right_parts };
+    }
+}
+
+/// Draw `samples` edges and return the empirical distribution as a map from
+/// edge to frequency (testing helper; exposed because the experiments use it
+/// to report total-variation distance).
+pub fn empirical_distribution<O: EdgeFreeOracle, R: Rng>(
+    oracle: &mut O,
+    rng: &mut R,
+    samples: usize,
+) -> std::collections::BTreeMap<Vec<usize>, usize> {
+    let mut out = std::collections::BTreeMap::new();
+    for _ in 0..samples {
+        if let Some(e) = sample_edge(oracle, rng) {
+            *out.entry(e).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// Helper used by tests: restrict `parts` to a single vertex `v` in class
+/// `class` (exposed for the core crate's self-reduction tests).
+pub fn restrict_class(
+    parts: &[BTreeSet<usize>],
+    class: usize,
+    v: usize,
+) -> Vec<BTreeSet<usize>> {
+    let mut out = parts.to_vec();
+    out[class] = [v].into_iter().collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::ExplicitHypergraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_empty_hypergraph_returns_none() {
+        let mut h = ExplicitHypergraph::new(vec![4, 4], vec![]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_edge(&mut h, &mut rng), None);
+    }
+
+    #[test]
+    fn sampled_edges_are_real_edges() {
+        let edges = vec![vec![0, 3], vec![1, 1], vec![2, 0], vec![3, 2]];
+        let mut h = ExplicitHypergraph::new(vec![4, 4], edges.clone());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let e = sample_edge(&mut h, &mut rng).unwrap();
+            assert!(edges.contains(&e), "sampled non-edge {e:?}");
+        }
+    }
+
+    #[test]
+    fn distribution_is_close_to_uniform() {
+        // 4 edges, 2000 samples: each frequency should be near 500.
+        let edges = vec![vec![0, 0], vec![1, 2], vec![2, 1], vec![3, 3]];
+        let mut h = ExplicitHypergraph::new(vec![4, 4], edges.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = empirical_distribution(&mut h, &mut rng, 2000);
+        assert_eq!(dist.len(), 4);
+        for (_, &count) in &dist {
+            assert!(
+                (count as i64 - 500).abs() < 150,
+                "frequency {count} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_structure_does_not_skew_distribution() {
+        // edges concentrated on one vertex of class 0 plus one stray edge
+        let edges = vec![vec![0, 0], vec![0, 1], vec![0, 2], vec![3, 3]];
+        let mut h = ExplicitHypergraph::new(vec![4, 4], edges.clone());
+        let mut rng = StdRng::seed_from_u64(4);
+        let dist = empirical_distribution(&mut h, &mut rng, 2000);
+        // the stray edge must appear with frequency ≈ 1/4
+        let stray = dist.get(&vec![3, 3]).copied().unwrap_or(0);
+        assert!(
+            (stray as i64 - 500).abs() < 150,
+            "stray edge frequency {stray}"
+        );
+    }
+
+    #[test]
+    fn three_uniform_sampling() {
+        let edges = vec![vec![0, 1, 0], vec![1, 0, 1], vec![2, 2, 0]];
+        let mut h = ExplicitHypergraph::new(vec![3, 3, 2], edges.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let e = sample_edge(&mut h, &mut rng).unwrap();
+            assert!(edges.contains(&e));
+        }
+    }
+
+    #[test]
+    fn restrict_class_helper() {
+        let parts: Vec<BTreeSet<usize>> = vec![(0..4).collect(), (0..4).collect()];
+        let r = restrict_class(&parts, 1, 2);
+        assert_eq!(r[1].len(), 1);
+        assert!(r[1].contains(&2));
+        assert_eq!(r[0].len(), 4);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the Dell–Lapinskas–Meeks-style edge counter:
+//! the exact oracle-only counter, the `(ε, δ)` approximate counter and the
+//! uniform edge sampler, all exercised on random explicit ℓ-partite
+//! ℓ-uniform hypergraphs (the access model of Theorem 17).
+
+use cqc_dlm::{
+    approx_edge_count, exact_edge_count, sample_edge, ApproxMethod, CountingOracle, DlmConfig,
+    EdgeFreeOracle, ExplicitHypergraph,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// A random explicit ℓ-partite hypergraph with ℓ ∈ {1, 2, 3} and small
+/// classes, described by its class sizes and a set of edges.
+#[derive(Debug, Clone)]
+struct RawHypergraph {
+    class_sizes: Vec<usize>,
+    edges: Vec<Vec<usize>>,
+}
+
+fn raw_hypergraph(max_edges: usize) -> impl Strategy<Value = RawHypergraph> {
+    (1usize..=3)
+        .prop_flat_map(move |ell| {
+            proptest::collection::vec(1usize..=5, ell..=ell).prop_flat_map(move |class_sizes| {
+                let sizes = class_sizes.clone();
+                let edge = sizes
+                    .iter()
+                    .map(|&s| 0..s)
+                    .collect::<Vec<_>>()
+                    .prop_map(|v| v.to_vec());
+                (
+                    Just(class_sizes),
+                    proptest::collection::vec(edge, 0..max_edges),
+                )
+            })
+        })
+        .prop_map(|(class_sizes, edges)| RawHypergraph { class_sizes, edges })
+}
+
+fn distinct_edges(raw: &RawHypergraph) -> usize {
+    let set: BTreeSet<Vec<usize>> = raw.edges.iter().cloned().collect();
+    set.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The oracle-only exact counter returns the true edge count.
+    #[test]
+    fn exact_counter_is_exact(raw in raw_hypergraph(12)) {
+        let truth = distinct_edges(&raw) as u64;
+        let mut oracle = CountingOracle::new(ExplicitHypergraph::new(
+            raw.class_sizes.clone(),
+            raw.edges.clone(),
+        ));
+        let count = exact_edge_count(&mut oracle);
+        prop_assert_eq!(count, truth);
+        if truth > 0 {
+            prop_assert!(oracle.calls() > 0);
+        }
+    }
+
+    /// The `EdgeFree` predicate on the full parts is "no edges at all", and
+    /// restricting any class to the empty set makes the restriction edge-free
+    /// (no hyperedge can pick a vertex from an empty class).
+    #[test]
+    fn edge_free_predicate_consistency(raw in raw_hypergraph(12)) {
+        let mut h = ExplicitHypergraph::new(raw.class_sizes.clone(), raw.edges.clone());
+        let full: Vec<BTreeSet<usize>> = raw
+            .class_sizes
+            .iter()
+            .map(|&s| (0..s).collect())
+            .collect();
+        prop_assert_eq!(h.edge_free(&full), distinct_edges(&raw) == 0);
+
+        for i in 0..raw.class_sizes.len() {
+            let mut parts = full.clone();
+            parts[i] = BTreeSet::new();
+            prop_assert!(h.edge_free(&parts));
+        }
+    }
+
+    /// The approximate counter is exact whenever it reports the `Exact`
+    /// method, and within a generous multiplicative window otherwise (the
+    /// per-case failure probability δ = 0.02 keeps statistical flakes out of
+    /// the 96-case run; tolerances are double the configured ε).
+    #[test]
+    fn approx_counter_within_tolerance(raw in raw_hypergraph(20), seed in any::<u64>()) {
+        let truth = distinct_edges(&raw) as f64;
+        let mut oracle = ExplicitHypergraph::new(raw.class_sizes.clone(), raw.edges.clone());
+        let cfg = DlmConfig::new(0.25, 0.01);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = approx_edge_count(&mut oracle, &cfg, &mut rng);
+        match result.method {
+            ApproxMethod::Exact => prop_assert_eq!(result.estimate, truth),
+            ApproxMethod::Sampled { .. } => {
+                prop_assert!(
+                    (result.estimate - truth).abs() <= 0.5 * truth.max(1.0),
+                    "estimate {} vs truth {}",
+                    result.estimate,
+                    truth
+                );
+            }
+        }
+    }
+
+    /// Zero edges are always detected exactly (the counter must never invent
+    /// hyperedges), and a complete ℓ-partite hypergraph is counted exactly or
+    /// within tolerance.
+    #[test]
+    fn empty_and_complete_extremes(class_sizes in proptest::collection::vec(1usize..=4, 1..=3), seed in any::<u64>()) {
+        let mut empty = ExplicitHypergraph::new(class_sizes.clone(), vec![]);
+        let cfg = DlmConfig::new(0.2, 0.01);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = approx_edge_count(&mut empty, &cfg, &mut rng);
+        prop_assert_eq!(r.estimate, 0.0);
+
+        let mut complete = ExplicitHypergraph::complete(class_sizes.clone());
+        let truth: usize = class_sizes.iter().product();
+        let r = approx_edge_count(&mut complete, &cfg, &mut rng);
+        prop_assert!(
+            (r.estimate - truth as f64).abs() <= 0.5 * truth as f64,
+            "estimate {} vs truth {}",
+            r.estimate,
+            truth
+        );
+    }
+
+    /// The self-reducible sampler only ever returns actual hyperedges, and
+    /// returns `None` exactly when the hypergraph is edge-free.
+    #[test]
+    fn sampler_returns_real_edges(raw in raw_hypergraph(10), seed in any::<u64>()) {
+        let edge_set: BTreeSet<Vec<usize>> = raw.edges.iter().cloned().collect();
+        let mut oracle = ExplicitHypergraph::new(raw.class_sizes.clone(), raw.edges.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..5 {
+            match sample_edge(&mut oracle, &mut rng) {
+                Some(edge) => {
+                    prop_assert!(edge_set.contains(&edge), "sampled {:?} not an edge", edge);
+                }
+                None => prop_assert!(edge_set.is_empty()),
+            }
+        }
+    }
+
+    /// On a single-edge hypergraph the sampler finds that edge.
+    #[test]
+    fn sampler_finds_the_unique_edge(class_sizes in proptest::collection::vec(1usize..=4, 1..=3), seed in any::<u64>()) {
+        let edge: Vec<usize> = class_sizes.iter().map(|&s| s - 1).collect();
+        let mut oracle = ExplicitHypergraph::new(class_sizes, vec![edge.clone()]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sampled = sample_edge(&mut oracle, &mut rng);
+        prop_assert_eq!(sampled, Some(edge));
+    }
+}

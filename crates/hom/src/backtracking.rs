@@ -1,0 +1,263 @@
+//! Backtracking homomorphism search with support pruning.
+
+use crate::instance::HomInstance;
+use cqc_data::{Structure, Val};
+
+/// A complete backtracking solver for `Hom(A, B)`.
+///
+/// Variable order: minimum remaining values (static, based on unary-filtered
+/// domains), then by number of constraints. At every node, all constraints
+/// touching an assigned variable are support-checked (a semijoin-style
+/// filter), which prunes dead branches early. Worst-case exponential in
+/// `|U(A)|`, but complete for arbitrary structures — this is the fallback
+/// engine of [`crate::HybridDecider`].
+#[derive(Debug, Clone, Default)]
+pub struct BacktrackingDecider {
+    /// Optional cap on the number of search nodes (`None` = unlimited).
+    pub node_limit: Option<u64>,
+}
+
+impl BacktrackingDecider {
+    /// A solver without a node limit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decide whether a homomorphism `A → B` exists.
+    pub fn decide(&self, a: &Structure, b: &Structure) -> bool {
+        self.find(a, b).is_some()
+    }
+
+    /// Find one homomorphism if it exists (as a value per element of `A`).
+    pub fn find(&self, a: &Structure, b: &Structure) -> Option<Vec<Val>> {
+        let inst = HomInstance::new(a, b);
+        let n = inst.num_vars();
+        if n == 0 {
+            // the empty map is a homomorphism iff A has no facts, which is
+            // vacuously true here since facts need elements
+            return Some(vec![]);
+        }
+        let domains = inst.initial_domains();
+        if domains.iter().any(|d| d.is_empty()) {
+            return None;
+        }
+        // static variable order: most constrained (smallest domain, then most constraints)
+        let mut order: Vec<usize> = (0..n).collect();
+        let constraint_count = |v: usize| inst.constraints.iter().filter(|c| c.vars.contains(&v)).count();
+        order.sort_by_key(|&v| (domains[v].len(), usize::MAX - constraint_count(v)));
+
+        let mut assignment: Vec<Option<Val>> = vec![None; n];
+        let mut nodes: u64 = 0;
+        if self.search(&inst, &domains, &order, 0, &mut assignment, &mut nodes) {
+            Some(assignment.into_iter().map(|v| v.expect("complete")).collect())
+        } else {
+            None
+        }
+    }
+
+    /// Enumerate all homomorphisms (used in tests and small baselines).
+    pub fn enumerate(&self, a: &Structure, b: &Structure) -> Vec<Vec<Val>> {
+        let inst = HomInstance::new(a, b);
+        let n = inst.num_vars();
+        let mut out = Vec::new();
+        if n == 0 {
+            out.push(vec![]);
+            return out;
+        }
+        let domains = inst.initial_domains();
+        let mut assignment: Vec<Option<Val>> = vec![None; n];
+        self.enumerate_rec(&inst, &domains, 0, &mut assignment, &mut out);
+        out
+    }
+
+    fn enumerate_rec(
+        &self,
+        inst: &HomInstance<'_>,
+        domains: &[Vec<Val>],
+        var: usize,
+        assignment: &mut Vec<Option<Val>>,
+        out: &mut Vec<Vec<Val>>,
+    ) {
+        let n = inst.num_vars();
+        if var == n {
+            out.push(assignment.iter().map(|v| v.expect("complete")).collect());
+            return;
+        }
+        for &val in &domains[var] {
+            assignment[var] = Some(val);
+            let consistent = inst
+                .constraints
+                .iter()
+                .filter(|c| c.vars.contains(&var))
+                .all(|c| inst.constraint_supported(c, assignment));
+            if consistent {
+                self.enumerate_rec(inst, domains, var + 1, assignment, out);
+            }
+        }
+        assignment[var] = None;
+    }
+
+    fn search(
+        &self,
+        inst: &HomInstance<'_>,
+        domains: &[Vec<Val>],
+        order: &[usize],
+        level: usize,
+        assignment: &mut Vec<Option<Val>>,
+        nodes: &mut u64,
+    ) -> bool {
+        if level == order.len() {
+            return true;
+        }
+        let var = order[level];
+        for &val in &domains[var] {
+            *nodes += 1;
+            if let Some(limit) = self.node_limit {
+                if *nodes > limit {
+                    return false;
+                }
+            }
+            assignment[var] = Some(val);
+            // support-check every constraint that touches any assigned variable
+            let consistent = inst
+                .constraints
+                .iter()
+                .filter(|c| c.vars.contains(&var))
+                .all(|c| inst.constraint_supported(c, assignment));
+            if consistent && self.search(inst, domains, order, level + 1, assignment, nodes) {
+                return true;
+            }
+        }
+        assignment[var] = None;
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqc_data::StructureBuilder;
+
+    fn path_pattern(k: usize) -> Structure {
+        // directed path with k edges: x0 → x1 → ... → xk
+        let mut b = StructureBuilder::new(k + 1);
+        b.relation("E", 2);
+        for i in 0..k {
+            b.fact("E", &[i as u32, (i + 1) as u32]).unwrap();
+        }
+        b.build()
+    }
+
+    fn cycle_graph(n: usize) -> Structure {
+        let mut b = StructureBuilder::new(n);
+        b.relation("E", 2);
+        for i in 0..n {
+            b.fact("E", &[i as u32, ((i + 1) % n) as u32]).unwrap();
+        }
+        b.build()
+    }
+
+    fn clique_graph(n: usize) -> Structure {
+        let mut b = StructureBuilder::new(n);
+        b.relation("E", 2);
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                if i != j {
+                    b.fact("E", &[i, j]).unwrap();
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn path_into_cycle() {
+        let solver = BacktrackingDecider::new();
+        assert!(solver.decide(&path_pattern(3), &cycle_graph(5)));
+        let h = solver.find(&path_pattern(3), &cycle_graph(5)).unwrap();
+        assert_eq!(h.len(), 4);
+        // verify it is a homomorphism
+        let a = path_pattern(3);
+        let b = cycle_graph(5);
+        let inst = HomInstance::new(&a, &b);
+        assert!(inst.is_homomorphism(&h));
+    }
+
+    #[test]
+    fn odd_cycle_into_even_cycle_fails() {
+        // C5 → C4 requires an odd closed walk in C4: impossible.
+        let solver = BacktrackingDecider::new();
+        assert!(!solver.decide(&cycle_graph(5), &cycle_graph(4)));
+        // but C4 → C4 works
+        assert!(solver.decide(&cycle_graph(4), &cycle_graph(4)));
+        // and C6 → C3 works (wrap twice)
+        assert!(solver.decide(&cycle_graph(6), &cycle_graph(3)));
+    }
+
+    #[test]
+    fn clique_pattern_needs_large_clique() {
+        let solver = BacktrackingDecider::new();
+        assert!(solver.decide(&clique_graph(3), &clique_graph(4)));
+        assert!(!solver.decide(&clique_graph(4), &clique_graph(3)));
+    }
+
+    #[test]
+    fn enumerate_counts_homomorphisms() {
+        let solver = BacktrackingDecider::new();
+        // homs from a single edge into K3: ordered pairs of distinct vertices = 6
+        let homs = solver.enumerate(&path_pattern(1), &clique_graph(3));
+        assert_eq!(homs.len(), 6);
+        // homs from a path with 2 edges into K3: 3 * 2 * 2 = 12
+        let homs = solver.enumerate(&path_pattern(2), &clique_graph(3));
+        assert_eq!(homs.len(), 12);
+    }
+
+    #[test]
+    fn empty_pattern() {
+        let solver = BacktrackingDecider::new();
+        let a = StructureBuilder::new(0).build();
+        let b = cycle_graph(3);
+        assert!(solver.decide(&a, &b));
+        assert_eq!(solver.enumerate(&a, &b).len(), 1);
+    }
+
+    #[test]
+    fn empty_target_with_nonempty_pattern() {
+        let solver = BacktrackingDecider::new();
+        let a = path_pattern(1);
+        let mut bb = StructureBuilder::new(0);
+        bb.relation("E", 2);
+        let b = bb.build();
+        assert!(!solver.decide(&a, &b));
+    }
+
+    #[test]
+    fn node_limit_stops_search() {
+        let solver = BacktrackingDecider { node_limit: Some(1) };
+        // with only one node explored the solver may fail to find an existing
+        // homomorphism — it must not panic and must return quickly
+        let _ = solver.decide(&clique_graph(3), &clique_graph(5));
+    }
+
+    #[test]
+    fn unary_relations_guide_the_search() {
+        // pattern: x with Mark(x), edge x→y; target: only vertex 2 is marked
+        let mut ab = StructureBuilder::new(2);
+        ab.relation("E", 2);
+        ab.relation("Mark", 1);
+        ab.fact("E", &[0, 1]).unwrap();
+        ab.fact("Mark", &[0]).unwrap();
+        let a = ab.build();
+        let mut bb = StructureBuilder::new(4);
+        bb.relation("E", 2);
+        bb.relation("Mark", 1);
+        bb.fact("E", &[0, 1]).unwrap();
+        bb.fact("E", &[2, 3]).unwrap();
+        bb.fact("Mark", &[2]).unwrap();
+        let b = bb.build();
+        let solver = BacktrackingDecider::new();
+        let h = solver.find(&a, &b).unwrap();
+        assert_eq!(h[0], Val(2));
+        assert_eq!(h[1], Val(3));
+    }
+}

@@ -1,0 +1,309 @@
+//! Per-bag solution relations computed by generic-join style enumeration.
+//!
+//! Two flavours are provided:
+//!
+//! * [`bag_solutions`] — assignments of the bag variables satisfying every
+//!   constraint whose scope lies **inside** the bag; this is the local
+//!   relation used by the tree-decomposition dynamic programming
+//!   ([`crate::DecompositionDecider`], [`crate::count_homomorphisms`]).
+//! * [`bag_partial_solutions`] — the `Sol(ϕ, D, B)` semantics of
+//!   Definition 47 / Lemma 48: assignments of the bag variables such that
+//!   **every** constraint, individually, still has a supporting tuple. For a
+//!   bag of bounded fractional edge cover number the output size is bounded
+//!   by the AGM bound `‖D‖^{fcn(H[B])}` and the join-style enumeration below
+//!   runs in input + output polynomial time, which is what the Theorem 16
+//!   pipeline needs.
+
+use crate::instance::HomInstance;
+use cqc_data::{Structure, Val};
+
+/// Assignments (in `bag` order) of the bag variables that satisfy every
+/// constraint of the instance whose scope is contained in `bag`.
+/// `domains[v]` bounds the values considered for variable `v`.
+pub fn bag_solutions(
+    inst: &HomInstance<'_>,
+    bag: &[usize],
+    domains: &[Vec<Val>],
+) -> Vec<Vec<Val>> {
+    let in_bag = |v: usize| bag.contains(&v);
+    let local: Vec<usize> = inst
+        .constraints
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.vars.iter().all(|&v| in_bag(v)))
+        .map(|(i, _)| i)
+        .collect();
+    let mut out = Vec::new();
+    let mut assignment: Vec<Option<Val>> = vec![None; inst.num_vars()];
+    enumerate_rec(
+        inst,
+        &local,
+        bag,
+        domains,
+        0,
+        &mut assignment,
+        &mut |a: &[Option<Val>]| {
+            out.push(bag.iter().map(|&v| a[v].expect("assigned")).collect());
+        },
+    );
+    out
+}
+
+/// The `Sol(ϕ, D, B)` relation of Definition 47 computed for the pattern
+/// structure `a` over the data structure `b`: assignments of the elements in
+/// `bag` (a subset of `U(a)`) such that every fact of `a`, taken
+/// individually, still has a supporting tuple in `b` consistent with the
+/// assignment.
+pub fn bag_partial_solutions(a: &Structure, b: &Structure, bag: &[usize]) -> Vec<Vec<Val>> {
+    let inst = HomInstance::new(a, b);
+    let all: Vec<usize> = (0..inst.constraints.len()).collect();
+    let domains = inst.initial_domains();
+    let mut out = Vec::new();
+    let mut assignment: Vec<Option<Val>> = vec![None; inst.num_vars()];
+    enumerate_rec(
+        &inst,
+        &all,
+        bag,
+        &domains,
+        0,
+        &mut assignment,
+        &mut |asg: &[Option<Val>]| {
+            out.push(bag.iter().map(|&v| asg[v].expect("assigned")).collect());
+        },
+    );
+    out
+}
+
+/// Shared recursive enumeration: assign `bag[level..]` one variable at a
+/// time; candidate values for a variable are the intersection, over the
+/// watched constraints containing it, of the supported values given the
+/// current partial assignment (generic-join style), intersected with the
+/// variable's domain. Prunes as soon as any watched constraint loses support.
+fn enumerate_rec(
+    inst: &HomInstance<'_>,
+    watched: &[usize],
+    bag: &[usize],
+    domains: &[Vec<Val>],
+    level: usize,
+    assignment: &mut Vec<Option<Val>>,
+    emit: &mut dyn FnMut(&[Option<Val>]),
+) {
+    if level == bag.len() {
+        // Constraints disjoint from the bag were never touched during the
+        // descent; they must still have at least one supporting tuple
+        // (Definition 47 requires every atom to be individually extendable).
+        let all_supported = watched
+            .iter()
+            .all(|&ci| inst.constraint_supported(&inst.constraints[ci], assignment));
+        if all_supported {
+            emit(assignment);
+        }
+        return;
+    }
+    let var = bag[level];
+    // Constraints containing `var`.
+    let relevant: Vec<usize> = watched
+        .iter()
+        .copied()
+        .filter(|&ci| inst.constraints[ci].vars.contains(&var))
+        .collect();
+
+    let candidates: Vec<Val> = if relevant.is_empty() {
+        domains[var].clone()
+    } else {
+        // Start from the most selective constraint's supported values, then
+        // filter through the rest (and the unary domain).
+        let mut cands: Option<Vec<Val>> = None;
+        for &ci in &relevant {
+            let c = &inst.constraints[ci];
+            let rel = inst.b.relation(c.sym);
+            // positions of `var` in the constraint scope
+            let positions: Vec<usize> = c
+                .vars
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v == var)
+                .map(|(p, _)| p)
+                .collect();
+            // bound positions (already assigned variables)
+            let bound: Vec<(usize, Val)> = c
+                .vars
+                .iter()
+                .enumerate()
+                .filter_map(|(pos, &v)| assignment[v].map(|val| (pos, val)))
+                .collect();
+            let mut supported: Vec<Val> = Vec::new();
+            'tuples: for t in rel.iter() {
+                for &(pos, val) in &bound {
+                    if t.get(pos) != val {
+                        continue 'tuples;
+                    }
+                }
+                // the same value must occur at every position of `var`
+                let first = t.get(positions[0]);
+                if positions.iter().all(|&p| t.get(p) == first) {
+                    supported.push(first);
+                }
+            }
+            supported.sort_unstable();
+            supported.dedup();
+            cands = Some(match cands {
+                None => supported,
+                Some(prev) => prev
+                    .into_iter()
+                    .filter(|v| supported.binary_search(v).is_ok())
+                    .collect(),
+            });
+            if cands.as_ref().map(|c| c.is_empty()).unwrap_or(false) {
+                break;
+            }
+        }
+        let mut cands = cands.unwrap_or_default();
+        cands.retain(|v| domains[var].contains(v));
+        cands
+    };
+
+    for val in candidates {
+        assignment[var] = Some(val);
+        // support check: every watched constraint touching assigned vars keeps
+        // at least one consistent tuple
+        let ok = watched.iter().all(|&ci| {
+            let c = &inst.constraints[ci];
+            if c.vars.iter().any(|&v| assignment[v].is_some()) {
+                inst.constraint_supported(c, assignment)
+            } else {
+                true
+            }
+        });
+        if ok {
+            enumerate_rec(inst, watched, bag, domains, level + 1, assignment, emit);
+        }
+    }
+    assignment[var] = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqc_data::StructureBuilder;
+
+    fn path_pattern(k: usize) -> Structure {
+        let mut b = StructureBuilder::new(k + 1);
+        b.relation("E", 2);
+        for i in 0..k {
+            b.fact("E", &[i as u32, (i + 1) as u32]).unwrap();
+        }
+        b.build()
+    }
+
+    fn path_graph(n: usize) -> Structure {
+        let mut b = StructureBuilder::new(n);
+        b.relation("E", 2);
+        for i in 0..n - 1 {
+            b.fact("E", &[i as u32, (i + 1) as u32]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bag_solutions_of_an_edge() {
+        let a = path_pattern(2); // x0 → x1 → x2
+        let b = path_graph(4);
+        let inst = HomInstance::new(&a, &b);
+        let domains = inst.initial_domains();
+        // bag {0, 1}: only the constraint E(0,1) lies inside
+        let sols = bag_solutions(&inst, &[0, 1], &domains);
+        assert_eq!(sols.len(), 3); // edges (0,1), (1,2), (2,3)
+        // bag {0, 2}: no constraint inside → full cross product of domains
+        let sols = bag_solutions(&inst, &[0, 2], &domains);
+        assert_eq!(sols.len(), 16);
+        // bag {0,1,2}: both constraints inside → paths of length 2
+        let sols = bag_solutions(&inst, &[0, 1, 2], &domains);
+        assert_eq!(sols.len(), 2); // 0→1→2, 1→2→3
+    }
+
+    #[test]
+    fn bag_partial_solutions_match_definition_47() {
+        // pattern: E(x0,x1), E(x1,x2) over the 4-path; Sol(ϕ, D, {x0, x1})
+        // requires E(x0,x1) to hold and x1 to have an outgoing edge.
+        let a = path_pattern(2);
+        let b = path_graph(4);
+        let sols = bag_partial_solutions(&a, &b, &[0, 1]);
+        assert_eq!(sols.len(), 2); // (0,1), (1,2) — (2,3) fails: 3 has no out-edge
+        assert!(sols.contains(&vec![Val(0), Val(1)]));
+        assert!(sols.contains(&vec![Val(1), Val(2)]));
+    }
+
+    #[test]
+    fn bag_partial_solutions_on_single_variable() {
+        let a = path_pattern(2);
+        let b = path_graph(4);
+        // x1 must have an in-edge (for E(x0,x1)) and an out-edge (for E(x1,x2)):
+        // values 1, 2
+        let sols = bag_partial_solutions(&a, &b, &[1]);
+        assert_eq!(sols.len(), 2);
+        // x0 only needs an out-edge — Definition 47 checks each atom
+        // *individually*, so the second atom does not constrain x0: values 0, 1, 2
+        let sols = bag_partial_solutions(&a, &b, &[0]);
+        assert_eq!(sols.len(), 3);
+    }
+
+    #[test]
+    fn bag_partial_solutions_empty_bag() {
+        let a = path_pattern(1);
+        let b = path_graph(3);
+        let sols = bag_partial_solutions(&a, &b, &[]);
+        assert_eq!(sols.len(), 1); // the empty assignment, since E is non-empty
+        let empty_b = {
+            let mut bb = StructureBuilder::new(2);
+            bb.relation("E", 2);
+            bb.build()
+        };
+        let sols = bag_partial_solutions(&a, &empty_b, &[]);
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_constraints() {
+        // pattern with a loop E(x, x); data has one loop at vertex 1
+        let mut ab = StructureBuilder::new(2);
+        ab.relation("E", 2);
+        ab.fact("E", &[0, 0]).unwrap();
+        ab.fact("E", &[0, 1]).unwrap();
+        let a = ab.build();
+        let mut bb = StructureBuilder::new(3);
+        bb.relation("E", 2);
+        bb.fact("E", &[1, 1]).unwrap();
+        bb.fact("E", &[1, 2]).unwrap();
+        bb.fact("E", &[0, 2]).unwrap();
+        let b = bb.build();
+        let inst = HomInstance::new(&a, &b);
+        let domains = inst.initial_domains();
+        let sols = bag_solutions(&inst, &[0, 1], &domains);
+        // x0 must carry the loop (value 1), x1 any out-neighbour of x0: (1,1), (1,2)
+        assert_eq!(sols.len(), 2);
+        assert!(sols.contains(&vec![Val(1), Val(1)]));
+        assert!(sols.contains(&vec![Val(1), Val(2)]));
+    }
+
+    #[test]
+    fn ternary_relation_bags() {
+        let mut ab = StructureBuilder::new(3);
+        ab.relation("R", 3);
+        ab.fact("R", &[0, 1, 2]).unwrap();
+        let a = ab.build();
+        let mut bb = StructureBuilder::new(4);
+        bb.relation("R", 3);
+        bb.fact("R", &[0, 1, 2]).unwrap();
+        bb.fact("R", &[1, 2, 3]).unwrap();
+        bb.fact("R", &[0, 0, 0]).unwrap();
+        let b = bb.build();
+        let inst = HomInstance::new(&a, &b);
+        let domains = inst.initial_domains();
+        let sols = bag_solutions(&inst, &[0, 1, 2], &domains);
+        assert_eq!(sols.len(), 3);
+        let partial = bag_partial_solutions(&a, &b, &[1]);
+        // middle positions of R tuples: {1, 2, 0}
+        assert_eq!(partial.len(), 3);
+    }
+}

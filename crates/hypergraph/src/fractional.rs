@@ -1,0 +1,275 @@
+//! Fractional edge covers and fractional independent sets (Definitions 33
+//! and 39).
+
+use crate::hypergraph::Hypergraph;
+use crate::lp::{ConstraintOp, Direction, LinearProgram};
+use std::collections::BTreeSet;
+
+/// A fractional edge cover of a hypergraph: a weight `γ(e) ∈ [0, 1]` per
+/// hyperedge such that every vertex is covered with total weight ≥ 1
+/// (Definition 39).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FractionalCover {
+    /// One weight per hyperedge of the hypergraph, in edge order.
+    pub weights: Vec<f64>,
+    /// The total weight `Σ_e γ(e)`.
+    pub value: f64,
+}
+
+/// Compute an optimal fractional edge cover of `H[X]`, i.e. a witness for
+/// `fcn(H[X])` (Definition 39). The weights returned are indexed by the
+/// hyperedges of the *original* hypergraph `h`; edges disjoint from `X`
+/// receive weight 0.
+///
+/// If `X` is empty, the cover is trivially empty with value 0. If some vertex
+/// of `X` lies in no hyperedge, the LP is infeasible and the cover number is
+/// `+∞`; this function then returns `None`.
+pub fn fractional_edge_cover(h: &Hypergraph, x: &BTreeSet<usize>) -> Option<FractionalCover> {
+    if x.is_empty() {
+        return Some(FractionalCover {
+            weights: vec![0.0; h.num_edges()],
+            value: 0.0,
+        });
+    }
+    // Edges relevant to X.
+    let relevant: Vec<usize> = (0..h.num_edges())
+        .filter(|&i| h.edges()[i].intersection(x).next().is_some())
+        .collect();
+    // Feasibility: every vertex of X must appear in some edge.
+    for &v in x {
+        if !relevant.iter().any(|&i| h.edges()[i].contains(&v)) {
+            return None;
+        }
+    }
+    let m = relevant.len();
+    let mut lp = LinearProgram::new(m, Direction::Minimize);
+    lp.set_objective(&vec![1.0; m]);
+    for &v in x {
+        let row: Vec<f64> = relevant
+            .iter()
+            .map(|&i| if h.edges()[i].contains(&v) { 1.0 } else { 0.0 })
+            .collect();
+        lp.add_constraint(&row, ConstraintOp::Ge, 1.0)
+            .expect("dimensions match");
+    }
+    let sol = lp.solve().ok()?;
+    let mut weights = vec![0.0; h.num_edges()];
+    for (j, &i) in relevant.iter().enumerate() {
+        // Cap at 1.0: the optimum never needs weights above 1, but numerical
+        // noise may exceed it marginally.
+        weights[i] = sol.values[j].min(1.0).max(0.0);
+    }
+    Some(FractionalCover {
+        weights,
+        value: sol.objective,
+    })
+}
+
+/// The fractional edge cover number `fcn(H[X])` (Definition 39), or `None`
+/// if some vertex of `X` is isolated in `H` (cover number `+∞`).
+pub fn fractional_cover_number(h: &Hypergraph, x: &BTreeSet<usize>) -> Option<f64> {
+    fractional_edge_cover(h, x).map(|c| c.value)
+}
+
+/// The fractional edge cover number of the entire hypergraph, `fcn(H)`
+/// (also written `ρ*(H)`, the exponent in the AGM bound).
+pub fn rho_star(h: &Hypergraph) -> Option<f64> {
+    let all: BTreeSet<usize> = h.vertices().collect();
+    fractional_cover_number(h, &all)
+}
+
+/// A fractional independent set of `H`: weights `μ(v) ∈ [0, 1]` such that
+/// `Σ_{v ∈ e} μ(v) ≤ 1` for every hyperedge (Definition 33), together with
+/// its total value `μ(V(H))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FractionalIndependentSet {
+    /// One weight per vertex.
+    pub weights: Vec<f64>,
+    /// The total weight `Σ_v μ(v)`.
+    pub value: f64,
+}
+
+impl FractionalIndependentSet {
+    /// `μ(X) = Σ_{v ∈ X} μ(v)` for a vertex subset `X`.
+    pub fn weight_of(&self, x: &BTreeSet<usize>) -> f64 {
+        x.iter().map(|&v| self.weights[v]).sum()
+    }
+}
+
+/// Compute a maximum fractional independent set of `H` (LP dual of the
+/// fractional edge cover restricted to covered vertices; isolated vertices
+/// are additionally capped at weight 1).
+pub fn maximum_fractional_independent_set(h: &Hypergraph) -> FractionalIndependentSet {
+    let n = h.num_vertices();
+    if n == 0 {
+        return FractionalIndependentSet {
+            weights: vec![],
+            value: 0.0,
+        };
+    }
+    let mut lp = LinearProgram::new(n, Direction::Maximize);
+    lp.set_objective(&vec![1.0; n]);
+    for e in h.edges() {
+        let mut row = vec![0.0; n];
+        for &v in e {
+            row[v] = 1.0;
+        }
+        lp.add_constraint(&row, ConstraintOp::Le, 1.0)
+            .expect("dimensions match");
+    }
+    // μ(v) ≤ 1 for every vertex (matters for isolated vertices).
+    for v in 0..n {
+        let mut row = vec![0.0; n];
+        row[v] = 1.0;
+        lp.add_constraint(&row, ConstraintOp::Le, 1.0)
+            .expect("dimensions match");
+    }
+    let sol = lp.solve().expect("fractional independent set LP is feasible and bounded");
+    FractionalIndependentSet {
+        weights: sol.values,
+        value: sol.objective,
+    }
+}
+
+/// The uniform fractional independent set `μ ≡ 1/a` used in Observation 34,
+/// where `a` is the arity of `H` (for an edgeless hypergraph, `μ ≡ 1`).
+pub fn uniform_fractional_independent_set(h: &Hypergraph) -> FractionalIndependentSet {
+    let a = h.arity();
+    let w = if a == 0 { 1.0 } else { 1.0 / a as f64 };
+    let weights = vec![w; h.num_vertices()];
+    let value = w * h.num_vertices() as f64;
+    FractionalIndependentSet { weights, value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    fn triangle() -> Hypergraph {
+        Hypergraph::from_edges(3, &[&[0, 1], &[1, 2], &[0, 2]])
+    }
+
+    #[test]
+    fn triangle_cover_number_is_three_halves() {
+        let h = triangle();
+        let all: BTreeSet<usize> = h.vertices().collect();
+        let c = fractional_edge_cover(&h, &all).unwrap();
+        assert!(approx(c.value, 1.5), "got {}", c.value);
+        // every vertex covered
+        for v in 0..3 {
+            let cov: f64 = h
+                .edges()
+                .iter()
+                .zip(&c.weights)
+                .filter(|(e, _)| e.contains(&v))
+                .map(|(_, w)| *w)
+                .sum();
+            assert!(cov >= 1.0 - 1e-6);
+        }
+        assert!(approx(rho_star(&h).unwrap(), 1.5));
+    }
+
+    #[test]
+    fn single_hyperedge_cover_number_is_one() {
+        let h = Hypergraph::from_edges(4, &[&[0, 1, 2, 3]]);
+        assert!(approx(rho_star(&h).unwrap(), 1.0));
+    }
+
+    #[test]
+    fn path_cover_number() {
+        // path 0-1-2-3: minimum fractional (= integral) cover uses both end edges: 2
+        let h = Hypergraph::from_edges(4, &[&[0, 1], &[1, 2], &[2, 3]]);
+        assert!(approx(rho_star(&h).unwrap(), 2.0));
+    }
+
+    #[test]
+    fn induced_cover_number_is_monotone() {
+        // Observation 40: B ⊆ B' implies fcn(H[B]) ≤ fcn(H[B']).
+        let h = Hypergraph::from_edges(5, &[&[0, 1], &[1, 2], &[2, 3], &[3, 4], &[0, 4]]);
+        let all: BTreeSet<usize> = h.vertices().collect();
+        let big = fractional_cover_number(&h, &all).unwrap();
+        for v in 0..5 {
+            let mut smaller = all.clone();
+            smaller.remove(&v);
+            let small = fractional_cover_number(&h, &smaller).unwrap();
+            assert!(small <= big + 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_set_has_cover_zero() {
+        let h = triangle();
+        assert!(approx(
+            fractional_cover_number(&h, &BTreeSet::new()).unwrap(),
+            0.0
+        ));
+    }
+
+    #[test]
+    fn isolated_vertex_has_infinite_cover() {
+        let mut h = Hypergraph::new(3);
+        h.add_edge(&[0, 1]);
+        let x: BTreeSet<usize> = [0, 2].into_iter().collect();
+        assert!(fractional_cover_number(&h, &x).is_none());
+    }
+
+    #[test]
+    fn lp_duality_cover_equals_independent_set() {
+        // For a hypergraph without isolated vertices, max fractional independent
+        // set value = min fractional edge cover value (LP duality).
+        for h in [
+            triangle(),
+            Hypergraph::from_edges(4, &[&[0, 1], &[1, 2], &[2, 3]]),
+            Hypergraph::from_edges(4, &[&[0, 1, 2], &[1, 2, 3], &[0, 3]]),
+            Hypergraph::from_edges(5, &[&[0, 1, 2], &[2, 3, 4], &[0, 4]]),
+        ] {
+            let mis = maximum_fractional_independent_set(&h);
+            let cover = rho_star(&h).unwrap();
+            assert!(
+                approx(mis.value, cover),
+                "duality gap: mis {} cover {}",
+                mis.value,
+                cover
+            );
+        }
+    }
+
+    #[test]
+    fn independent_set_respects_edge_constraints() {
+        let h = triangle();
+        let mis = maximum_fractional_independent_set(&h);
+        for e in h.edges() {
+            let s: f64 = e.iter().map(|&v| mis.weights[v]).sum();
+            assert!(s <= 1.0 + 1e-6);
+        }
+        let x: BTreeSet<usize> = [0, 1].into_iter().collect();
+        assert!(mis.weight_of(&x) <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn isolated_vertices_capped_at_one() {
+        let mut h = Hypergraph::new(3);
+        h.add_edge(&[0, 1]);
+        let mis = maximum_fractional_independent_set(&h);
+        assert!(mis.weights[2] <= 1.0 + 1e-6);
+        // vertex 2 contributes fully, edge {0,1} contributes 1 → total 2
+        assert!(approx(mis.value, 2.0));
+    }
+
+    #[test]
+    fn uniform_independent_set() {
+        let h = Hypergraph::from_edges(4, &[&[0, 1, 2], &[2, 3]]);
+        let mu = uniform_fractional_independent_set(&h);
+        assert!(approx(mu.weights[0], 1.0 / 3.0));
+        assert!(approx(mu.value, 4.0 / 3.0));
+        // it must be a feasible fractional independent set
+        for e in h.edges() {
+            let s: f64 = e.iter().map(|&v| mu.weights[v]).sum();
+            assert!(s <= 1.0 + 1e-6);
+        }
+    }
+}

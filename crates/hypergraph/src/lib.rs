@@ -1,0 +1,46 @@
+//! # cqc-hypergraph — hypergraphs, tree decompositions and width measures
+//!
+//! This crate provides the hypergraph machinery used throughout the paper
+//! *Approximately Counting Answers to Conjunctive Queries with Disequalities
+//! and Negations* (PODS 2022):
+//!
+//! * [`Hypergraph`] — finite hypergraphs `H = (V(H), E(H))` (Definition 3 uses
+//!   these as the hypergraphs `H(ϕ)` of queries).
+//! * [`TreeDecomposition`] — tree decompositions `(T, B)` (Definition 4),
+//!   including validation, *nice* tree decompositions (Definition 42) and the
+//!   constructions used in the proofs of Theorem 5 / Lemma 35 (adding size-1
+//!   hyperedges without increasing width).
+//! * Width measures:
+//!   - treewidth `tw(H)` (Definition 4): exact for small hypergraphs plus
+//!     min-fill / min-degree heuristics,
+//!   - generic `f`-width (Definition 32),
+//!   - fractional edge covers and `fcn(H[X])` (Definition 39) via an in-crate
+//!     simplex LP solver,
+//!   - fractional hypertreewidth `fhw(H)` (Definition 41),
+//!   - hypertreewidth `hw(H)` (Definition 37, guard computation by exact
+//!     small set cover + greedy),
+//!   - adaptive width `aw(H)` (Definition 33): exact-for-small via LP-based
+//!     alternating optimisation, plus the general bounds `aw ≤ fhw` and
+//!     Observation 34 (`tw ≤ a·aw − 1`).
+//!
+//! No external hypergraph or LP crate is used; everything is implemented here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod decomposition;
+pub mod fractional;
+pub mod fwidth;
+pub mod hypergraph;
+pub mod hypertree;
+pub mod lp;
+pub mod treewidth;
+
+pub use decomposition::{NiceNodeKind, NiceTreeDecomposition, TreeDecomposition};
+pub use fractional::{fractional_cover_number, fractional_edge_cover, FractionalCover};
+pub use fwidth::{f_width_of_decomposition, WidthMeasure};
+pub use hypergraph::Hypergraph;
+pub use hypertree::hypertree_width_of_decomposition;
+pub use lp::{LinearProgram, LpError, LpSolution};
+pub use treewidth::{treewidth_exact, treewidth_upper_bound, EliminationOrder};

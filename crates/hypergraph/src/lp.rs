@@ -1,0 +1,503 @@
+//! A small dense linear-programming solver (two-phase primal simplex).
+//!
+//! Width measures such as fractional edge cover number (Definition 39),
+//! fractional hypertreewidth (Definition 41) and adaptive width
+//! (Definition 33) are defined through linear programs. The instances arising
+//! from query hypergraphs are tiny (a handful of variables and constraints),
+//! so a dense tableau simplex with Bland's anti-cycling rule is entirely
+//! adequate and avoids any external dependency.
+
+use std::fmt;
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `⟨a, x⟩ ≤ b`
+    Le,
+    /// `⟨a, x⟩ ≥ b`
+    Ge,
+    /// `⟨a, x⟩ = b`
+    Eq,
+}
+
+/// Optimisation direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Minimise the objective.
+    Minimize,
+    /// Maximise the objective.
+    Maximize,
+}
+
+/// Errors from the LP solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded in the optimisation direction.
+    Unbounded,
+    /// A constraint row has the wrong number of coefficients.
+    DimensionMismatch {
+        /// expected number of variables
+        expected: usize,
+        /// provided number of coefficients
+        got: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::DimensionMismatch { expected, got } => {
+                write!(f, "constraint has {got} coefficients, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution of a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Optimal assignment to the variables (all non-negative).
+    pub values: Vec<f64>,
+}
+
+/// A linear program over non-negative variables.
+///
+/// ```
+/// use cqc_hypergraph::lp::{LinearProgram, ConstraintOp, Direction};
+/// // minimise x0 + x1  s.t.  x0 + x1 ≥ 1,  x0 ≥ 0, x1 ≥ 0
+/// let mut lp = LinearProgram::new(2, Direction::Minimize);
+/// lp.set_objective(&[1.0, 1.0]);
+/// lp.add_constraint(&[1.0, 1.0], ConstraintOp::Ge, 1.0).unwrap();
+/// let sol = lp.solve().unwrap();
+/// assert!((sol.objective - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    num_vars: usize,
+    direction: Direction,
+    objective: Vec<f64>,
+    constraints: Vec<(Vec<f64>, ConstraintOp, f64)>,
+}
+
+const EPS: f64 = 1e-9;
+
+impl LinearProgram {
+    /// Create a program with `num_vars` non-negative variables.
+    pub fn new(num_vars: usize, direction: Direction) -> Self {
+        LinearProgram {
+            num_vars,
+            direction,
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Set the objective coefficients.
+    pub fn set_objective(&mut self, coeffs: &[f64]) {
+        assert_eq!(coeffs.len(), self.num_vars);
+        self.objective = coeffs.to_vec();
+    }
+
+    /// Add a constraint `⟨coeffs, x⟩ op rhs`.
+    pub fn add_constraint(
+        &mut self,
+        coeffs: &[f64],
+        op: ConstraintOp,
+        rhs: f64,
+    ) -> Result<(), LpError> {
+        if coeffs.len() != self.num_vars {
+            return Err(LpError::DimensionMismatch {
+                expected: self.num_vars,
+                got: coeffs.len(),
+            });
+        }
+        self.constraints.push((coeffs.to_vec(), op, rhs));
+        Ok(())
+    }
+
+    /// Solve the program with the two-phase simplex method.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        // Convert to standard form: minimise c·x subject to Ax = b, x ≥ 0,
+        // with slack/surplus variables; then phase-1 with artificials.
+        let n = self.num_vars;
+        let m = self.constraints.len();
+
+        // Count auxiliary variables.
+        let mut num_slack = 0;
+        for (_, op, _) in &self.constraints {
+            match op {
+                ConstraintOp::Le | ConstraintOp::Ge => num_slack += 1,
+                ConstraintOp::Eq => {}
+            }
+        }
+        let total_structural = n + num_slack;
+        let total = total_structural + m; // one artificial per row
+
+        // Build rows, making rhs non-negative.
+        let mut a = vec![vec![0.0f64; total]; m];
+        let mut b = vec![0.0f64; m];
+        let mut slack_idx = n;
+        for (i, (coeffs, op, rhs)) in self.constraints.iter().enumerate() {
+            let mut row: Vec<f64> = coeffs.clone();
+            row.resize(total, 0.0);
+            let mut rhs = *rhs;
+            let mut op = *op;
+            if rhs < 0.0 {
+                for c in row.iter_mut().take(n) {
+                    *c = -*c;
+                }
+                rhs = -rhs;
+                op = match op {
+                    ConstraintOp::Le => ConstraintOp::Ge,
+                    ConstraintOp::Ge => ConstraintOp::Le,
+                    ConstraintOp::Eq => ConstraintOp::Eq,
+                };
+            }
+            match op {
+                ConstraintOp::Le => {
+                    row[slack_idx] = 1.0;
+                    slack_idx += 1;
+                }
+                ConstraintOp::Ge => {
+                    row[slack_idx] = -1.0;
+                    slack_idx += 1;
+                }
+                ConstraintOp::Eq => {}
+            }
+            // artificial variable for this row
+            row[total_structural + i] = 1.0;
+            a[i] = row;
+            b[i] = rhs;
+        }
+
+        // Objective in minimisation form.
+        let mut c = vec![0.0f64; total];
+        for j in 0..n {
+            c[j] = match self.direction {
+                Direction::Minimize => self.objective[j],
+                Direction::Maximize => -self.objective[j],
+            };
+        }
+
+        // Basis: start with the artificials.
+        let mut basis: Vec<usize> = (0..m).map(|i| total_structural + i).collect();
+
+        // Phase 1: minimise the sum of artificials.
+        let phase1_c: Vec<f64> = (0..total)
+            .map(|j| if j >= total_structural { 1.0 } else { 0.0 })
+            .collect();
+        let phase1_obj = simplex(&mut a, &mut b, &phase1_c, &mut basis)?;
+        if phase1_obj > 1e-6 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive artificials out of the basis if possible (degenerate case).
+        for i in 0..m {
+            if basis[i] >= total_structural {
+                if let Some(j) = (0..total_structural).find(|&j| a[i][j].abs() > EPS) {
+                    pivot(&mut a, &mut b, &mut basis, i, j);
+                }
+            }
+        }
+
+        // Phase 2: original objective, artificial columns forbidden.
+        let mut phase2_c = c.clone();
+        for coef in phase2_c.iter_mut().skip(total_structural) {
+            *coef = 0.0;
+        }
+        // Forbid re-entering artificials by removing their columns.
+        for row in a.iter_mut() {
+            row.truncate(total_structural);
+        }
+        phase2_c.truncate(total_structural);
+        for bi in basis.iter_mut() {
+            if *bi >= total_structural {
+                // Row is all-zero over structural columns (redundant constraint);
+                // keep the artificial marker but it will never be selected.
+                *bi = usize::MAX;
+            }
+        }
+        // Remove redundant rows whose basis is the placeholder.
+        let keep: Vec<usize> = (0..a.len())
+            .filter(|&i| basis[i] != usize::MAX)
+            .collect();
+        let a2: Vec<Vec<f64>> = keep.iter().map(|&i| a[i].clone()).collect();
+        let b2: Vec<f64> = keep.iter().map(|&i| b[i]).collect();
+        let basis2: Vec<usize> = keep.iter().map(|&i| basis[i]).collect();
+        let mut a = a2;
+        let mut b = b2;
+        let mut basis = basis2;
+
+        let obj = simplex(&mut a, &mut b, &phase2_c, &mut basis)?;
+
+        let mut values = vec![0.0; self.num_vars];
+        for (i, &bi) in basis.iter().enumerate() {
+            if bi < self.num_vars {
+                values[bi] = b[i];
+            }
+        }
+        let objective = match self.direction {
+            Direction::Minimize => obj,
+            Direction::Maximize => -obj,
+        };
+        Ok(LpSolution { objective, values })
+    }
+}
+
+/// Run the simplex method minimising `c·x` on the tableau `(a, b)` with the
+/// given starting `basis`. Returns the optimal objective value. Uses Bland's
+/// rule to guarantee termination.
+fn simplex(
+    a: &mut [Vec<f64>],
+    b: &mut [f64],
+    c: &[f64],
+    basis: &mut [usize],
+) -> Result<f64, LpError> {
+    let m = a.len();
+    if m == 0 {
+        return Ok(0.0);
+    }
+    let ncols = a[0].len();
+    // Ensure the tableau is in canonical form w.r.t. the basis.
+    for i in 0..m {
+        let bi = basis[i];
+        if bi >= ncols {
+            continue;
+        }
+        let piv = a[i][bi];
+        if (piv - 1.0).abs() > EPS && piv.abs() > EPS {
+            let inv = 1.0 / piv;
+            for x in a[i].iter_mut() {
+                *x *= inv;
+            }
+            b[i] *= inv;
+        }
+    }
+
+    let mut iterations = 0usize;
+    let max_iterations = 20_000 + 200 * (m + ncols);
+    loop {
+        iterations += 1;
+        if iterations > max_iterations {
+            // Should not happen with Bland's rule; treat as numerically stuck.
+            break;
+        }
+        // Reduced costs: cj - c_B * B^{-1} A_j (tableau already reduced).
+        let mut reduced = vec![0.0f64; ncols];
+        for (j, red) in reduced.iter_mut().enumerate() {
+            let mut z = 0.0;
+            for i in 0..m {
+                let bi = basis[i];
+                if bi < ncols {
+                    z += c[bi] * a[i][j];
+                }
+            }
+            *red = c[j] - z;
+        }
+        // Bland's rule: smallest index with negative reduced cost.
+        let entering = (0..ncols).find(|&j| reduced[j] < -EPS);
+        let entering = match entering {
+            Some(j) => j,
+            None => break, // optimal
+        };
+        // Ratio test (Bland: smallest basis index among ties).
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if a[i][entering] > EPS {
+                let ratio = b[i] / a[i][entering];
+                if ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leaving.map(|l| basis[i] < basis[l]).unwrap_or(true))
+                {
+                    best_ratio = ratio;
+                    leaving = Some(i);
+                }
+            }
+        }
+        let leaving = match leaving {
+            Some(i) => i,
+            None => return Err(LpError::Unbounded),
+        };
+        pivot(a, b, basis, leaving, entering);
+    }
+
+    let mut obj = 0.0;
+    for i in 0..m {
+        let bi = basis[i];
+        if bi < c.len() {
+            obj += c[bi] * b[i];
+        }
+    }
+    Ok(obj)
+}
+
+fn pivot(a: &mut [Vec<f64>], b: &mut [f64], basis: &mut [usize], row: usize, col: usize) {
+    let m = a.len();
+    let piv = a[row][col];
+    debug_assert!(piv.abs() > EPS);
+    let inv = 1.0 / piv;
+    for x in a[row].iter_mut() {
+        *x *= inv;
+    }
+    b[row] *= inv;
+    for i in 0..m {
+        if i != row && a[i][col].abs() > EPS {
+            let factor = a[i][col];
+            let pivot_row = a[row].clone();
+            for (x, p) in a[i].iter_mut().zip(pivot_row.iter()) {
+                *x -= factor * p;
+            }
+            b[i] -= factor * b[row];
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn simple_min_cover() {
+        // minimise x0 + x1 subject to x0 + x1 ≥ 1
+        let mut lp = LinearProgram::new(2, Direction::Minimize);
+        lp.set_objective(&[1.0, 1.0]);
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Ge, 1.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert!(approx(sol.objective, 1.0));
+        assert!(approx(sol.values.iter().sum::<f64>(), 1.0));
+    }
+
+    #[test]
+    fn triangle_fractional_cover() {
+        // Fractional edge cover of the triangle: three edges {0,1},{1,2},{0,2};
+        // each vertex must be covered; optimum 3/2 with γ ≡ 1/2.
+        let mut lp = LinearProgram::new(3, Direction::Minimize);
+        lp.set_objective(&[1.0, 1.0, 1.0]);
+        // vertex 0 in edges 0 and 2
+        lp.add_constraint(&[1.0, 0.0, 1.0], ConstraintOp::Ge, 1.0).unwrap();
+        // vertex 1 in edges 0 and 1
+        lp.add_constraint(&[1.0, 1.0, 0.0], ConstraintOp::Ge, 1.0).unwrap();
+        // vertex 2 in edges 1 and 2
+        lp.add_constraint(&[0.0, 1.0, 1.0], ConstraintOp::Ge, 1.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert!(approx(sol.objective, 1.5), "got {}", sol.objective);
+    }
+
+    #[test]
+    fn maximisation_with_upper_bounds() {
+        // maximise x0 + x1 s.t. x0 ≤ 2, x1 ≤ 3, x0 + x1 ≤ 4  → 4
+        let mut lp = LinearProgram::new(2, Direction::Maximize);
+        lp.set_objective(&[1.0, 1.0]);
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 2.0).unwrap();
+        lp.add_constraint(&[0.0, 1.0], ConstraintOp::Le, 3.0).unwrap();
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Le, 4.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert!(approx(sol.objective, 4.0));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // minimise 2x0 + x1 s.t. x0 + x1 = 3, x0 ≥ 1 → x0 = 1, x1 = 2, obj 4
+        let mut lp = LinearProgram::new(2, Direction::Minimize);
+        lp.set_objective(&[2.0, 1.0]);
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Eq, 3.0).unwrap();
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Ge, 1.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert!(approx(sol.objective, 4.0));
+        assert!(approx(sol.values[0], 1.0));
+        assert!(approx(sol.values[1], 2.0));
+    }
+
+    #[test]
+    fn infeasible_program() {
+        let mut lp = LinearProgram::new(1, Direction::Minimize);
+        lp.set_objective(&[1.0]);
+        lp.add_constraint(&[1.0], ConstraintOp::Le, 1.0).unwrap();
+        lp.add_constraint(&[1.0], ConstraintOp::Ge, 2.0).unwrap();
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_program() {
+        let mut lp = LinearProgram::new(1, Direction::Maximize);
+        lp.set_objective(&[1.0]);
+        lp.add_constraint(&[1.0], ConstraintOp::Ge, 0.0).unwrap();
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let mut lp = LinearProgram::new(2, Direction::Minimize);
+        assert!(matches!(
+            lp.add_constraint(&[1.0], ConstraintOp::Ge, 1.0),
+            Err(LpError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // minimise x0 s.t. -x0 ≤ -2  (i.e. x0 ≥ 2)
+        let mut lp = LinearProgram::new(1, Direction::Minimize);
+        lp.set_objective(&[1.0]);
+        lp.add_constraint(&[-1.0], ConstraintOp::Le, -2.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert!(approx(sol.objective, 2.0));
+    }
+
+    #[test]
+    fn degenerate_redundant_constraints() {
+        // x0 = 1 stated twice plus x0 ≥ 1; should still solve.
+        let mut lp = LinearProgram::new(1, Direction::Minimize);
+        lp.set_objective(&[1.0]);
+        lp.add_constraint(&[1.0], ConstraintOp::Eq, 1.0).unwrap();
+        lp.add_constraint(&[1.0], ConstraintOp::Eq, 1.0).unwrap();
+        lp.add_constraint(&[1.0], ConstraintOp::Ge, 1.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert!(approx(sol.objective, 1.0));
+    }
+
+    #[test]
+    fn lp_duality_on_small_cover_matching() {
+        // Primal: min fractional edge cover of a 4-cycle (edges {0,1},{1,2},{2,3},{3,0}) = 2.
+        let mut primal = LinearProgram::new(4, Direction::Minimize);
+        primal.set_objective(&[1.0; 4]);
+        let incident = [
+            [1.0, 0.0, 0.0, 1.0],
+            [1.0, 1.0, 0.0, 0.0],
+            [0.0, 1.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0, 1.0],
+        ];
+        for row in &incident {
+            primal.add_constraint(row, ConstraintOp::Ge, 1.0).unwrap();
+        }
+        // Dual: max fractional matching (independent set in the hypergraph sense).
+        let mut dual = LinearProgram::new(4, Direction::Maximize);
+        dual.set_objective(&[1.0; 4]);
+        // each edge: sum of its two endpoints ≤ 1
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 0)];
+        for (u, v) in edges {
+            let mut row = [0.0; 4];
+            row[u] = 1.0;
+            row[v] = 1.0;
+            dual.add_constraint(&row, ConstraintOp::Le, 1.0).unwrap();
+        }
+        let p = primal.solve().unwrap();
+        let d = dual.solve().unwrap();
+        assert!(approx(p.objective, 2.0));
+        assert!(approx(d.objective, 2.0));
+        assert!(approx(p.objective, d.objective));
+    }
+}

@@ -1,0 +1,460 @@
+//! The coloured structures `Â(ϕ)` (Definition 26) and
+//! `B̂(ϕ, D, V₁..V_ℓ, f)` (Definition 28).
+//!
+//! These are the structures used by the colour-coding simulation of the
+//! `EdgeFree` oracle (Lemma 22 / Lemma 30): for an ℓ-partite subset
+//! `(V₁, …, V_ℓ)` of the answer hypergraph's vertex set and a family `f` of
+//! colouring functions (one per disequality), the induced subhypergraph
+//! `H(ϕ, D)[V₁..V_ℓ]` has a hyperedge **iff** there exists a colouring `f`
+//! and a homomorphism `Â(ϕ) → B̂(ϕ, D, V₁..V_ℓ, f)`.
+
+use crate::ast::{Literal, Query, Var};
+use crate::structures::negated_symbol_name;
+use cqc_data::{Signature, Structure, Val};
+use std::collections::{BTreeSet, HashMap};
+
+/// The variable enumeration `x₁, …, x_{ℓ+k}` used by Definitions 24–28: the
+/// free variables first (in head order), then the existential variables (in
+/// index order).
+pub fn variable_enumeration(q: &Query) -> Vec<Var> {
+    let mut order: Vec<Var> = q.free_vars().to_vec();
+    order.extend(q.existential_vars());
+    order
+}
+
+/// An ℓ-partite subset `(V₁, …, V_ℓ)` of `V(H(ϕ, D)) = ⋃ U_i(D)`
+/// (Definition 24). `sets[i]` is the set of database values allowed for the
+/// `i`-th free variable (0-based position in [`variable_enumeration`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartiteSets {
+    /// One value set per free variable position.
+    pub sets: Vec<BTreeSet<Val>>,
+}
+
+impl PartiteSets {
+    /// The full ℓ-partite set `V_i = U(D)` for every free variable, i.e. no
+    /// restriction.
+    pub fn full(num_free: usize, universe_size: usize) -> Self {
+        let all: BTreeSet<Val> = (0..universe_size as u32).map(Val).collect();
+        PartiteSets {
+            sets: vec![all; num_free],
+        }
+    }
+
+    /// Number of free-variable classes `ℓ`.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether there are no classes (a Boolean query).
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+/// A collection `f = {f_η}` of colouring functions, one per disequality
+/// `η ∈ Δ(ϕ)`, each mapping `U(D) → {red, blue}` (Definition 28).
+///
+/// `red[d][u]` is `true` when `f_{η_d}(u) = red`, where `η_d` is the `d`-th
+/// disequality of the query (in [`Query::disequalities`] order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColouringFamily {
+    /// Per-disequality, per-universe-element colour flags (`true` = red).
+    pub red: Vec<Vec<bool>>,
+}
+
+impl ColouringFamily {
+    /// The empty family (for queries without disequalities).
+    pub fn empty() -> Self {
+        ColouringFamily { red: vec![] }
+    }
+
+    /// Build a family by drawing each colour from the provided closure
+    /// (the FPTRAS uses a fair coin, Lemma 22's simulation).
+    pub fn from_fn<F: FnMut(usize, usize) -> bool>(
+        num_disequalities: usize,
+        universe_size: usize,
+        mut is_red: F,
+    ) -> Self {
+        let red = (0..num_disequalities)
+            .map(|d| (0..universe_size).map(|u| is_red(d, u)).collect())
+            .collect();
+        ColouringFamily { red }
+    }
+
+    /// Is element `u` red under the colouring of disequality `d`?
+    pub fn is_red(&self, d: usize, u: Val) -> bool {
+        self.red[d][u.index()]
+    }
+}
+
+/// The additional unary relation symbols of `Â(ϕ)` / `B̂(ϕ, D, …)` relative
+/// to `A(ϕ)` / `B(ϕ, D)`: one `P_i` per variable position and a pair
+/// `(Rd_d, Bd_d)` per disequality (Definition 26). Deterministic order so the
+/// two structures end up with identical signatures.
+fn hat_signature_extension(q: &Query) -> Vec<(String, usize)> {
+    let mut extra = Vec::new();
+    for i in 0..q.num_vars() {
+        extra.push((format!("P{i}"), 1));
+    }
+    for d in 0..q.disequalities().len() {
+        extra.push((format!("Rd{d}"), 1));
+        extra.push((format!("Bd{d}"), 1));
+    }
+    extra
+}
+
+/// The shared signature of `Â(ϕ)` and `B̂(ϕ, D, …)`.
+fn hat_signature(q: &Query) -> Signature {
+    let mut sig = Signature::new();
+    for lit in q.literals() {
+        let atom = lit.atom();
+        let name = match lit {
+            Literal::Positive(_) => atom.relation.clone(),
+            Literal::Negated(_) => negated_symbol_name(&atom.relation),
+        };
+        sig.declare(&name, atom.arity()).expect("consistent arities");
+    }
+    for (name, ar) in hat_signature_extension(q) {
+        sig.declare(&name, ar).expect("fresh names");
+    }
+    sig
+}
+
+/// Build `Â(ϕ)` (Definition 26): `A(ϕ)` plus
+/// * a unary relation `P_i = {x_i}` for every variable position `i`, and
+/// * unary relations `Rd_d = {x_i}`, `Bd_d = {x_j}` for every disequality
+///   `η_d = {x_i, x_j}` with `i < j` in enumeration order.
+///
+/// By Observation 27, `‖Â(ϕ)‖ ≤ 5‖ϕ‖²`.
+pub fn build_a_hat(q: &Query) -> Structure {
+    let order = variable_enumeration(q);
+    let position: HashMap<Var, usize> = order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let sig = hat_signature(q);
+    let mut a = Structure::empty(sig, q.num_vars());
+    a.set_element_names(q.variable_names().to_vec());
+    // Relational atoms, exactly as in A(ϕ). Universe elements of Â are the
+    // variables indexed by their *original* Var index (not enumeration
+    // position); the P_i relations are keyed by enumeration position.
+    for lit in q.literals() {
+        let atom = lit.atom();
+        let name = match lit {
+            Literal::Positive(_) => atom.relation.clone(),
+            Literal::Negated(_) => negated_symbol_name(&atom.relation),
+        };
+        let sym = a.signature().symbol(&name).expect("declared");
+        let tuple: Vec<Val> = atom.vars.iter().map(|v| Val(v.0)).collect();
+        a.insert_fact(sym, &tuple).expect("arities match");
+    }
+    // P_i = {x_i} where i is the enumeration position of the variable.
+    for (i, v) in order.iter().enumerate() {
+        let sym = a.signature().symbol(&format!("P{i}")).expect("declared");
+        a.insert_fact(sym, &[Val(v.0)]).expect("unary");
+    }
+    // Per-disequality colour markers; the paper orders each disequality by
+    // enumeration position (i < j).
+    for (d, &(u, v)) in q.disequalities().iter().enumerate() {
+        let (first, second) = if position[&u] < position[&v] {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let r = a.signature().symbol(&format!("Rd{d}")).expect("declared");
+        let b = a.signature().symbol(&format!("Bd{d}")).expect("declared");
+        a.insert_fact(r, &[Val(first.0)]).expect("unary");
+        a.insert_fact(b, &[Val(second.0)]).expect("unary");
+    }
+    a
+}
+
+/// Build `B̂(ϕ, D, V₁..V_ℓ, f)` (Definition 28) from the already-constructed
+/// `B(ϕ, D)` structure (see [`crate::build_b_structure`]).
+///
+/// The universe consists of pairs `(w, i)` where `i` is a variable position
+/// in enumeration order and `w ∈ S_i` with `S_i = V_i` for free positions and
+/// `S_i = U(D)` for existential positions. The returned decode table maps the
+/// dense universe ids of the new structure back to `(position, value)` pairs.
+///
+/// One deliberate optimisation relative to the verbatim Definition 28: for a
+/// relation symbol `R`, tuples are only materialised for the index patterns
+/// `(i₁, …, i_a)` that actually occur as argument-position patterns of an
+/// `R`-atom of `ϕ`. Tuples with other index patterns can never be the image
+/// of an `R`-tuple of `Â(ϕ)` (the `P_i` relations pin every variable to its
+/// own class), so `Hom(Â(ϕ) → B̂)` is unaffected while the structure stays
+/// small (`|R^B| · #atoms` instead of `|R^B| · (ℓ+k)^a`).
+pub fn build_b_hat(
+    q: &Query,
+    b: &Structure,
+    parts: &PartiteSets,
+    colouring: &ColouringFamily,
+) -> (Structure, Vec<(usize, Val)>) {
+    let order = variable_enumeration(q);
+    let position: HashMap<Var, usize> = order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let ell = q.num_free_vars();
+    assert_eq!(parts.len(), ell, "one partite set per free variable");
+    assert_eq!(
+        colouring.red.len(),
+        q.disequalities().len(),
+        "one colouring per disequality"
+    );
+    let n = b.universe_size();
+
+    // S_i per position.
+    let full: BTreeSet<Val> = (0..n as u32).map(Val).collect();
+    let s: Vec<BTreeSet<Val>> = (0..order.len())
+        .map(|i| {
+            if i < ell {
+                parts.sets[i].clone()
+            } else {
+                full.clone()
+            }
+        })
+        .collect();
+
+    // Dense universe: (position, value) pairs.
+    let mut decode: Vec<(usize, Val)> = Vec::new();
+    let mut encode: HashMap<(usize, Val), u32> = HashMap::new();
+    for (i, si) in s.iter().enumerate() {
+        for &w in si {
+            encode.insert((i, w), decode.len() as u32);
+            decode.push((i, w));
+        }
+    }
+
+    let sig = hat_signature(q);
+    let mut bh = Structure::empty(sig, decode.len());
+
+    // Relational tuples, restricted to the index patterns of actual atoms.
+    for lit in q.literals() {
+        let atom = lit.atom();
+        let name = match lit {
+            Literal::Positive(_) => atom.relation.clone(),
+            Literal::Negated(_) => negated_symbol_name(&atom.relation),
+        };
+        let sym_hat = bh.signature().symbol(&name).expect("declared");
+        let sym_b = b.signature().symbol(&name).expect("same symbols as B(ϕ,D)");
+        let pattern: Vec<usize> = atom.vars.iter().map(|v| position[v]).collect();
+        for t in b.relation(sym_b).iter() {
+            // map each value through its class; skip if any value is not in S_i
+            let mut mapped = Vec::with_capacity(pattern.len());
+            let mut ok = true;
+            for (pos, &w) in pattern.iter().zip(t.values()) {
+                match encode.get(&(*pos, w)) {
+                    Some(&id) => mapped.push(Val(id)),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                bh.insert_fact(sym_hat, &mapped).expect("in range");
+            }
+        }
+    }
+
+    // P_i = S_i.
+    for (i, si) in s.iter().enumerate() {
+        let sym = bh.signature().symbol(&format!("P{i}")).expect("declared");
+        for &w in si {
+            let id = encode[&(i, w)];
+            bh.insert_fact(sym, &[Val(id)]).expect("unary");
+        }
+    }
+
+    // Colour relations: Rd_d = {(w, j) | f_d(w) = red}, Bd_d likewise for blue.
+    for d in 0..q.disequalities().len() {
+        let r = bh.signature().symbol(&format!("Rd{d}")).expect("declared");
+        let bl = bh.signature().symbol(&format!("Bd{d}")).expect("declared");
+        for (id, &(_, w)) in decode.iter().enumerate() {
+            if colouring.is_red(d, w) {
+                bh.insert_fact(r, &[Val(id as u32)]).expect("unary");
+            } else {
+                bh.insert_fact(bl, &[Val(id as u32)]).expect("unary");
+            }
+        }
+    }
+
+    (bh, decode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answers::enumerate_answers;
+    use crate::parse_query;
+    use crate::structures::build_b_structure;
+    use cqc_data::StructureBuilder;
+
+    /// Brute-force homomorphism existence check (test oracle only).
+    fn hom_exists(a: &Structure, b: &Structure) -> bool {
+        let n = a.universe_size();
+        let m = b.universe_size();
+        if n == 0 {
+            return true;
+        }
+        if m == 0 {
+            return false;
+        }
+        let mut assignment = vec![0u32; n];
+        loop {
+            let ok = a.signature().iter().all(|(sym, _, ar)| {
+                a.relation(sym).iter().all(|t| {
+                    let image: Vec<Val> =
+                        t.values().iter().map(|v| Val(assignment[v.index()])).collect();
+                    debug_assert_eq!(image.len(), ar);
+                    b.holds(sym, &image)
+                })
+            });
+            if ok {
+                return true;
+            }
+            // next assignment
+            let mut i = 0;
+            loop {
+                if i == n {
+                    return false;
+                }
+                assignment[i] += 1;
+                if (assignment[i] as usize) < m {
+                    break;
+                }
+                assignment[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    fn friends_db() -> Structure {
+        // person 0 has friends 1 and 2; person 3 has only friend 0
+        let mut b = StructureBuilder::new(4);
+        b.relation("F", 2);
+        b.fact("F", &[0, 1]).unwrap();
+        b.fact("F", &[0, 2]).unwrap();
+        b.fact("F", &[3, 0]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn a_hat_size_bound_observation_27() {
+        let q = parse_query("ans(x) :- F(x, y), F(x, z), y != z").unwrap();
+        let a_hat = build_a_hat(&q);
+        assert!(a_hat.size() <= 5 * q.size() * q.size());
+        // P relations: one per variable; colour relations: two per disequality
+        assert!(a_hat.signature().symbol("P0").is_some());
+        assert!(a_hat.signature().symbol("P2").is_some());
+        assert!(a_hat.signature().symbol("Rd0").is_some());
+        assert!(a_hat.signature().symbol("Bd0").is_some());
+    }
+
+    #[test]
+    fn enumeration_puts_free_variables_first() {
+        let q = parse_query("ans(z) :- F(x, z), F(z, y)").unwrap();
+        let order = variable_enumeration(&q);
+        assert_eq!(order[0], q.variable("z").unwrap());
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn lemma_30_forward_direction() {
+        // If the restricted answer hypergraph has an edge, some colouring
+        // admits a homomorphism Â → B̂.
+        let q = parse_query("ans(x) :- F(x, y), F(x, z), y != z").unwrap();
+        let db = friends_db();
+        let b = build_b_structure(&q, &db).unwrap();
+        let a_hat = build_a_hat(&q);
+
+        // answers: x = 0 only (needs two distinct friends)
+        let answers = enumerate_answers(&q, &db);
+        assert_eq!(answers.len(), 1);
+
+        // V_1 = {0}: contains the answer, so an edge exists.
+        let parts = PartiteSets {
+            sets: vec![[Val(0)].into_iter().collect()],
+        };
+        // Find some colouring admitting a homomorphism: colour 1 red, 2 blue.
+        let col = ColouringFamily::from_fn(1, db.universe_size(), |_, u| u == 1);
+        let (b_hat, _) = build_b_hat(&q, &b, &parts, &col);
+        assert!(hom_exists(&a_hat, &b_hat));
+    }
+
+    #[test]
+    fn lemma_30_reverse_direction() {
+        // If the restricted hypergraph has no edge, *no* colouring admits a
+        // homomorphism.
+        let q = parse_query("ans(x) :- F(x, y), F(x, z), y != z").unwrap();
+        let db = friends_db();
+        let b = build_b_structure(&q, &db).unwrap();
+        let a_hat = build_a_hat(&q);
+
+        // V_1 = {3}: person 3 has only one friend, so no answer in there.
+        let parts = PartiteSets {
+            sets: vec![[Val(3)].into_iter().collect()],
+        };
+        // exhaust all 2^4 colourings of the single disequality
+        for mask in 0u32..16 {
+            let col = ColouringFamily::from_fn(1, 4, |_, u| (mask >> u) & 1 == 1);
+            let (b_hat, _) = build_b_hat(&q, &b, &parts, &col);
+            assert!(
+                !hom_exists(&a_hat, &b_hat),
+                "unexpected homomorphism for colouring mask {mask}"
+            );
+        }
+    }
+
+    #[test]
+    fn colouring_must_separate_disequal_values() {
+        // With both friends coloured the same, the disequality relations make
+        // the homomorphism impossible even though an answer exists.
+        let q = parse_query("ans(x) :- F(x, y), F(x, z), y != z").unwrap();
+        let db = friends_db();
+        let b = build_b_structure(&q, &db).unwrap();
+        let a_hat = build_a_hat(&q);
+        let parts = PartiteSets {
+            sets: vec![[Val(0)].into_iter().collect()],
+        };
+        // all-red colouring: y and z would both need to be red and blue — impossible
+        let col = ColouringFamily::from_fn(1, 4, |_, _| true);
+        let (b_hat, _) = build_b_hat(&q, &b, &parts, &col);
+        assert!(!hom_exists(&a_hat, &b_hat));
+    }
+
+    #[test]
+    fn empty_partite_set_blocks_homomorphism() {
+        let q = parse_query("ans(x) :- F(x, y)").unwrap();
+        let db = friends_db();
+        let b = build_b_structure(&q, &db).unwrap();
+        let a_hat = build_a_hat(&q);
+        let parts = PartiteSets {
+            sets: vec![BTreeSet::new()],
+        };
+        let (b_hat, _) = build_b_hat(&q, &b, &parts, &ColouringFamily::empty());
+        assert!(!hom_exists(&a_hat, &b_hat));
+    }
+
+    #[test]
+    fn full_partite_sets_and_no_disequalities() {
+        let q = parse_query("ans(x) :- F(x, y)").unwrap();
+        let db = friends_db();
+        let b = build_b_structure(&q, &db).unwrap();
+        let a_hat = build_a_hat(&q);
+        let parts = PartiteSets::full(1, db.universe_size());
+        let (b_hat, decode) = build_b_hat(&q, &b, &parts, &ColouringFamily::empty());
+        assert!(hom_exists(&a_hat, &b_hat));
+        // decode table covers position 0 (free, 4 values) and position 1 (existential, 4 values)
+        assert_eq!(decode.len(), 8);
+        assert!(decode.iter().any(|&(p, _)| p == 1));
+    }
+
+    #[test]
+    fn negated_atoms_are_respected_in_b_hat() {
+        let q = parse_query("ans(x, y) :- F(x, y), !F(y, x)").unwrap();
+        let db = friends_db();
+        let b = build_b_structure(&q, &db).unwrap();
+        let a_hat = build_a_hat(&q);
+        let parts = PartiteSets::full(2, db.universe_size());
+        let (b_hat, _) = build_b_hat(&q, &b, &parts, &ColouringFamily::empty());
+        // (0,1) is an answer because F(0,1) holds and F(1,0) does not
+        assert!(hom_exists(&a_hat, &b_hat));
+    }
+}

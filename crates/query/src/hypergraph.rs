@@ -1,0 +1,85 @@
+//! The hypergraph `H(ϕ)` of a query (Definition 3).
+
+use crate::ast::Query;
+use cqc_hypergraph::Hypergraph;
+
+/// Build the hypergraph `H(ϕ)` of an ECQ (Definition 3): one vertex per
+/// variable and one hyperedge per positive or negated predicate.
+///
+/// Crucially, **no hyperedges are added for disequalities** — this is what
+/// makes the positive results of the paper (Theorems 5 and 13) stronger, and
+/// it is also why variables occurring only in disequalities appear as
+/// isolated vertices here.
+pub fn query_hypergraph(q: &Query) -> Hypergraph {
+    let mut h = Hypergraph::new(q.num_vars());
+    for lit in q.literals() {
+        let vars: Vec<usize> = lit.atom().vars.iter().map(|v| v.index()).collect();
+        h.add_edge(&vars);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+    use cqc_hypergraph::treewidth::treewidth_exact;
+
+    #[test]
+    fn friends_query_hypergraph() {
+        let q = parse_query("ans(x) :- F(x, y), F(x, z), y != z").unwrap();
+        let h = query_hypergraph(&q);
+        assert_eq!(h.num_vertices(), 3);
+        // two hyperedges {x,y}, {x,z}; the disequality contributes nothing
+        assert_eq!(h.num_edges(), 2);
+        let (tw, _) = treewidth_exact(&h);
+        assert_eq!(tw, 1);
+    }
+
+    #[test]
+    fn hamilton_path_query_has_treewidth_one() {
+        // Observation 10: H(ϕ) is the path x1, ..., xn despite the n(n-1)/2
+        // disequalities.
+        let q = parse_query(
+            "ans(x1, x2, x3, x4) :- E(x1, x2), E(x2, x3), E(x3, x4), \
+             x1 != x2, x1 != x3, x1 != x4, x2 != x3, x2 != x4, x3 != x4",
+        )
+        .unwrap();
+        let h = query_hypergraph(&q);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.arity(), 2);
+        let (tw, _) = treewidth_exact(&h);
+        assert_eq!(tw, 1);
+    }
+
+    #[test]
+    fn negated_atoms_contribute_hyperedges() {
+        let q = parse_query("ans(x, y) :- E(x, y), !F(y, z)").unwrap();
+        let h = query_hypergraph(&q);
+        assert_eq!(h.num_edges(), 2);
+    }
+
+    #[test]
+    fn duplicate_atom_scopes_collapse() {
+        let q = parse_query("ans(x) :- E(x, y), F(x, y)").unwrap();
+        let h = query_hypergraph(&q);
+        // both atoms have scope {x,y}; the hypergraph has a single edge
+        assert_eq!(h.num_edges(), 1);
+    }
+
+    #[test]
+    fn higher_arity_atoms() {
+        let q = parse_query("ans(x) :- R(x, y, z), S(z, w)").unwrap();
+        let h = query_hypergraph(&q);
+        assert_eq!(h.arity(), 3);
+        assert_eq!(h.num_vertices(), 4);
+    }
+
+    #[test]
+    fn variable_only_in_disequality_is_isolated() {
+        let q = parse_query("ans(x, y) :- V(x), x != y").unwrap();
+        let h = query_hypergraph(&q);
+        let yi = q.variable("y").unwrap().index();
+        assert!(h.is_isolated(yi));
+    }
+}

@@ -1,0 +1,316 @@
+//! A small textual syntax for extended conjunctive queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query   ::= head ":-" body
+//! head    ::= ident "(" [ident {"," ident}] ")"
+//! body    ::= literal {"," literal}
+//! literal ::= atom | "!" atom | "not" atom | ident "!=" ident | ident "=" ident
+//! atom    ::= ident "(" ident {"," ident} ")"
+//! ident   ::= [A-Za-z_][A-Za-z0-9_]*
+//! ```
+//!
+//! The head predicate name is ignored (conventionally `ans`); its arguments
+//! are the free variables. Example — the "two distinct friends" query (1)
+//! from the paper's introduction:
+//!
+//! ```
+//! use cqc_query::parse_query;
+//! let q = parse_query("ans(x) :- F(x, y), F(x, z), y != z").unwrap();
+//! assert_eq!(q.num_free_vars(), 1);
+//! assert_eq!(q.disequalities().len(), 1);
+//! ```
+
+use crate::ast::{Query, QueryError};
+use crate::builder::QueryBuilder;
+
+/// Parse a query from its textual form.
+pub fn parse_query(input: &str) -> Result<Query, QueryError> {
+    let mut tokens = tokenize(input)?;
+    tokens.reverse(); // use as a stack, pop from the end
+
+    let mut builder = QueryBuilder::new();
+
+    // head
+    let _head_name = expect_ident(&mut tokens)?;
+    expect(&mut tokens, Token::LParen)?;
+    let mut free = Vec::new();
+    if peek(&tokens) != Some(&Token::RParen) {
+        loop {
+            let name = expect_ident(&mut tokens)?;
+            free.push(builder.var(&name));
+            match tokens.pop() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                other => return Err(unexpected(other, "',' or ')'")),
+            }
+        }
+    } else {
+        tokens.pop();
+    }
+    builder.free(&free);
+    expect(&mut tokens, Token::Turnstile)?;
+
+    // body
+    loop {
+        let negated = match peek(&tokens) {
+            Some(Token::Bang) => {
+                tokens.pop();
+                true
+            }
+            Some(Token::Ident(s)) if s == "not" && matches!(tokens.get(tokens.len().wrapping_sub(2)), Some(Token::Ident(_))) => {
+                tokens.pop();
+                true
+            }
+            _ => false,
+        };
+        let first = expect_ident(&mut tokens)?;
+        match tokens.pop() {
+            Some(Token::LParen) => {
+                // relational atom
+                let mut vars = Vec::new();
+                loop {
+                    let name = expect_ident(&mut tokens)?;
+                    vars.push(builder.var(&name));
+                    match tokens.pop() {
+                        Some(Token::Comma) => continue,
+                        Some(Token::RParen) => break,
+                        other => return Err(unexpected(other, "',' or ')'")),
+                    }
+                }
+                if negated {
+                    builder.negated_atom(&first, &vars);
+                } else {
+                    builder.atom(&first, &vars);
+                }
+            }
+            Some(Token::NotEqual) => {
+                if negated {
+                    return Err(QueryError::Parse(
+                        "'!' cannot be applied to a disequality".into(),
+                    ));
+                }
+                let second = expect_ident(&mut tokens)?;
+                let u = builder.var(&first);
+                let v = builder.var(&second);
+                builder.disequality(u, v);
+            }
+            Some(Token::Equal) => {
+                if negated {
+                    return Err(QueryError::Parse(
+                        "'!' cannot be applied to an equality; use '!=' instead".into(),
+                    ));
+                }
+                let second = expect_ident(&mut tokens)?;
+                let u = builder.var(&first);
+                let v = builder.var(&second);
+                builder.equality(u, v);
+            }
+            other => return Err(unexpected(other, "'(' , '!=' or '='")),
+        }
+        match tokens.pop() {
+            Some(Token::Comma) => continue,
+            None => break,
+            other => return Err(unexpected(other, "',' or end of input")),
+        }
+    }
+
+    builder.build()
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Turnstile,
+    Bang,
+    NotEqual,
+    Equal,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ':' => {
+                if chars.get(i + 1) == Some(&'-') {
+                    out.push(Token::Turnstile);
+                    i += 2;
+                } else {
+                    return Err(QueryError::Parse(format!(
+                        "unexpected ':' at position {i} (expected ':-')"
+                    )));
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::NotEqual);
+                    i += 2;
+                } else {
+                    out.push(Token::Bang);
+                    i += 1;
+                }
+            }
+            '¬' => {
+                out.push(Token::Bang);
+                i += 1;
+            }
+            '≠' => {
+                out.push(Token::NotEqual);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Equal);
+                i += 1;
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(QueryError::Parse(format!(
+                    "unexpected character '{other}' at position {i}"
+                )))
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(QueryError::Parse("empty query".into()));
+    }
+    Ok(out)
+}
+
+fn peek(tokens: &[Token]) -> Option<&Token> {
+    tokens.last()
+}
+
+fn expect(tokens: &mut Vec<Token>, t: Token) -> Result<(), QueryError> {
+    match tokens.pop() {
+        Some(tok) if tok == t => Ok(()),
+        other => Err(unexpected(other, &format!("{t:?}"))),
+    }
+}
+
+fn expect_ident(tokens: &mut Vec<Token>) -> Result<String, QueryError> {
+    match tokens.pop() {
+        Some(Token::Ident(s)) => Ok(s),
+        other => Err(unexpected(other, "identifier")),
+    }
+}
+
+fn unexpected(got: Option<Token>, expected: &str) -> QueryError {
+    match got {
+        Some(t) => QueryError::Parse(format!("unexpected token {t:?}, expected {expected}")),
+        None => QueryError::Parse(format!("unexpected end of input, expected {expected}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::QueryClass;
+
+    #[test]
+    fn parse_friends_query() {
+        let q = parse_query("ans(x) :- F(x, y), F(x, z), y != z").unwrap();
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(q.num_free_vars(), 1);
+        assert_eq!(q.class(), QueryClass::DCQ);
+        assert_eq!(q.disequalities().len(), 1);
+    }
+
+    #[test]
+    fn parse_negation_with_bang_and_not() {
+        let q = parse_query("ans(x, y) :- E(x, y), !F(x, y)").unwrap();
+        assert_eq!(q.num_negated(), 1);
+        assert_eq!(q.class(), QueryClass::ECQ);
+        let q = parse_query("ans(x, y) :- E(x, y), not F(x, y)").unwrap();
+        assert_eq!(q.num_negated(), 1);
+    }
+
+    #[test]
+    fn parse_equality_is_eliminated() {
+        let q = parse_query("ans(x) :- E(x, y), E(z, x), y = z").unwrap();
+        assert_eq!(q.num_vars(), 2);
+        assert_eq!(q.class(), QueryClass::CQ);
+    }
+
+    #[test]
+    fn parse_boolean_query() {
+        let q = parse_query("ans() :- E(x, y), E(y, z)").unwrap();
+        assert_eq!(q.num_free_vars(), 0);
+        assert_eq!(q.num_vars(), 3);
+    }
+
+    #[test]
+    fn parse_unicode_operators() {
+        let q = parse_query("ans(x) :- E(x, y), ¬F(x, y), x ≠ y").unwrap();
+        assert_eq!(q.num_negated(), 1);
+        assert_eq!(q.disequalities().len(), 1);
+    }
+
+    #[test]
+    fn parse_ternary_atoms() {
+        let q = parse_query("ans(x, y) :- R(x, y, z), S(z)").unwrap();
+        assert_eq!(q.max_arity(), 3);
+        assert_eq!(q.positive_atoms().count(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("ans(x)").is_err());
+        assert!(parse_query("ans(x) : E(x, y)").is_err());
+        assert!(parse_query("ans(x) :- E(x, y,, z)").is_err());
+        assert!(parse_query("ans(x) :- E(x y)").is_err());
+        assert!(parse_query("ans(x) :- !x != y").is_err());
+        assert!(parse_query("ans(x) :- E(x, y) E(y, z)").is_err());
+        assert!(parse_query("ans(x) :- #E(x, y)").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_semantic_errors() {
+        // unconstrained variable in the head
+        assert!(parse_query("ans(w) :- E(x, y)").is_err());
+        // inconsistent arity
+        assert!(parse_query("ans(x) :- E(x, y), E(x, y, z)").is_err());
+        // reflexive disequality
+        assert!(parse_query("ans(x) :- E(x, y), x != x").is_err());
+    }
+
+    #[test]
+    fn hamilton_path_query_of_observation_10() {
+        // n = 4: ϕ(x1..x4) = Λ E(xi, xi+1) ∧ Λ_{i<j} xi ≠ xj
+        let q = parse_query(
+            "ans(x1, x2, x3, x4) :- E(x1, x2), E(x2, x3), E(x3, x4), \
+             x1 != x2, x1 != x3, x1 != x4, x2 != x3, x2 != x4, x3 != x4",
+        )
+        .unwrap();
+        assert_eq!(q.num_vars(), 4);
+        assert_eq!(q.num_free_vars(), 4);
+        assert_eq!(q.disequalities().len(), 6);
+        assert_eq!(q.class(), QueryClass::DCQ);
+    }
+}

@@ -1,0 +1,173 @@
+//! Random graph and database generators.
+
+use cqc_data::{Structure, StructureBuilder};
+use rand::Rng;
+
+/// A generated graph: vertex count plus directed edge list.
+#[derive(Debug, Clone)]
+pub struct GraphSpec {
+    /// Number of vertices.
+    pub n: usize,
+    /// Directed edges (u, v).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl GraphSpec {
+    /// The undirected edge list (deduplicated, u < v).
+    pub fn undirected_edges(&self) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .filter(|&(u, v)| u != v)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// An Erdős–Rényi digraph `G(n, p)` (no self-loops).
+pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> GraphSpec {
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen::<f64>() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    GraphSpec { n, edges }
+}
+
+/// A random graph in which every vertex gets exactly `out_degree` distinct
+/// out-neighbours (a cheap stand-in for random regular graphs).
+pub fn random_regularish<R: Rng>(n: usize, out_degree: usize, rng: &mut R) -> GraphSpec {
+    assert!(out_degree < n);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < out_degree {
+            let v = rng.gen_range(0..n);
+            if v != u {
+                chosen.insert(v);
+            }
+        }
+        edges.extend(chosen.into_iter().map(|v| (u, v)));
+    }
+    GraphSpec { n, edges }
+}
+
+/// An `rows × cols` grid graph (edges in both directions).
+pub fn grid_graph(rows: usize, cols: usize) -> GraphSpec {
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+                edges.push((id(r, c + 1), id(r, c)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+                edges.push((id(r + 1, c), id(r, c)));
+            }
+        }
+    }
+    GraphSpec {
+        n: rows * cols,
+        edges,
+    }
+}
+
+/// Turn a graph into a relational database with a single binary relation.
+/// `symmetric` adds both orientations of every edge.
+pub fn graph_database(spec: &GraphSpec, relation: &str, symmetric: bool) -> Structure {
+    let mut b = StructureBuilder::new(spec.n);
+    b.relation(relation, 2);
+    for &(u, v) in &spec.edges {
+        b.fact(relation, &[u as u32, v as u32]).unwrap();
+        if symmetric {
+            b.fact(relation, &[v as u32, u as u32]).unwrap();
+        }
+    }
+    b.build()
+}
+
+/// A random database for a ternary relation `R(a, b, c)` with `facts` facts —
+/// used by the unbounded-arity experiments (Theorems 13 and 16).
+pub fn random_ternary_database<R: Rng>(n: usize, facts: usize, rng: &mut R) -> Structure {
+    let mut b = StructureBuilder::new(n);
+    b.relation("R", 3);
+    b.relation("E", 2);
+    for _ in 0..facts {
+        let t = [
+            rng.gen_range(0..n as u32),
+            rng.gen_range(0..n as u32),
+            rng.gen_range(0..n as u32),
+        ];
+        b.fact("R", &t).unwrap();
+    }
+    for _ in 0..facts {
+        b.fact("E", &[rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)])
+            .unwrap();
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_density() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi(50, 0.1, &mut rng);
+        let expected = 50.0 * 49.0 * 0.1;
+        assert!((g.edges.len() as f64 - expected).abs() < 0.5 * expected);
+        assert!(g.edges.iter().all(|&(u, v)| u != v && u < 50 && v < 50));
+    }
+
+    #[test]
+    fn regularish_degrees() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_regularish(20, 3, &mut rng);
+        assert_eq!(g.edges.len(), 60);
+        for u in 0..20 {
+            assert_eq!(g.edges.iter().filter(|&&(a, _)| a == u).count(), 3);
+        }
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid_graph(3, 4);
+        assert_eq!(g.n, 12);
+        // 2 * (3*3 + 2*4) = 34 directed edges
+        assert_eq!(g.edges.len(), 34);
+        let und = g.undirected_edges();
+        assert_eq!(und.len(), 17);
+    }
+
+    #[test]
+    fn database_construction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi(10, 0.2, &mut rng);
+        let db = graph_database(&g, "E", false);
+        assert_eq!(db.universe_size(), 10);
+        assert_eq!(db.fact_count(), g.edges.len());
+        let sym = graph_database(&g, "E", true);
+        assert!(sym.fact_count() >= db.fact_count());
+    }
+
+    #[test]
+    fn ternary_database() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let db = random_ternary_database(12, 30, &mut rng);
+        let r = db.signature().symbol("R").unwrap();
+        assert_eq!(db.signature().arity(r), 3);
+        assert!(db.relation(r).len() <= 30);
+        assert!(db.signature().symbol("E").is_some());
+    }
+}

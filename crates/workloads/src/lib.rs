@@ -1,0 +1,18 @@
+//! # cqc-workloads — workload generators for the experiments
+//!
+//! Random graphs and databases, plus the query families used throughout the
+//! paper's discussion and in EXPERIMENTS.md: path/star/clique queries, the
+//! footnote-4 quantified-star query, the Hamiltonian-path DCQ of
+//! Observation 10, locally-injective-homomorphism encodings (Corollary 6) and
+//! higher-arity families for the unbounded-arity results (Theorems 13/16).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graphs;
+pub mod queries;
+
+pub use graphs::{erdos_renyi, graph_database, grid_graph, random_regularish, GraphSpec};
+pub use queries::{
+    clique_query, footnote4_star_query, hyperchain_query, path_query, star_query, QuerySpec,
+};

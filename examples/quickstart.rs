@@ -1,0 +1,38 @@
+//! Quick start: count the answers of the paper's running example query (1)
+//! on a small social network, comparing the exact count, the FPTRAS estimate
+//! and a uniform sample of answers.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use cqcount::prelude::*;
+
+fn main() {
+    // Build a small "friendship" database. F(a, b) = "a lists b as a friend".
+    let people = ["ada", "bob", "cho", "dee", "eli", "fay"];
+    let mut b = StructureBuilder::new(people.len());
+    b.relation("F", 2);
+    b.element_names(&people);
+    for (u, v) in [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 0), (5, 0)] {
+        b.fact("F", &[u, v]).unwrap();
+    }
+    let db = b.build();
+    println!("{db}");
+
+    // ϕ(x) = ∃y ∃z F(x,y) ∧ F(x,z) ∧ y ≠ z — "x has at least two distinct friends"
+    let q = parse_query("ans(x) :- F(x, y), F(x, z), y != z").unwrap();
+    println!("query: {q}   (class {:?}, ‖ϕ‖ = {})", q.class(), q.size());
+
+    let exact = exact_count_answers(&q, &db);
+    println!("exact count:      {exact}");
+
+    let cfg = ApproxConfig::new(0.2, 0.05).with_seed(42);
+    let est = approx_count_answers(&q, &db, &cfg).unwrap();
+    println!(
+        "approx count:     {:.1}   (method {:?}, exact? {})",
+        est.estimate, est.method, est.exact
+    );
+
+    let samples = sample_answers(&q, &db, 5, &cfg).unwrap();
+    let names: Vec<&str> = samples.iter().map(|t| people[t[0].index()]).collect();
+    println!("sampled answers:  {names:?}");
+}

@@ -1,0 +1,60 @@
+//! # cqcount — approximately counting answers to conjunctive queries with
+//! disequalities and negations
+//!
+//! A from-scratch Rust implementation of the PODS 2022 paper by Focke,
+//! Goldberg, Roth and Živný, including every substrate it builds on. This
+//! facade crate re-exports the workspace crates under stable names:
+//!
+//! * [`data`] — relational databases / structures,
+//! * [`hypergraph`] — hypergraphs, tree decompositions, width measures,
+//! * [`query`] — CQ / DCQ / ECQ queries, parsing, associated structures,
+//! * [`hom`] — homomorphism decision and counting engines,
+//! * [`dlm`] — oracle-based approximate edge counting
+//!   (Dell–Lapinskas–Meeks framework),
+//! * [`automata`] — tree automata and #TA counting,
+//! * [`core`] — the paper's algorithms (FPTRAS, FPRAS, sampling, unions,
+//!   locally injective homomorphisms, the Observation 10 construction),
+//! * [`workloads`] — generators used by the examples and benchmarks.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cqcount::prelude::*;
+//!
+//! // A small social network: F(a, b) means "a counts b as a friend".
+//! let mut b = StructureBuilder::new(5);
+//! b.relation("F", 2);
+//! for (u, v) in [(0, 1), (0, 2), (1, 3), (3, 0), (3, 4)] {
+//!     b.fact("F", &[u, v]).unwrap();
+//! }
+//! let db = b.build();
+//!
+//! // The paper's query (1): people with at least two *distinct* friends.
+//! let q = parse_query("ans(x) :- F(x, y), F(x, z), y != z").unwrap();
+//!
+//! let cfg = ApproxConfig::new(0.25, 0.05);
+//! let estimate = approx_count_answers(&q, &db, &cfg).unwrap();
+//! assert_eq!(estimate.estimate, 2.0); // persons 0 and 3
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use cqc_automata as automata;
+pub use cqc_core as core;
+pub use cqc_data as data;
+pub use cqc_dlm as dlm;
+pub use cqc_hom as hom;
+pub use cqc_hypergraph as hypergraph;
+pub use cqc_query as query;
+pub use cqc_workloads as workloads;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use cqc_core::{
+        approx_count_answers, count_locally_injective_homomorphisms, count_union,
+        exact_count_answers, fpras_count, fptras_count, hamiltonian_path_query, naive_monte_carlo,
+        sample_answers, undirected_graph_database, ApproxConfig, CountEstimate, CountMethod,
+    };
+    pub use cqc_data::{Database, Structure, StructureBuilder, Val};
+    pub use cqc_query::{parse_query, Query, QueryBuilder, QueryClass};
+}
