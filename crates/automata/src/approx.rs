@@ -192,14 +192,15 @@ fn estimate_union<R: Rng>(
             pick -= c.weight;
             idx = i;
         }
-        let Some(labeling) = draw_from_component(shape, node, children, info, &components[idx], rng)
+        let Some(labeling) =
+            draw_from_component(shape, node, children, info, &components[idx], rng)
         else {
             continue;
         };
         // canonical test: idx is the first component containing the labelling
-        let first = components.iter().position(|c| {
-            membership(a, shape, node, children, c, &labeling)
-        });
+        let first = components
+            .iter()
+            .position(|c| membership(a, shape, node, children, c, &labeling));
         if first == Some(idx) {
             canonical += 1;
             if pool.len() < config.sample_pool {

@@ -190,9 +190,6 @@ mod tests {
             a.add_transition(0, label, TransitionTarget::Leaf);
         }
         assert_eq!(count_slice_bruteforce(&a, 1), 3);
-        assert_eq!(
-            count_labelings_fixed_shape(&a, &TreeShape::single()),
-            3
-        );
+        assert_eq!(count_labelings_fixed_shape(&a, &TreeShape::single()), 3);
     }
 }

@@ -6,12 +6,12 @@
 //! query (1) (one disequality), complementing the accuracy-vs-`Q` series of
 //! `report ablation-colour`.
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqc_core::{fptras_count, ApproxConfig};
 use cqc_workloads::{erdos_renyi, graph_database, star_query};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_colour");

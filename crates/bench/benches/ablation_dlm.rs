@@ -7,12 +7,12 @@
 //! digraph, at a sample budget where the naive estimator is already slower
 //! and still unreliable (see `report ablation-naive` for the accuracy side).
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqc_core::{fptras_count, naive_monte_carlo, ApproxConfig};
 use cqc_workloads::{erdos_renyi, graph_database, star_query};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_dlm");

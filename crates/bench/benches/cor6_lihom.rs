@@ -1,12 +1,12 @@
 //! E4 (Corollary 6): counting locally injective homomorphisms.
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqc_core::lihom::PatternGraph;
 use cqc_core::{count_locally_injective_homomorphisms, ApproxConfig};
 use cqc_workloads::erdos_renyi;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("cor6_lihom");

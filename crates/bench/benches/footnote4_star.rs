@@ -1,11 +1,11 @@
 //! E7 (footnote 4): brute force vs approximate counting for ∃y ⋀ E(y, xᵢ).
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqc_core::{approx_count_answers, exact_count_answers, ApproxConfig};
 use cqc_workloads::{erdos_renyi, footnote4_star_query, graph_database};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("footnote4");
@@ -20,7 +20,11 @@ fn bench(c: &mut Criterion) {
         let spec = footnote4_star_query(k, false);
         let cfg = ApproxConfig::new(0.3, 0.1).with_seed(k as u64);
         group.bench_with_input(BenchmarkId::new("approx", k), &k, |b, _| {
-            b.iter(|| approx_count_answers(&spec.query, &db, &cfg).unwrap().estimate)
+            b.iter(|| {
+                approx_count_answers(&spec.query, &db, &cfg)
+                    .unwrap()
+                    .estimate
+            })
         });
         group.bench_with_input(BenchmarkId::new("bruteforce", k), &k, |b, _| {
             b.iter(|| exact_count_answers(&spec.query, &db))

@@ -1,13 +1,13 @@
 //! Ablation: homomorphism engines (backtracking vs tree-decomposition DP) —
 //! the Hom oracle cost that dominates the FPTRAS inner loop.
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqc_data::StructureBuilder;
 use cqc_hom::{BacktrackingDecider, DecompositionDecider};
 use cqc_workloads::erdos_renyi;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("hom_engines");

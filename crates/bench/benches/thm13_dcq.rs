@@ -1,12 +1,12 @@
 //! E5 (Theorem 13): FPTRAS for DCQs over ternary relations (unbounded arity).
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqc_core::{fptras_count, ApproxConfig};
 use cqc_workloads::graphs::random_ternary_database;
 use cqc_workloads::hyperchain_query;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("thm13_dcq");

@@ -1,11 +1,11 @@
 //! E6 (Theorem 16): FPRAS for CQs of bounded fractional hypertreewidth.
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqc_core::{fpras_count, ApproxConfig};
 use cqc_workloads::{erdos_renyi, footnote4_star_query, graph_database};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("thm16_fpras");

@@ -1,11 +1,11 @@
 //! E1 (Theorem 5): FPTRAS for bounded-treewidth ECQs — runtime vs database size.
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqc_core::{fptras_count, ApproxConfig};
 use cqc_workloads::{erdos_renyi, graph_database, star_query};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("thm5_fptras");

@@ -1,11 +1,11 @@
 //! E10: width-measure computation cost (treewidth, hw, fhw, adaptive width).
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqc_hypergraph::adaptive::adaptive_width_bounds;
 use cqc_hypergraph::fwidth::{minimise_width, WidthMeasure};
 use cqc_hypergraph::treewidth::treewidth_exact;
 use cqc_hypergraph::Hypergraph;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
 
 fn grid(rows: usize, cols: usize) -> Hypergraph {
     let mut h = Hypergraph::new(rows * cols);

@@ -12,22 +12,22 @@
 //! laptop.
 
 use cqc_bench::{header, relative_error, row, timed};
-use cqc_core::{
-    approx_count_answers, count_locally_injective_homomorphisms, count_union,
-    exact_count_answers, fpras_count, fptras_count, hamiltonian_path_query, naive_monte_carlo,
-    sample_answers, undirected_graph_database, ApproxConfig,
-};
 use cqc_core::lihom::PatternGraph;
+use cqc_core::{
+    approx_count_answers, count_locally_injective_homomorphisms, count_union, exact_count_answers,
+    fpras_count, fptras_count, hamiltonian_path_query, naive_monte_carlo, sample_answers,
+    undirected_graph_database, ApproxConfig,
+};
 use cqc_data::Val;
 use cqc_hypergraph::adaptive::adaptive_width_bounds;
 use cqc_hypergraph::fwidth::{minimise_width, WidthMeasure};
 use cqc_hypergraph::treewidth::treewidth_exact;
 use cqc_query::{enumerate_answers, query_hypergraph};
-use cqc_workloads::{
-    clique_query, erdos_renyi, footnote4_star_query, graph_database, hyperchain_query,
-    path_query, star_query,
-};
 use cqc_workloads::graphs::random_ternary_database;
+use cqc_workloads::{
+    clique_query, erdos_renyi, footnote4_star_query, graph_database, hyperchain_query, path_query,
+    star_query,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -82,8 +82,20 @@ fn main() {
 /// E1 — Theorem 5: FPTRAS accuracy and scaling for bounded-treewidth ECQs.
 fn experiment_thm5(large: bool) {
     println!("\n== E1 (Theorem 5): FPTRAS for bounded-treewidth ECQs ==");
-    header(&["query", "n", "exact", "estimate", "rel.err", "hom calls", "secs"]);
-    let sizes: &[usize] = if large { &[50, 100, 200, 400] } else { &[30, 60] };
+    header(&[
+        "query",
+        "n",
+        "exact",
+        "estimate",
+        "rel.err",
+        "hom calls",
+        "secs",
+    ]);
+    let sizes: &[usize] = if large {
+        &[50, 100, 200, 400]
+    } else {
+        &[30, 60]
+    };
     let queries = vec![
         star_query(2, true),
         path_query(2, true, false),
@@ -204,7 +216,9 @@ fn experiment_cor6(large: bool) {
 /// E5 — Theorem 13: DCQs over ternary relations (unbounded arity).
 fn experiment_thm13(large: bool) {
     println!("\n== E5 (Theorem 13): FPTRAS for DCQs with ternary relations ==");
-    header(&["query", "n", "facts", "exact", "estimate", "rel.err", "secs"]);
+    header(&[
+        "query", "n", "facts", "exact", "estimate", "rel.err", "secs",
+    ]);
     let sizes: &[(usize, usize)] = if large {
         &[(30, 200), (60, 600), (90, 1200)]
     } else {
@@ -233,8 +247,22 @@ fn experiment_thm13(large: bool) {
 /// E6 — Theorem 16: FPRAS for CQs of bounded fractional hypertreewidth.
 fn experiment_thm16(large: bool) {
     println!("\n== E6 (Theorem 16): FPRAS for CQs (bounded fhw) ==");
-    header(&["query", "n", "exact", "estimate", "rel.err", "fhw", "states", "exact slice", "secs"]);
-    let sizes: &[usize] = if large { &[50, 100, 200, 400] } else { &[30, 60] };
+    header(&[
+        "query",
+        "n",
+        "exact",
+        "estimate",
+        "rel.err",
+        "fhw",
+        "states",
+        "exact slice",
+        "secs",
+    ]);
+    let sizes: &[usize] = if large {
+        &[50, 100, 200, 400]
+    } else {
+        &[30, 60]
+    };
     for &n in sizes {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let g = erdos_renyi(n, 4.0 / n as f64, &mut rng);
@@ -265,7 +293,16 @@ fn experiment_thm16(large: bool) {
 /// E7 — footnote 4: brute force vs FPRAS vs FPTRAS-with-disequalities.
 fn experiment_footnote4(large: bool) {
     println!("\n== E7 (footnote 4): ∃y ⋀ E(y, xᵢ) ==");
-    header(&["k", "distinct?", "n", "exact", "estimate", "method", "secs(exact)", "secs(approx)"]);
+    header(&[
+        "k",
+        "distinct?",
+        "n",
+        "exact",
+        "estimate",
+        "method",
+        "secs(exact)",
+        "secs(approx)",
+    ]);
     let n = if large { 120 } else { 40 };
     let ks: &[usize] = if large { &[2, 3, 4] } else { &[2, 3] };
     let mut rng = StdRng::seed_from_u64(4);
@@ -368,18 +405,15 @@ fn experiment_widths() {
                 &[&[0, 1], &[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 0]],
             ),
         ),
-        (
-            "clique(5)".into(),
-            {
-                let mut h = cqc_hypergraph::Hypergraph::new(5);
-                for i in 0..5 {
-                    for j in (i + 1)..5 {
-                        h.add_edge(&[i, j]);
-                    }
+        ("clique(5)".into(), {
+            let mut h = cqc_hypergraph::Hypergraph::new(5);
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    h.add_edge(&[i, j]);
                 }
-                h
-            },
-        ),
+            }
+            h
+        }),
         (
             "triangle-of-3-edges".into(),
             cqc_hypergraph::Hypergraph::from_edges(6, &[&[0, 1, 2], &[2, 3, 4], &[4, 5, 0]]),

@@ -81,9 +81,9 @@ impl Args {
     {
         match self.value_of(key) {
             None => Ok(default),
-            Some(raw) => raw.parse::<T>().map_err(|e| {
-                CliError::Usage(format!("invalid value `{raw}` for `--{key}`: {e}"))
-            }),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|e| CliError::Usage(format!("invalid value `{raw}` for `--{key}`: {e}"))),
         }
     }
 
@@ -137,8 +137,14 @@ mod tests {
 
     #[test]
     fn parses_subcommand_options_and_switches() {
-        let a = args_from(["count", "--query", "ans(x) :- E(x, y)", "--epsilon=0.1", "--quiet"])
-            .unwrap();
+        let a = args_from([
+            "count",
+            "--query",
+            "ans(x) :- E(x, y)",
+            "--epsilon=0.1",
+            "--quiet",
+        ])
+        .unwrap();
         assert_eq!(a.command.as_deref(), Some("count"));
         assert_eq!(a.value_of("query"), Some("ans(x) :- E(x, y)"));
         assert_eq!(a.value_of("epsilon"), Some("0.1"));
@@ -181,6 +187,9 @@ mod tests {
     #[test]
     fn positional_arguments_are_collected() {
         let a = args_from(["classify", "extra1", "extra2"]).unwrap();
-        assert_eq!(a.positional(), &["extra1".to_string(), "extra2".to_string()]);
+        assert_eq!(
+            a.positional(),
+            &["extra1".to_string(), "extra2".to_string()]
+        );
     }
 }

@@ -47,7 +47,9 @@ pub fn classify_query(query: &Query) -> Classification {
     let scheme = match class {
         QueryClass::CQ => "FPRAS (Theorem 16; bounded fhw) — and FPTRAS a fortiori",
         QueryClass::DCQ => "FPTRAS (Theorem 13; bounded adaptive width) — no FPRAS unless NP = RP",
-        QueryClass::ECQ => "FPTRAS (Theorem 5; bounded treewidth & arity) — no FPRAS unless NP = RP",
+        QueryClass::ECQ => {
+            "FPTRAS (Theorem 5; bounded treewidth & arity) — no FPRAS unless NP = RP"
+        }
     };
     Classification {
         class,
@@ -79,7 +81,12 @@ pub fn run_classify(args: &Args) -> Result<String, CliError> {
     )
     .unwrap();
     writeln!(out, "hypertreewidth ≤      : {:.3}", c.hypertreewidth).unwrap();
-    writeln!(out, "fractional htw ≤      : {:.3}", c.fractional_hypertreewidth).unwrap();
+    writeln!(
+        out,
+        "fractional htw ≤      : {:.3}",
+        c.fractional_hypertreewidth
+    )
+    .unwrap();
     writeln!(
         out,
         "adaptive width        : [{:.3}, {:.3}]",
@@ -87,6 +94,14 @@ pub fn run_classify(args: &Args) -> Result<String, CliError> {
     )
     .unwrap();
     writeln!(out, "scheme (Figure 1)     : {}", c.scheme).unwrap();
+    // What `Engine::prepare` would select under `Backend::Auto` — fully
+    // determined by the class, so no need to actually run the planner here.
+    writeln!(
+        out,
+        "engine plan           : {}",
+        cqc_core::auto_method(c.class)
+    )
+    .unwrap();
     Ok(out)
 }
 
@@ -139,12 +154,7 @@ mod tests {
     #[test]
     fn classify_command_renders_a_report() {
         let out = run_classify(
-            &args_from([
-                "classify",
-                "--query",
-                "ans(x) :- E(x, y), E(x, z), y != z",
-            ])
-            .unwrap(),
+            &args_from(["classify", "--query", "ans(x) :- E(x, y), E(x, z), y != z"]).unwrap(),
         )
         .unwrap();
         assert!(out.contains("class"));

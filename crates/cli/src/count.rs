@@ -1,104 +1,134 @@
 //! The `count` and `exact` commands: estimate or exactly compute
 //! `|Ans(ϕ, D)|`, reporting which scheme of Figure 1 was used.
+//!
+//! `count` is built on the prepared-query engine: the query is planned
+//! *once* (`Engine::prepare`), then evaluated against every given database
+//! — the first `--db` plus any extra facts files passed as positional
+//! arguments — `--repeat` times each, so the planning cost amortises across
+//! the whole run exactly as in the library API.
 
-use crate::common::{approx_config, load_database, load_query};
+use crate::common::{approx_config, load_database, load_facts_file, load_query};
 use crate::{Args, CliError};
-use cqc_core::{
-    approx_count_answers, exact_count_answers, fpras_count, fptras_count, CountMethod,
-};
-use cqc_query::QueryClass;
+use cqc_core::{exact_count_answers, Backend, EngineBuilder, PreparedQuery};
+use cqc_data::Structure;
 use std::fmt::Write as _;
 
-/// Which algorithm the user asked for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Method {
-    /// Dispatch on the query class (Figure 1).
-    Auto,
-    /// Force the FPRAS of Theorem 16 (CQs only).
-    Fpras,
-    /// Force the FPTRAS of Theorems 5 / 13.
-    Fptras,
-    /// Exact brute-force baseline.
-    Exact,
-}
-
-fn parse_method(raw: &str) -> Result<Method, CliError> {
+fn parse_backend(raw: &str) -> Result<Backend, CliError> {
     match raw {
-        "auto" => Ok(Method::Auto),
-        "fpras" => Ok(Method::Fpras),
-        "fptras" => Ok(Method::Fptras),
-        "exact" | "brute" | "bruteforce" => Ok(Method::Exact),
+        "auto" => Ok(Backend::Auto),
+        "fpras" => Ok(Backend::Fpras),
+        "fptras" => Ok(Backend::Fptras),
+        "exact" | "brute" | "bruteforce" => Ok(Backend::Exact),
         other => Err(CliError::Usage(format!(
             "unknown method `{other}` (expected auto | fpras | fptras | exact)"
         ))),
     }
 }
 
+/// Load the extra databases passed as positional facts files.
+fn load_extra_databases(args: &Args) -> Result<Vec<(String, Structure)>, CliError> {
+    args.positional()
+        .iter()
+        .map(|path| Ok((path.clone(), load_facts_file(path)?)))
+        .collect()
+}
+
+fn write_plan_header(out: &mut String, prepared: &PreparedQuery) {
+    let summary = prepared.plan_summary();
+    writeln!(out, "scheme      : {}", summary.method).unwrap();
+    if let Some(fhw) = summary.fhw {
+        writeln!(out, "fhw used    : {fhw:.3}").unwrap();
+    }
+    if let Some(tw) = summary.query_treewidth {
+        writeln!(out, "treewidth   : {tw}").unwrap();
+    }
+    if let Some(reps) = summary.colour_repetitions {
+        writeln!(out, "repetitions : {reps}").unwrap();
+    }
+    writeln!(
+        out,
+        "planned in  : {:.3} ms",
+        summary.planning_time.as_secs_f64() * 1e3
+    )
+    .unwrap();
+}
+
 /// Run `cqc count`.
 pub fn run_count(args: &Args) -> Result<String, CliError> {
     let query = load_query(args)?;
-    let db = load_database(args)?;
+    let first_db = load_database(args)?;
     let cfg = approx_config(args)?;
-    let method = parse_method(args.value_of("method").unwrap_or("auto"))?;
+    let backend = parse_backend(args.value_of("method").unwrap_or("auto"))?;
+    let repeat: usize = args.get_or("repeat", 1)?;
+    if repeat == 0 {
+        return Err(CliError::Usage("`--repeat` must be at least 1".into()));
+    }
     let quiet = args.switch("quiet");
+    let extra = load_extra_databases(args)?;
+
+    let engine = EngineBuilder::from_config(cfg.clone())
+        .backend(backend)
+        .build()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+
+    // Plan once; every evaluation below reuses the prepared query.
+    let prepared = engine
+        .prepare(&query)
+        .map_err(|e| CliError::Count(e.to_string()))?;
+
+    let mut dbs: Vec<(String, Structure)> = Vec::with_capacity(1 + extra.len());
+    dbs.push((args.value_of("db").unwrap_or("db").to_string(), first_db));
+    dbs.extend(extra);
 
     let mut out = String::new();
     if !quiet {
         writeln!(out, "query class : {:?}", query.class()).unwrap();
         writeln!(out, "‖ϕ‖         : {}", query.size()).unwrap();
         writeln!(out, "free vars   : {}", query.num_free_vars()).unwrap();
-        writeln!(out, "database    : {} elements, {} facts", db.universe_size(), db.fact_count())
+        for (name, db) in &dbs {
+            writeln!(
+                out,
+                "database    : {name} — {} elements, {} facts",
+                db.universe_size(),
+                db.fact_count()
+            )
             .unwrap();
+        }
         writeln!(out, "ε, δ        : {}, {}", cfg.epsilon, cfg.delta).unwrap();
+        write_plan_header(&mut out, &prepared);
     }
 
-    match method {
-        Method::Auto => {
-            let r = approx_count_answers(&query, &db, &cfg)
+    let mut total_eval = std::time::Duration::ZERO;
+    let mut evaluations = 0usize;
+    for (name, db) in &dbs {
+        let mut last_report = None;
+        for _ in 0..repeat {
+            let report = prepared
+                .count(db)
                 .map_err(|e| CliError::Count(e.to_string()))?;
-            let scheme = match r.method {
-                CountMethod::Fpras => "FPRAS (Theorem 16)",
-                CountMethod::Fptras => "FPTRAS (Theorems 5/13)",
-                CountMethod::Exact => "exact",
-            };
-            writeln!(out, "scheme      : {scheme}").unwrap();
-            writeln!(out, "exact value : {}", r.exact).unwrap();
-            writeln!(out, "estimate    : {}", r.estimate).unwrap();
+            total_eval += report.telemetry.wall;
+            evaluations += 1;
+            last_report = Some(report);
         }
-        Method::Fpras => {
-            if query.class() != QueryClass::CQ {
-                return Err(CliError::Count(
-                    "the FPRAS of Theorem 16 applies to plain CQs only; queries with \
-                     disequalities or negations admit no FPRAS unless NP = RP \
-                     (Observation 10) — use `--method fptras`"
-                        .into(),
-                ));
-            }
-            let r = fpras_count(&query, &db, &cfg).map_err(|e| CliError::Count(e.to_string()))?;
-            writeln!(out, "scheme      : FPRAS (Theorem 16)").unwrap();
-            writeln!(out, "fhw used    : {:.3}", r.fhw).unwrap();
-            writeln!(out, "automaton   : {} states over {} tree nodes", r.states, r.tree_nodes)
-                .unwrap();
-            writeln!(out, "exact value : {}", r.exact).unwrap();
-            writeln!(out, "estimate    : {}", r.estimate).unwrap();
+        // Report once per database (repeats are deterministic duplicates,
+        // run purely to demonstrate/measure plan amortisation).
+        let report = last_report.as_ref().unwrap();
+        if dbs.len() > 1 {
+            writeln!(out, "[{name}]").unwrap();
         }
-        Method::Fptras => {
-            let r = fptras_count(&query, &db, &cfg).map_err(|e| CliError::Count(e.to_string()))?;
-            writeln!(out, "scheme      : FPTRAS (Theorems 5/13)").unwrap();
-            if let Some(tw) = r.query_treewidth {
-                writeln!(out, "treewidth   : {tw}").unwrap();
-            }
-            writeln!(out, "oracle calls: {} EdgeFree, {} Hom", r.oracle_calls, r.hom_calls)
-                .unwrap();
-            writeln!(out, "repetitions : {}", r.repetitions).unwrap();
-            writeln!(out, "exact value : {}", r.exact).unwrap();
-            writeln!(out, "estimate    : {}", r.estimate).unwrap();
-        }
-        Method::Exact => {
-            let v = exact_count_answers(&query, &db);
-            writeln!(out, "scheme      : exact (brute-force baseline)").unwrap();
-            writeln!(out, "estimate    : {v}").unwrap();
-        }
+        writeln!(out, "exact?      : {}", report.exact).unwrap();
+        writeln!(out, "estimate    : {}", report.estimate).unwrap();
+    }
+
+    if !quiet && (repeat > 1 || dbs.len() > 1) {
+        writeln!(
+            out,
+            "evaluated   : {} run(s) in {:.3} ms total ({:.3} ms/run, plan reused)",
+            evaluations,
+            total_eval.as_secs_f64() * 1e3,
+            total_eval.as_secs_f64() * 1e3 / evaluations as f64
+        )
+        .unwrap();
     }
     Ok(out)
 }
@@ -136,13 +166,22 @@ E 3 5
 E 5 0
 ";
 
+    const DB2: &str = "\
+universe 4
+relation E 2
+E 0 1
+E 0 2
+E 3 1
+E 3 2
+";
+
     #[test]
     fn method_parsing() {
-        assert_eq!(parse_method("auto").unwrap(), Method::Auto);
-        assert_eq!(parse_method("fpras").unwrap(), Method::Fpras);
-        assert_eq!(parse_method("fptras").unwrap(), Method::Fptras);
-        assert_eq!(parse_method("brute").unwrap(), Method::Exact);
-        assert!(parse_method("magic").is_err());
+        assert_eq!(parse_backend("auto").unwrap(), Backend::Auto);
+        assert_eq!(parse_backend("fpras").unwrap(), Backend::Fpras);
+        assert_eq!(parse_backend("fptras").unwrap(), Backend::Fptras);
+        assert_eq!(parse_backend("brute").unwrap(), Backend::Exact);
+        assert!(parse_backend("magic").is_err());
     }
 
     #[test]
@@ -183,6 +222,86 @@ E 5 0
         .unwrap();
         assert!(out.contains("FPTRAS"), "{out}");
         assert!(out.contains("estimate"), "{out}");
+        assert!(out.contains("planned in"), "{out}");
+        std::fs::remove_file(db).ok();
+    }
+
+    #[test]
+    fn repeat_reuses_the_plan_and_reports_totals() {
+        let db = write_temp("repeat.facts", DB);
+        let out = run_count(
+            &args_from([
+                "count",
+                "--db",
+                db.to_str().unwrap(),
+                "--query",
+                "ans(x) :- E(x, y), E(x, z), y != z",
+                "--repeat",
+                "3",
+                "--seed",
+                "5",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("3 run(s)"), "{out}");
+        assert!(out.contains("plan reused"), "{out}");
+        std::fs::remove_file(db).ok();
+    }
+
+    #[test]
+    fn multiple_databases_share_one_plan() {
+        let db1 = write_temp("multi1.facts", DB);
+        let db2 = write_temp("multi2.facts", DB2);
+        let out = run_count(
+            &args_from([
+                "count",
+                "--db",
+                db1.to_str().unwrap(),
+                db2.to_str().unwrap(),
+                "--query",
+                "ans(x) :- E(x, y), E(x, z), y != z",
+                "--seed",
+                "9",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        // one estimate line per database, plus the amortisation summary
+        assert_eq!(out.matches("estimate    :").count(), 2, "{out}");
+        assert!(out.contains("2 run(s)"), "{out}");
+        // DB2: elements 0 and 3 each have two distinct out-neighbours
+        let last_estimate: f64 = out
+            .lines()
+            .rev()
+            .find(|l| l.starts_with("estimate"))
+            .and_then(|l| l.split(':').nth(1))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!((last_estimate - 2.0).abs() <= 1.0, "{out}");
+        std::fs::remove_file(db1).ok();
+        std::fs::remove_file(db2).ok();
+    }
+
+    #[test]
+    fn zero_repeat_is_rejected() {
+        let db = write_temp("zero.facts", DB);
+        let err = run_count(
+            &args_from([
+                "count",
+                "--db",
+                db.to_str().unwrap(),
+                "--query",
+                "ans(x, y) :- E(x, y)",
+                "--repeat",
+                "0",
+            ])
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
         std::fs::remove_file(db).ok();
     }
 
@@ -209,10 +328,8 @@ E 5 0
     #[test]
     fn missing_query_is_a_usage_error() {
         let db = write_temp("noquery.facts", DB);
-        let err = run_count(
-            &args_from(["count", "--db", db.to_str().unwrap()]).unwrap(),
-        )
-        .unwrap_err();
+        let err =
+            run_count(&args_from(["count", "--db", db.to_str().unwrap()]).unwrap()).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
         std::fs::remove_file(db).ok();
     }

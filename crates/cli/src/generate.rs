@@ -51,7 +51,9 @@ pub fn build_workload(args: &Args) -> Result<Structure, CliError> {
             let rows: usize = args.get_or("rows", 8)?;
             let cols: usize = args.get_or("cols", 8)?;
             if rows == 0 || cols == 0 {
-                return Err(CliError::Usage("`--rows` and `--cols` must be positive".into()));
+                return Err(CliError::Usage(
+                    "`--rows` and `--cols` must be positive".into(),
+                ));
             }
             let g = grid_graph(rows, cols);
             graph_database(&g, relation.as_deref().unwrap_or("E"), symmetric)
@@ -174,9 +176,12 @@ mod tests {
     }
 
     #[test]
-    fn ternary_workload_uses_arity_three(){
+    fn ternary_workload_uses_arity_three() {
         let out = run_generate(
-            &args_from(["generate", "--family", "ternary", "--n", "20", "--facts", "50"]).unwrap(),
+            &args_from([
+                "generate", "--family", "ternary", "--n", "20", "--facts", "50",
+            ])
+            .unwrap(),
         )
         .unwrap();
         let db = parse_facts(&out).unwrap();
@@ -225,13 +230,12 @@ mod tests {
 
     #[test]
     fn zero_sizes_are_rejected() {
-        assert!(run_generate(
-            &args_from(["generate", "--family", "er", "--n", "0"]).unwrap()
-        )
-        .is_err());
-        assert!(run_generate(
-            &args_from(["generate", "--family", "grid", "--rows", "0"]).unwrap()
-        )
-        .is_err());
+        assert!(
+            run_generate(&args_from(["generate", "--family", "er", "--n", "0"]).unwrap()).is_err()
+        );
+        assert!(
+            run_generate(&args_from(["generate", "--family", "grid", "--rows", "0"]).unwrap())
+                .is_err()
+        );
     }
 }

@@ -66,7 +66,8 @@ USAGE:
     cqc <COMMAND> [OPTIONS]
 
 COMMANDS:
-    count      Estimate |Ans(ϕ, D)| (FPRAS / FPTRAS / exact, dispatched per Figure 1)
+    count      Estimate |Ans(ϕ, D)| (plan once with the engine, then evaluate;
+               FPRAS / FPTRAS / exact dispatched per Figure 1)
     exact      Count |Ans(ϕ, D)| exactly (brute-force baseline)
     sample     Draw approximately uniform answers (Section 6)
     classify   Report the query class and its width measures (Figure 1 column)
@@ -76,11 +77,15 @@ COMMANDS:
 COMMON OPTIONS:
     --query TEXT          query in textual syntax, e.g. \"ans(x) :- E(x, y), E(x, z), y != z\"
     --query-file PATH     read the query text from a file instead
-    --db PATH             database in facts-file format
+    --db PATH             database in facts-file format; `count` accepts extra
+                          facts files as positional arguments and evaluates the
+                          single prepared plan against each of them
     --epsilon E           relative error (default 0.25)
     --delta D             failure probability (default 0.05)
     --seed S              RNG seed (default 0xC0FFEE)
     --method M            auto | fpras | fptras | exact   (count only, default auto)
+    --repeat N            evaluate each database N times reusing the prepared
+                          plan, reporting amortised timings (count only, default 1)
     --count N             number of samples                (sample only, default 10)
     --names               print element names instead of indices (sample only)
 
@@ -141,12 +146,16 @@ pub(crate) mod common {
         parse_query(text.trim()).map_err(|e| CliError::Query(e.to_string()))
     }
 
-    /// Load the database from `--db`.
-    pub fn load_database(args: &Args) -> Result<Structure, CliError> {
-        let path = args.require("db")?;
+    /// Load a facts file from disk.
+    pub fn load_facts_file(path: &str) -> Result<Structure, CliError> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| CliError::Io(format!("cannot read `{path}`: {e}")))?;
         parse_facts(&text).map_err(|e| CliError::Facts(e.to_string()))
+    }
+
+    /// Load the database from `--db`.
+    pub fn load_database(args: &Args) -> Result<Structure, CliError> {
+        load_facts_file(args.require("db")?)
     }
 
     /// Build the approximation configuration from the common options.

@@ -2,7 +2,7 @@
 
 use crate::common::{approx_config, load_database, load_query};
 use crate::{Args, CliError};
-use cqc_core::sample_answers;
+use cqc_core::{Backend, EngineBuilder};
 use std::fmt::Write as _;
 
 /// Run `cqc sample`.
@@ -13,8 +13,17 @@ pub fn run_sample(args: &Args) -> Result<String, CliError> {
     let count: usize = args.get_or("count", 10)?;
     let use_names = args.switch("names");
 
-    let samples =
-        sample_answers(&query, &db, count, &cfg).map_err(|e| CliError::Count(e.to_string()))?;
+    // Sampling always runs on the colour-coding oracle, so prepare with
+    // the FPTRAS backend and skip the CQ decomposition search entirely.
+    let prepared = EngineBuilder::from_config(cfg)
+        .backend(Backend::Fptras)
+        .build()
+        .map_err(|e| CliError::Usage(e.to_string()))?
+        .prepare(&query)
+        .map_err(|e| CliError::Count(e.to_string()))?;
+    let samples = prepared
+        .sample(&db, count)
+        .map_err(|e| CliError::Count(e.to_string()))?;
 
     let mut out = String::new();
     if samples.is_empty() {
@@ -110,7 +119,10 @@ element 3 dana
         )
         .unwrap();
         for line in out.lines().skip(1) {
-            assert!(line == "alice" || line == "dana", "unexpected sample line {line}");
+            assert!(
+                line == "alice" || line == "dana",
+                "unexpected sample line {line}"
+            );
         }
         std::fs::remove_file(db).ok();
     }

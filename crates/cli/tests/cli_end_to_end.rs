@@ -45,7 +45,15 @@ fn generate_count_sample_classify_pipeline() {
     //    library's exact baseline on the very same file
     let query_text = "ans(x) :- E(x, y), E(x, z), y != z";
     let out = run_cli(&[
-        "count", "--db", db_str, "--query", query_text, "--epsilon", "0.2", "--seed", "7",
+        "count",
+        "--db",
+        db_str,
+        "--query",
+        query_text,
+        "--epsilon",
+        "0.2",
+        "--seed",
+        "7",
     ])
     .unwrap();
     assert!(out.contains("FPTRAS"), "{out}");
@@ -79,7 +87,10 @@ fn generate_count_sample_classify_pipeline() {
     let answers = cqc_query::enumerate_answers(&q, &db);
     for line in out.lines().skip(1) {
         let v: u32 = line.trim().parse().unwrap();
-        assert!(answers.contains(&vec![cqc_data::Val(v)]), "sample {v} is not an answer");
+        assert!(
+            answers.contains(&vec![cqc_data::Val(v)]),
+            "sample {v} is not an answer"
+        );
     }
 
     // 5. classify reports the DCQ / treewidth-1 cell of Figure 1
@@ -101,7 +112,15 @@ fn forced_fpras_on_a_plain_cq_tracks_exact() {
 
     let query_text = "ans(x, y) :- E(x, z), E(z, y)";
     let out = run_cli(&[
-        "count", "--db", db_str, "--query", query_text, "--method", "fpras", "--epsilon", "0.2",
+        "count",
+        "--db",
+        db_str,
+        "--query",
+        query_text,
+        "--method",
+        "fpras",
+        "--epsilon",
+        "0.2",
     ])
     .unwrap();
     assert!(out.contains("FPRAS"), "{out}");
@@ -157,8 +176,14 @@ fn query_file_option_is_supported() {
 #[test]
 fn malformed_inputs_produce_helpful_errors() {
     // missing database file
-    let err = run_cli(&["count", "--db", "/nonexistent/x.facts", "--query", "ans(x) :- E(x, y)"])
-        .unwrap_err();
+    let err = run_cli(&[
+        "count",
+        "--db",
+        "/nonexistent/x.facts",
+        "--query",
+        "ans(x) :- E(x, y)",
+    ])
+    .unwrap_err();
     assert!(matches!(err, CliError::Io(_)));
 
     // malformed facts file

@@ -1,34 +1,15 @@
-//! Top-level configuration, result and dispatch types.
+//! Shared configuration plus the legacy one-shot entry points.
+//!
+//! The primary API is [`crate::Engine`] / [`crate::PreparedQuery`] (plan
+//! once, count many). The free functions here — [`approx_count_answers`],
+//! [`exact_count_answers`] — are thin wrappers kept for one-off calls and
+//! backwards compatibility; they re-plan the query on every call.
 
-use crate::fpras::fpras_count;
-use crate::fptras::fptras_count;
+use crate::engine::Engine;
+use crate::error::CoreError;
+use crate::report::CountMethod;
 use cqc_data::Structure;
-use cqc_query::{count_answers_via_solutions, Query, QueryClass};
-use std::fmt;
-
-/// Errors surfaced by the counting algorithms.
-#[derive(Debug, Clone)]
-pub enum CoreError {
-    /// `sig(ϕ) ⊄ sig(D)` or another database/query mismatch.
-    IncompatibleDatabase(String),
-    /// The requested algorithm does not apply to this query class
-    /// (e.g. FPRAS requested for a DCQ — ruled out by Observation 10).
-    UnsupportedQueryClass(String),
-    /// An internal invariant was violated (always a bug).
-    InternalInvariant(String),
-}
-
-impl fmt::Display for CoreError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CoreError::IncompatibleDatabase(m) => write!(f, "incompatible database: {m}"),
-            CoreError::UnsupportedQueryClass(m) => write!(f, "unsupported query class: {m}"),
-            CoreError::InternalInvariant(m) => write!(f, "internal invariant violated: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for CoreError {}
+use cqc_query::{count_answers_via_solutions, Query};
 
 /// Configuration shared by all approximate counters.
 #[derive(Debug, Clone)]
@@ -76,20 +57,33 @@ impl ApproxConfig {
         self.seed = seed;
         self
     }
+
+    /// Check that the accuracy parameters are usable: `ε, δ ∈ (0, 1)`.
+    ///
+    /// Called by [`crate::EngineBuilder::build`], [`crate::Engine::prepare`]
+    /// and the legacy one-shot wrappers, so every entry point rejects an
+    /// out-of-range configuration with the same
+    /// [`PlanError::InvalidConfig`](crate::PlanError::InvalidConfig) instead
+    /// of running the samplers with a nonsensical budget.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(0.0 < self.epsilon && self.epsilon < 1.0) {
+            return Err(CoreError::invalid_config(format!(
+                "ε must lie in (0, 1), got {}",
+                self.epsilon
+            )));
+        }
+        if !(0.0 < self.delta && self.delta < 1.0) {
+            return Err(CoreError::invalid_config(format!(
+                "δ must lie in (0, 1), got {}",
+                self.delta
+            )));
+        }
+        Ok(())
+    }
 }
 
-/// Which algorithm produced a [`CountEstimate`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CountMethod {
-    /// The FPRAS of Theorem 16 (CQs of bounded fractional hypertreewidth).
-    Fpras,
-    /// The FPTRAS of Theorems 5 / 13 (ECQs / DCQs).
-    Fptras,
-    /// Exact baseline.
-    Exact,
-}
-
-/// The result of [`approx_count_answers`].
+/// The result of [`approx_count_answers`] (legacy; the engine API returns
+/// the richer [`crate::EstimateReport`]).
 #[derive(Debug, Clone)]
 pub struct CountEstimate {
     /// The estimate of `|Ans(ϕ, D)|`.
@@ -105,29 +99,25 @@ pub struct CountEstimate {
 ///
 /// * plain CQs → the FPRAS of Theorem 16,
 /// * DCQs and ECQs → the FPTRAS of Theorems 5 / 13.
+///
+/// Legacy one-shot wrapper over [`Engine::prepare`] +
+/// [`crate::PreparedQuery::count`]: the query is re-planned on every call.
+/// When evaluating the same query against several databases (or repeatedly),
+/// prepare it once instead — the estimates are bit-identical for the same
+/// seed.
 pub fn approx_count_answers(
     query: &Query,
     db: &Structure,
     config: &ApproxConfig,
 ) -> Result<CountEstimate, CoreError> {
-    match query.class() {
-        QueryClass::CQ => {
-            let r = fpras_count(query, db, config)?;
-            Ok(CountEstimate {
-                estimate: r.estimate,
-                method: CountMethod::Fpras,
-                exact: r.exact,
-            })
-        }
-        QueryClass::DCQ | QueryClass::ECQ => {
-            let r = fptras_count(query, db, config)?;
-            Ok(CountEstimate {
-                estimate: r.estimate,
-                method: CountMethod::Fptras,
-                exact: r.exact,
-            })
-        }
-    }
+    let report = Engine::from_config(config.clone())
+        .prepare(query)?
+        .count(db)?;
+    Ok(CountEstimate {
+        estimate: report.estimate,
+        method: report.method,
+        exact: report.exact,
+    })
 }
 
 /// Exact answer counting (baseline; exponential in the query size).
@@ -138,6 +128,7 @@ pub fn exact_count_answers(query: &Query, db: &Structure) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::{EvalError, PlanError};
     use cqc_data::StructureBuilder;
     use cqc_query::parse_query;
 
@@ -181,11 +172,20 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = CoreError::UnsupportedQueryClass("x".into());
+        let e = CoreError::unsupported_query_class("x");
         assert!(e.to_string().contains("unsupported"));
-        let e = CoreError::IncompatibleDatabase("y".into());
+        let e = CoreError::incompatible_database("y");
         assert!(e.to_string().contains("incompatible"));
-        let e = CoreError::InternalInvariant("z".into());
+        let e = CoreError::plan_internal("z");
         assert!(e.to_string().contains("invariant"));
+        // the typed hierarchy splits plan-time from eval-time failures
+        assert!(matches!(
+            CoreError::unsupported_query_class("x"),
+            CoreError::Plan(PlanError::UnsupportedQueryClass(_))
+        ));
+        assert!(matches!(
+            CoreError::incompatible_database("y"),
+            CoreError::Eval(EvalError::IncompatibleDatabase(_))
+        ));
     }
 }

@@ -1,0 +1,551 @@
+//! The `Engine` / `PreparedQuery` API: plan once, count many.
+//!
+//! The paper separates expensive *query-side* analysis — class dispatch
+//! (Figure 1), the fractional-hypertreewidth decomposition search
+//! (Lemma 43), the tree-automaton skeleton of Lemma 52, and the
+//! colour-coding repetition budget of Lemma 22 — from *data-side*
+//! evaluation, whose cost depends on the database. This module exposes that
+//! separation: an [`Engine`] holds the accuracy configuration and backend
+//! policy, [`Engine::prepare`] performs all query-side work once, and the
+//! resulting [`PreparedQuery`] evaluates against any number of databases
+//! via [`PreparedQuery::count`], [`PreparedQuery::count_batch`] and
+//! [`PreparedQuery::sample`].
+//!
+//! ```
+//! use cqc_core::{Engine, EstimateReport};
+//! use cqc_data::StructureBuilder;
+//! use cqc_query::parse_query;
+//!
+//! let engine = Engine::builder().accuracy(0.25, 0.05).seed(7).build().unwrap();
+//! let query = parse_query("ans(x) :- E(x, y), E(x, z), y != z").unwrap();
+//! let prepared = engine.prepare(&query).unwrap();
+//!
+//! let mut b = StructureBuilder::new(3);
+//! b.relation("E", 2);
+//! b.fact("E", &[0, 1]).unwrap();
+//! b.fact("E", &[0, 2]).unwrap();
+//! let db = b.build();
+//!
+//! let report: EstimateReport = prepared.count(&db).unwrap();
+//! assert_eq!(report.estimate, 1.0); // only element 0 has two distinct friends
+//! ```
+
+use crate::api::{exact_count_answers, ApproxConfig};
+use crate::error::CoreError;
+use crate::fpras::{fpras_count_with_plan, plan_fpras, FprasPlan};
+use crate::fptras::{fptras_count_with_plan, plan_fptras, FptrasPlan};
+use crate::report::{CountMethod, EstimateReport};
+use crate::sampling::sample_answers_with_plan;
+use cqc_data::{Structure, Val};
+use cqc_query::{Query, QueryClass};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Which counting backend an [`Engine`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Dispatch on the query class along Figure 1 of the paper: plain CQs →
+    /// FPRAS (Theorem 16), DCQs/ECQs → FPTRAS (Theorems 5/13).
+    #[default]
+    Auto,
+    /// Force the FPRAS of Theorem 16 (fails to prepare for DCQs/ECQs —
+    /// Observation 10 rules an FPRAS out unless NP = RP).
+    Fpras,
+    /// Force the FPTRAS of Theorems 5 / 13 (works for every query class).
+    Fptras,
+    /// Exact counting via solution enumeration (the baseline `cqc exact`
+    /// uses; exponential in the query size in the worst case).
+    Exact,
+}
+
+/// The method [`Backend::Auto`] selects for a query class — the Figure 1
+/// dispatch, shared by [`Engine::prepare`] and diagnostic frontends (e.g.
+/// `cqc classify`) so the policy lives in exactly one place.
+pub fn auto_method(class: QueryClass) -> CountMethod {
+    match class {
+        QueryClass::CQ => CountMethod::Fpras,
+        QueryClass::DCQ | QueryClass::ECQ => CountMethod::Fptras,
+    }
+}
+
+/// Builder for [`Engine`]: accuracy, seed, budgets, backend selection.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    config: ApproxConfig,
+    backend: Backend,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            config: ApproxConfig::default(),
+            backend: Backend::Auto,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Start from the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start from an existing [`ApproxConfig`].
+    pub fn from_config(config: ApproxConfig) -> Self {
+        EngineBuilder {
+            config,
+            backend: Backend::Auto,
+        }
+    }
+
+    /// Set the accuracy parameters: relative error `ε` and failure
+    /// probability `δ` (both in `(0, 1)`; validated by [`build`]).
+    ///
+    /// [`build`]: EngineBuilder::build
+    pub fn accuracy(mut self, epsilon: f64, delta: f64) -> Self {
+        self.config.epsilon = epsilon;
+        self.config.delta = delta;
+        self
+    }
+
+    /// Set the RNG seed; every evaluation is deterministic given the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Override the colour-coding repetition budget `Q` per `EdgeFree`
+    /// oracle call (default: derived from `δ` and `|Δ(ϕ)|`).
+    pub fn colour_repetitions(mut self, repetitions: usize) -> Self {
+        self.config.colour_repetitions = Some(repetitions);
+        self
+    }
+
+    /// Set the automaton-state budget below which the FPRAS counts the
+    /// fixed shape exactly instead of sampling.
+    pub fn exact_state_budget(mut self, states: usize) -> Self {
+        self.config.fpras_exact_state_budget = states;
+        self
+    }
+
+    /// Select the counting backend (default [`Backend::Auto`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Validate the configuration and build the engine.
+    pub fn build(self) -> Result<Engine, CoreError> {
+        self.config.validate()?;
+        Ok(Engine {
+            config: self.config,
+            backend: self.backend,
+        })
+    }
+}
+
+/// The counting engine: accuracy configuration plus backend policy.
+///
+/// Cheap to construct and clone; the expensive per-query analysis lives in
+/// [`PreparedQuery`], obtained from [`Engine::prepare`].
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: ApproxConfig,
+    backend: Backend,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine {
+            config: ApproxConfig::default(),
+            backend: Backend::Auto,
+        }
+    }
+}
+
+impl Engine {
+    /// An engine with the default configuration (`ε = 0.25`, `δ = 0.05`,
+    /// automatic Figure 1 dispatch).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start building a customised engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// Wrap an existing [`ApproxConfig`] (automatic dispatch).
+    pub fn from_config(config: ApproxConfig) -> Self {
+        Engine {
+            config,
+            backend: Backend::Auto,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ApproxConfig {
+        &self.config
+    }
+
+    /// The engine's backend policy.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Perform all query-side analysis for `query` once: classify it
+    /// (Figure 1), and — depending on the backend — search for a fractional
+    /// hypertree decomposition and build the Lemma 52 automaton skeleton
+    /// (FPRAS), or build the colour-coding oracle skeleton `Â(ϕ)` and fix
+    /// the repetition budget (FPTRAS). The returned [`PreparedQuery`]
+    /// amortises this work across any number of databases.
+    pub fn prepare(&self, query: &Query) -> Result<PreparedQuery, CoreError> {
+        // `Engine::new` / `Engine::from_config` skip the builder, so the
+        // accuracy guard lives here too: planning is the first fallible step.
+        self.config.validate()?;
+        let started = Instant::now();
+        let class = query.class();
+        let plan = match self.backend {
+            Backend::Auto => match auto_method(class) {
+                CountMethod::Fpras => Plan::Fpras {
+                    count: Box::new(plan_fpras(query)?),
+                    sample: OnceLock::new(),
+                },
+                CountMethod::Fptras | CountMethod::Exact => {
+                    Plan::Fptras(plan_fptras(query, &self.config))
+                }
+            },
+            Backend::Fpras => Plan::Fpras {
+                count: Box::new(plan_fpras(query)?),
+                sample: OnceLock::new(),
+            },
+            Backend::Fptras => Plan::Fptras(plan_fptras(query, &self.config)),
+            Backend::Exact => Plan::Exact {
+                sample: OnceLock::new(),
+            },
+        };
+        Ok(PreparedQuery {
+            query: query.clone(),
+            class,
+            config: self.config.clone(),
+            plan,
+            planning_time: started.elapsed(),
+        })
+    }
+}
+
+/// The cached query-side plan inside a [`PreparedQuery`].
+///
+/// The FPRAS and exact backends still need the colour-coding oracle
+/// skeleton to serve [`PreparedQuery::sample`]; it is built lazily on the
+/// first `sample` call and cached thereafter.
+enum Plan {
+    /// FPRAS counting plan, plus the lazily built sampling plan.
+    Fpras {
+        count: Box<FprasPlan>,
+        sample: OnceLock<FptrasPlan>,
+    },
+    /// FPTRAS counting plan (doubles as the sampling plan).
+    Fptras(FptrasPlan),
+    /// Exact brute force; the lazily built oracle skeleton backs `sample`.
+    Exact { sample: OnceLock<FptrasPlan> },
+}
+
+/// Summary of what [`Engine::prepare`] computed, for logging and the CLI.
+#[derive(Debug, Clone)]
+pub struct PlanSummary {
+    /// The method [`PreparedQuery::count`] will use.
+    pub method: CountMethod,
+    /// The query class (Figure 1 column).
+    pub class: QueryClass,
+    /// Fractional hypertreewidth of the cached decomposition (FPRAS plans).
+    pub fhw: Option<f64>,
+    /// Treewidth of `H(ϕ)` when it was cheap to compute (FPTRAS plans).
+    pub query_treewidth: Option<usize>,
+    /// Colour-coding repetitions per oracle call (FPTRAS plans).
+    pub colour_repetitions: Option<usize>,
+    /// Wall-clock time spent planning.
+    pub planning_time: Duration,
+}
+
+/// A query with all query-side analysis done: classify + decompose +
+/// automaton skeleton + oracle/repetition plan. Evaluate it against any
+/// number of databases with [`count`], [`count_batch`] and [`sample`] —
+/// none of which repeat the planning work.
+///
+/// [`count`]: PreparedQuery::count
+/// [`count_batch`]: PreparedQuery::count_batch
+/// [`sample`]: PreparedQuery::sample
+pub struct PreparedQuery {
+    query: Query,
+    class: QueryClass,
+    config: ApproxConfig,
+    plan: Plan,
+    planning_time: Duration,
+}
+
+impl PreparedQuery {
+    /// The underlying query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The query class (Figure 1 column).
+    pub fn class(&self) -> QueryClass {
+        self.class
+    }
+
+    /// The method [`count`](PreparedQuery::count) will use.
+    pub fn method(&self) -> CountMethod {
+        match &self.plan {
+            Plan::Fpras { .. } => CountMethod::Fpras,
+            Plan::Fptras(_) => CountMethod::Fptras,
+            Plan::Exact { .. } => CountMethod::Exact,
+        }
+    }
+
+    /// The configuration the plan was prepared under.
+    pub fn config(&self) -> &ApproxConfig {
+        &self.config
+    }
+
+    /// What planning computed and how long it took.
+    pub fn plan_summary(&self) -> PlanSummary {
+        let (fhw, query_treewidth, colour_repetitions) = match &self.plan {
+            Plan::Fpras { count, .. } => (Some(count.fhw), None, None),
+            Plan::Fptras(p) => (None, p.query_treewidth(&self.query), Some(p.repetitions)),
+            Plan::Exact { .. } => (None, None, None),
+        };
+        PlanSummary {
+            method: self.method(),
+            class: self.class,
+            fhw,
+            query_treewidth,
+            colour_repetitions,
+            planning_time: self.planning_time,
+        }
+    }
+
+    /// Estimate `|Ans(ϕ, D)|` against one database, reusing the cached
+    /// plan. Deterministic given the engine seed: repeated calls (and the
+    /// legacy one-shot API with the same configuration) return bit-identical
+    /// estimates.
+    pub fn count(&self, db: &Structure) -> Result<EstimateReport, CoreError> {
+        match &self.plan {
+            Plan::Fpras { count, .. } => {
+                fpras_count_with_plan(&self.query, count, db, &self.config)
+            }
+            Plan::Fptras(plan) => fptras_count_with_plan(&self.query, plan, db, &self.config),
+            Plan::Exact { .. } => {
+                let started = Instant::now();
+                if !self.query.compatible_with(db.signature()) {
+                    return Err(CoreError::incompatible_database(
+                        "sig(ϕ) is not contained in sig(D)",
+                    ));
+                }
+                let mut report = EstimateReport::exact_value(
+                    exact_count_answers(&self.query, db) as f64,
+                    CountMethod::Exact,
+                );
+                report.telemetry.wall = started.elapsed();
+                Ok(report)
+            }
+        }
+    }
+
+    /// Evaluate against many databases with one cached plan (the amortised
+    /// hot path). Fails fast on the first incompatible database.
+    pub fn count_batch(&self, dbs: &[Structure]) -> Result<Vec<EstimateReport>, CoreError> {
+        dbs.iter().map(|db| self.count(db)).collect()
+    }
+
+    /// Draw `count` (approximately) uniform answers of `(ϕ, D)`
+    /// (Section 6), reusing the cached oracle skeleton. Returns fewer than
+    /// `count` tuples only when the query has no answers at all.
+    pub fn sample(&self, db: &Structure, count: usize) -> Result<Vec<Vec<Val>>, CoreError> {
+        let plan = match &self.plan {
+            Plan::Fpras { sample, .. } | Plan::Exact { sample } => {
+                sample.get_or_init(|| plan_fptras(&self.query, &self.config))
+            }
+            Plan::Fptras(plan) => plan,
+        };
+        sample_answers_with_plan(&self.query, plan, db, count, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::approx_count_answers;
+    use crate::{fpras_count, fptras_count, sample_answers, PlanError};
+    use cqc_data::StructureBuilder;
+    use cqc_query::parse_query;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> Structure {
+        let mut b = StructureBuilder::new(n);
+        b.relation("E", 2);
+        for &(u, v) in edges {
+            b.fact("E", &[u, v]).unwrap();
+        }
+        b.build()
+    }
+
+    fn three_dbs() -> Vec<Structure> {
+        vec![
+            graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]),
+            graph(6, &[(0, 1), (0, 2), (1, 3), (3, 0), (3, 5), (4, 2)]),
+            graph(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (0, 2)]),
+        ]
+    }
+
+    #[test]
+    fn builder_validates_accuracy() {
+        assert!(Engine::builder().accuracy(0.0, 0.05).build().is_err());
+        assert!(Engine::builder().accuracy(0.2, 1.0).build().is_err());
+        let err = Engine::builder().accuracy(1.5, 0.05).build().unwrap_err();
+        assert!(matches!(err, CoreError::Plan(PlanError::InvalidConfig(_))));
+        let engine = Engine::builder()
+            .accuracy(0.2, 0.05)
+            .seed(3)
+            .colour_repetitions(12)
+            .exact_state_budget(100)
+            .backend(Backend::Fptras)
+            .build()
+            .unwrap();
+        assert_eq!(engine.config().seed, 3);
+        assert_eq!(engine.backend(), Backend::Fptras);
+    }
+
+    #[test]
+    fn prepared_count_matches_one_shot_bit_for_bit() {
+        let engine = Engine::builder()
+            .accuracy(0.25, 0.05)
+            .seed(11)
+            .build()
+            .unwrap();
+        let cfg = engine.config().clone();
+        for text in [
+            "ans(x, y) :- E(x, z), E(z, y)",      // CQ → FPRAS
+            "ans(x) :- E(x, y), E(x, z), y != z", // DCQ → FPTRAS
+            "ans(x, y) :- E(x, y), !E(y, x)",     // ECQ → FPTRAS
+        ] {
+            let q = parse_query(text).unwrap();
+            let prepared = engine.prepare(&q).unwrap();
+            for db in three_dbs() {
+                let r = prepared.count(&db).unwrap();
+                let one_shot = approx_count_answers(&q, &db, &cfg).unwrap();
+                assert_eq!(r.estimate, one_shot.estimate, "{text}");
+                assert_eq!(r.method, one_shot.method, "{text}");
+                // and against the raw legacy entry points
+                match r.method {
+                    CountMethod::Fpras => {
+                        assert_eq!(r.estimate, fpras_count(&q, &db, &cfg).unwrap().estimate)
+                    }
+                    CountMethod::Fptras => {
+                        assert_eq!(r.estimate, fptras_count(&q, &db, &cfg).unwrap().estimate)
+                    }
+                    CountMethod::Exact => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_batch_equals_individual_counts() {
+        let engine = Engine::builder()
+            .accuracy(0.3, 0.1)
+            .seed(5)
+            .build()
+            .unwrap();
+        let q = parse_query("ans(x) :- E(x, y), E(x, z), y != z").unwrap();
+        let prepared = engine.prepare(&q).unwrap();
+        let dbs = three_dbs();
+        let batch = prepared.count_batch(&dbs).unwrap();
+        assert_eq!(batch.len(), dbs.len());
+        for (db, r) in dbs.iter().zip(&batch) {
+            assert_eq!(r.estimate, prepared.count(db).unwrap().estimate);
+        }
+    }
+
+    #[test]
+    fn prepared_sampling_matches_one_shot() {
+        let engine = Engine::builder()
+            .accuracy(0.3, 0.05)
+            .seed(9)
+            .build()
+            .unwrap();
+        let cfg = engine.config().clone();
+        let q = parse_query("ans(x) :- E(x, y), E(x, z), y != z").unwrap();
+        let prepared = engine.prepare(&q).unwrap();
+        for db in three_dbs() {
+            let a = prepared.sample(&db, 8).unwrap();
+            let b = sample_answers(&q, &db, 8, &cfg).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn sampling_works_for_cqs_through_the_fpras_plan() {
+        let engine = Engine::new();
+        let q = parse_query("ans(x, y) :- E(x, z), E(z, y)").unwrap();
+        let prepared = engine.prepare(&q).unwrap();
+        assert_eq!(prepared.method(), CountMethod::Fpras);
+        let db = graph(5, &[(0, 1), (1, 2), (2, 3)]);
+        let samples = prepared.sample(&db, 5).unwrap();
+        assert!(!samples.is_empty());
+        let answers = cqc_query::enumerate_answers(&q, &db);
+        for s in samples {
+            assert!(answers.contains(&s));
+        }
+    }
+
+    #[test]
+    fn backend_policies_dispatch_as_requested() {
+        let q_cq = parse_query("ans(x, y) :- E(x, y)").unwrap();
+        let q_dcq = parse_query("ans(x) :- E(x, y), E(x, z), y != z").unwrap();
+        let db = graph(4, &[(0, 1), (0, 2), (1, 3)]);
+
+        let forced = Engine::builder().backend(Backend::Fptras).build().unwrap();
+        assert_eq!(forced.prepare(&q_cq).unwrap().method(), CountMethod::Fptras);
+
+        let fpras = Engine::builder().backend(Backend::Fpras).build().unwrap();
+        assert!(matches!(
+            fpras.prepare(&q_dcq),
+            Err(CoreError::Plan(PlanError::UnsupportedQueryClass(_)))
+        ));
+
+        let exact = Engine::builder().backend(Backend::Exact).build().unwrap();
+        let prepared = exact.prepare(&q_dcq).unwrap();
+        let r = prepared.count(&db).unwrap();
+        assert!(r.exact);
+        assert_eq!(r.epsilon, 0.0);
+        assert_eq!(r.estimate, 1.0); // only element 0 has two distinct out-neighbours
+    }
+
+    #[test]
+    fn plan_summary_reflects_the_backend() {
+        let q_cq = parse_query("ans(x, y) :- E(x, z), E(z, y)").unwrap();
+        let q_dcq = parse_query("ans(x) :- E(x, y), E(x, z), y != z").unwrap();
+        let engine = Engine::new();
+
+        let s = engine.prepare(&q_cq).unwrap().plan_summary();
+        assert_eq!(s.method, CountMethod::Fpras);
+        assert!(s.fhw.is_some());
+        assert!(s.colour_repetitions.is_none());
+
+        let s = engine.prepare(&q_dcq).unwrap().plan_summary();
+        assert_eq!(s.method, CountMethod::Fptras);
+        assert_eq!(s.query_treewidth, Some(1));
+        assert!(s.colour_repetitions.unwrap() >= 4);
+    }
+
+    #[test]
+    fn incompatible_database_is_an_eval_error() {
+        let engine = Engine::new();
+        let q = parse_query("ans(x) :- Nope(x, y)").unwrap();
+        let prepared = engine.prepare(&q).unwrap();
+        let db = graph(3, &[(0, 1)]);
+        let err = prepared.count(&db).unwrap_err();
+        assert!(err.is_eval());
+    }
+}

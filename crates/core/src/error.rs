@@ -1,0 +1,166 @@
+//! The typed error hierarchy of the counting engine.
+//!
+//! Errors are split along the same line as the [`crate::Engine`] API itself:
+//! [`PlanError`] for query-side failures detected while *preparing* a query
+//! (class dispatch, decomposition search, configuration validation — all
+//! independent of any database), and [`EvalError`] for data-side failures
+//! while *evaluating* a prepared plan against a concrete database.
+
+use std::fmt;
+
+/// A query-side failure: the query cannot be planned at all (no database
+/// involved).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The requested algorithm does not apply to this query class
+    /// (e.g. the FPRAS requested for a DCQ — ruled out by Observation 10).
+    UnsupportedQueryClass(String),
+    /// The engine configuration is invalid (e.g. `ε ∉ (0, 1)`).
+    InvalidConfig(String),
+    /// An internal invariant was violated while planning (always a bug).
+    Internal(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnsupportedQueryClass(m) => write!(f, "unsupported query class: {m}"),
+            PlanError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            PlanError::Internal(m) => write!(f, "internal invariant violated while planning: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A data-side failure: a prepared plan cannot be evaluated against the
+/// given database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// `sig(ϕ) ⊄ sig(D)` or another database/query mismatch.
+    IncompatibleDatabase(String),
+    /// An internal invariant was violated while evaluating (always a bug).
+    Internal(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::IncompatibleDatabase(m) => write!(f, "incompatible database: {m}"),
+            EvalError::Internal(m) => {
+                write!(f, "internal invariant violated while evaluating: {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Any error surfaced by the counting engine: either a [`PlanError`]
+/// (query-side) or an [`EvalError`] (data-side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Query-side planning failed.
+    Plan(PlanError),
+    /// Data-side evaluation failed.
+    Eval(EvalError),
+}
+
+impl CoreError {
+    /// Shorthand for [`PlanError::UnsupportedQueryClass`].
+    pub fn unsupported_query_class(msg: impl Into<String>) -> Self {
+        CoreError::Plan(PlanError::UnsupportedQueryClass(msg.into()))
+    }
+
+    /// Shorthand for [`PlanError::InvalidConfig`].
+    pub fn invalid_config(msg: impl Into<String>) -> Self {
+        CoreError::Plan(PlanError::InvalidConfig(msg.into()))
+    }
+
+    /// Shorthand for [`PlanError::Internal`].
+    pub fn plan_internal(msg: impl Into<String>) -> Self {
+        CoreError::Plan(PlanError::Internal(msg.into()))
+    }
+
+    /// Shorthand for [`EvalError::IncompatibleDatabase`].
+    pub fn incompatible_database(msg: impl Into<String>) -> Self {
+        CoreError::Eval(EvalError::IncompatibleDatabase(msg.into()))
+    }
+
+    /// Shorthand for [`EvalError::Internal`].
+    pub fn eval_internal(msg: impl Into<String>) -> Self {
+        CoreError::Eval(EvalError::Internal(msg.into()))
+    }
+
+    /// Whether this is a query-side (planning) error.
+    pub fn is_plan(&self) -> bool {
+        matches!(self, CoreError::Plan(_))
+    }
+
+    /// Whether this is a data-side (evaluation) error.
+    pub fn is_eval(&self) -> bool {
+        matches!(self, CoreError::Eval(_))
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Plan(e) => e.fmt(f),
+            CoreError::Eval(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Plan(e) => Some(e),
+            CoreError::Eval(e) => Some(e),
+        }
+    }
+}
+
+impl From<PlanError> for CoreError {
+    fn from(e: PlanError) -> Self {
+        CoreError::Plan(e)
+    }
+}
+
+impl From<EvalError> for CoreError {
+    fn from(e: EvalError) -> Self {
+        CoreError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_classification() {
+        let e = CoreError::unsupported_query_class("x");
+        assert!(e.to_string().contains("unsupported"));
+        assert!(e.is_plan() && !e.is_eval());
+
+        let e = CoreError::incompatible_database("y");
+        assert!(e.to_string().contains("incompatible"));
+        assert!(e.is_eval() && !e.is_plan());
+
+        let e = CoreError::plan_internal("z");
+        assert!(e.to_string().contains("invariant"));
+        let e = CoreError::eval_internal("z");
+        assert!(e.to_string().contains("invariant"));
+        let e = CoreError::invalid_config("ε");
+        assert!(e.to_string().contains("configuration"));
+    }
+
+    #[test]
+    fn source_chain_exposes_the_inner_error() {
+        use std::error::Error as _;
+        let e = CoreError::Plan(PlanError::UnsupportedQueryClass("q".into()));
+        assert!(e.source().is_some());
+        let e = CoreError::Eval(EvalError::IncompatibleDatabase("d".into()));
+        assert!(e.source().unwrap().to_string().contains("incompatible"));
+    }
+}

@@ -12,7 +12,9 @@
 //! 4. #TA counting (Lemma 51): exact fixed-shape counting when the state
 //!    space is small, the ACJR-style sampling counter otherwise.
 
-use crate::api::{ApproxConfig, CoreError};
+use crate::api::ApproxConfig;
+use crate::error::CoreError;
+use crate::report::{CountMethod, EstimateReport, Telemetry};
 use cqc_automata::{
     approx_count_fixed_shape, count_labelings_fixed_shape, TaApproxConfig, TransitionTarget,
     TreeAutomaton, TreeShape,
@@ -25,8 +27,12 @@ use cqc_query::{build_a_structure, build_b_structure, query_hypergraph, Query, Q
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::time::Instant;
 
-/// Diagnostic report of an FPRAS run.
+/// Legacy diagnostic report of an FPRAS run, kept for the one-shot
+/// [`fpras_count`] wrapper. Prefer [`crate::Engine::prepare`] +
+/// [`crate::PreparedQuery::count`], which return the unified
+/// [`EstimateReport`].
 #[derive(Debug, Clone)]
 pub struct FprasReport {
     /// The estimate (exact when `exact` is set).
@@ -41,57 +47,70 @@ pub struct FprasReport {
     pub states: usize,
 }
 
-/// The Lemma 52 construction: the tree automaton, its fixed shape, and
-/// book-keeping sizes.
-pub struct Lemma52Automaton {
-    /// The constructed automaton.
-    pub automaton: TreeAutomaton,
-    /// The (fixed) tree shape mirroring the nice tree decomposition.
-    pub shape: TreeShape,
-    /// Number of states.
-    pub states: usize,
+/// The query-side plan of the FPRAS of Theorem 16: everything that depends
+/// only on `ϕ`, computed once by [`plan_fpras`] (or
+/// [`crate::Engine::prepare`]) and reused across databases.
+#[derive(Debug)]
+pub struct FprasPlan {
+    /// A validated nice tree decomposition of `H(ϕ)` of small fractional
+    /// hypertreewidth (Lemma 43).
+    pub nice: NiceTreeDecomposition,
+    /// The fractional hypertreewidth achieved by `nice`.
+    pub fhw: f64,
+    /// The associated structure `A(ϕ)` (Definition 18).
+    pub a_structure: Structure,
 }
 
-/// Run the FPRAS of Theorem 16 on a CQ.
+/// Query-side planning for the FPRAS of Theorem 16: class check,
+/// decomposition search, and construction of `A(ϕ)`.
 ///
-/// Returns an error for queries with disequalities or negations — by
-/// Observation 10 no FPRAS exists for those (unless NP = RP); use
-/// [`crate::fptras_count`] instead.
-pub fn fpras_count(
-    query: &Query,
-    db: &Structure,
-    config: &ApproxConfig,
-) -> Result<FprasReport, CoreError> {
+/// Returns a [`PlanError`](crate::PlanError) for queries with disequalities
+/// or negations — by Observation 10 no FPRAS exists for those (unless
+/// NP = RP); use the FPTRAS path instead.
+pub fn plan_fpras(query: &Query) -> Result<FprasPlan, CoreError> {
     if query.class() != QueryClass::CQ {
-        return Err(CoreError::UnsupportedQueryClass(
+        return Err(CoreError::unsupported_query_class(
             "the FPRAS of Theorem 16 applies to CQs without disequalities or negations \
-             (Observation 10 rules out an FPRAS for DCQs/ECQs unless NP = RP)"
-                .into(),
+             (Observation 10 rules out an FPRAS for DCQs/ECQs unless NP = RP)",
         ));
     }
-    if !query.compatible_with(db.signature()) {
-        return Err(CoreError::IncompatibleDatabase(
-            "sig(ϕ) is not contained in sig(D)".into(),
-        ));
-    }
-
-    // Step 1: nice tree decomposition of H(ϕ) with small fractional
-    // hypertreewidth.
     let h = query_hypergraph(query);
     let (fhw, td) = minimise_width(&h, WidthMeasure::FractionalHypertreewidth);
     let nice = td.into_nice();
-    nice.validate_nice()
-        .map_err(CoreError::InternalInvariant)?;
+    nice.validate_nice().map_err(CoreError::plan_internal)?;
+    Ok(FprasPlan {
+        nice,
+        fhw,
+        a_structure: build_a_structure(query),
+    })
+}
 
-    // Steps 2 + 3: per-bag solutions and the Lemma 52 automaton.
-    let construction = build_lemma52_automaton(query, db, &nice)?;
+/// Data-side evaluation of a prepared FPRAS plan against one database:
+/// per-bag solutions, the Lemma 52 automaton, and #TA counting.
+///
+/// `plan` must come from [`plan_fpras`] on the same `query`; the pairing
+/// is not checked here (use [`crate::Engine::prepare`], which owns it).
+pub fn fpras_count_with_plan(
+    query: &Query,
+    plan: &FprasPlan,
+    db: &Structure,
+    config: &ApproxConfig,
+) -> Result<EstimateReport, CoreError> {
+    let start = Instant::now();
+    if !query.compatible_with(db.signature()) {
+        return Err(CoreError::incompatible_database(
+            "sig(ϕ) is not contained in sig(D)",
+        ));
+    }
+
+    // Steps 2 + 3 (Section 5.2): per-bag solutions and the Lemma 52 automaton.
+    let construction = build_lemma52_automaton_with(query, &plan.a_structure, db, &plan.nice)?;
     let tree_nodes = construction.shape.num_nodes();
 
     // Step 4: count the accepted labellings of the fixed shape.
     // The exact subset-DP is used when the state space is small; otherwise the
     // sampling-based counter (Lemma 51 / ACJR) takes over.
-    let exact_state_budget = config.fpras_exact_state_budget;
-    let (estimate, exact) = if construction.states <= exact_state_budget {
+    let (estimate, exact) = if construction.states <= config.fpras_exact_state_budget {
         (
             count_labelings_fixed_shape(&construction.automaton, &construction.shape) as f64,
             true,
@@ -110,12 +129,51 @@ pub fn fpras_count(
         )
     };
 
-    Ok(FprasReport {
-        estimate,
-        exact,
-        fhw,
+    let mut report = if exact {
+        EstimateReport::exact_value(estimate, CountMethod::Fpras)
+    } else {
+        EstimateReport::approximate(estimate, CountMethod::Fpras, config.epsilon, config.delta)
+    };
+    report.telemetry = Telemetry {
+        automaton_states: construction.states,
         tree_nodes,
-        states: construction.states,
+        fhw: Some(plan.fhw),
+        wall: start.elapsed(),
+        ..Telemetry::default()
+    };
+    Ok(report)
+}
+
+/// The Lemma 52 construction: the tree automaton, its fixed shape, and
+/// book-keeping sizes.
+pub struct Lemma52Automaton {
+    /// The constructed automaton.
+    pub automaton: TreeAutomaton,
+    /// The (fixed) tree shape mirroring the nice tree decomposition.
+    pub shape: TreeShape,
+    /// Number of states.
+    pub states: usize,
+}
+
+/// One-shot FPRAS of Theorem 16 on a CQ: plan, then evaluate.
+///
+/// Legacy wrapper over [`plan_fpras`] + [`fpras_count_with_plan`] — when
+/// counting against many databases, prefer [`crate::Engine::prepare`] so the
+/// decomposition search is paid once.
+pub fn fpras_count(
+    query: &Query,
+    db: &Structure,
+    config: &ApproxConfig,
+) -> Result<FprasReport, CoreError> {
+    config.validate()?;
+    let plan = plan_fpras(query)?;
+    let r = fpras_count_with_plan(query, &plan, db, config)?;
+    Ok(FprasReport {
+        estimate: r.estimate,
+        exact: r.exact,
+        fhw: plan.fhw,
+        tree_nodes: r.telemetry.tree_nodes,
+        states: r.telemetry.automaton_states,
     })
 }
 
@@ -127,8 +185,18 @@ pub fn build_lemma52_automaton(
     nice: &NiceTreeDecomposition,
 ) -> Result<Lemma52Automaton, CoreError> {
     let a_structure = build_a_structure(query);
-    let b_structure =
-        build_b_structure(query, db).map_err(CoreError::IncompatibleDatabase)?;
+    build_lemma52_automaton_with(query, &a_structure, db, nice)
+}
+
+/// [`build_lemma52_automaton`] with a pre-built `A(ϕ)` (the prepared-plan
+/// hot path: `A(ϕ)` is query-side and cached in [`FprasPlan`]).
+pub fn build_lemma52_automaton_with(
+    query: &Query,
+    a_structure: &Structure,
+    db: &Structure,
+    nice: &NiceTreeDecomposition,
+) -> Result<Lemma52Automaton, CoreError> {
+    let b_structure = build_b_structure(query, db).map_err(CoreError::incompatible_database)?;
     let td = &nice.td;
     let n_nodes = td.num_nodes();
 
@@ -143,7 +211,7 @@ pub fn build_lemma52_automaton(
         .collect();
     let sols: Vec<Vec<Vec<Val>>> = bags
         .iter()
-        .map(|bag| bag_partial_solutions(&a_structure, &b_structure, bag))
+        .map(|bag| bag_partial_solutions(a_structure, &b_structure, bag))
         .collect();
 
     // If the root (empty bag) has no solution, there are no answers at all:
@@ -201,12 +269,13 @@ pub fn build_lemma52_automaton(
     };
     // Helper: are α (over bag of t) and α₁ (over bag of t1) consistent?
     let consistent = |t: usize, alpha: &[Val], t1: usize, alpha1: &[Val]| -> bool {
-        bags[t].iter().zip(alpha).all(|(v, val)| {
-            match bags[t1].iter().position(|x| x == v) {
+        bags[t]
+            .iter()
+            .zip(alpha)
+            .all(|(v, val)| match bags[t1].iter().position(|x| x == v) {
                 Some(p) => alpha1[p] == *val,
                 None => true,
-            }
-        })
+            })
     };
 
     for t in 0..n_nodes {
@@ -376,7 +445,7 @@ mod tests {
         let db = path_graph(4);
         assert!(matches!(
             fpras_count(&q, &db, &config(0.3, 0.1, 6)),
-            Err(CoreError::UnsupportedQueryClass(_))
+            Err(CoreError::Plan(crate::PlanError::UnsupportedQueryClass(_)))
         ));
     }
 

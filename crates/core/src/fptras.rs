@@ -8,16 +8,22 @@
 //! colour-coding `EdgeFree` oracle ([`crate::AnswerOracle`]), whose `Hom`
 //! queries are answered by a bounded-width engine (`cqc-hom`).
 
-use crate::api::{ApproxConfig, CoreError};
+use crate::api::ApproxConfig;
+use crate::error::CoreError;
 use crate::oracle::AnswerOracle;
+use crate::report::{CountMethod, EstimateReport, Telemetry};
 use cqc_data::Structure;
 use cqc_dlm::{approx_edge_count, ApproxMethod, DlmConfig, EdgeFreeOracle};
 use cqc_hom::HybridDecider;
-use cqc_query::{build_b_structure, Query};
+use cqc_query::{build_a_hat, build_b_structure, Query};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
-/// Diagnostic report of an FPTRAS run.
+/// Legacy diagnostic report of an FPTRAS run, kept for the one-shot
+/// [`fptras_count`] wrapper. Prefer [`crate::Engine::prepare`] +
+/// [`crate::PreparedQuery::count`], which return the unified
+/// [`EstimateReport`].
 #[derive(Debug, Clone)]
 pub struct FptrasReport {
     /// The `(ε, δ)`-estimate of `|Ans(ϕ, D)|`.
@@ -35,35 +41,84 @@ pub struct FptrasReport {
     pub query_treewidth: Option<usize>,
 }
 
-/// Run the FPTRAS of Theorem 5 (and, via the same code path with the
-/// unbounded-arity `Hom` engine, Theorem 13) on `(ϕ, D)`.
+/// The query-side plan of the FPTRAS of Theorems 5 / 13: everything that
+/// depends only on `ϕ` (and the accuracy configuration), computed once by
+/// [`plan_fptras`] (or [`crate::Engine::prepare`]) and reused across
+/// databases.
+#[derive(Debug)]
+pub struct FptrasPlan {
+    /// The coloured associated structure `Â(ϕ)` (Lemma 30) the oracle
+    /// matches against.
+    pub a_hat: Structure,
+    /// Colour-coding repetitions `Q` per `EdgeFree` oracle call.
+    pub repetitions: usize,
+    /// Treewidth of `H(ϕ)`, computed lazily on first request (it is pure
+    /// telemetry, and the exact DP is exponential in the variable count —
+    /// sampling-only use of a plan must not pay for it).
+    query_treewidth: std::sync::OnceLock<Option<usize>>,
+}
+
+impl FptrasPlan {
+    /// Treewidth of `H(ϕ)` (the FPT parameter of Theorem 5), when it is
+    /// cheap to compute. Computed on first call, cached in the plan.
+    ///
+    /// `query` must be the query this plan was built for (the value is
+    /// cached unconditionally, so a different query returns the original
+    /// query's treewidth). [`crate::PreparedQuery`] enforces the pairing;
+    /// direct callers of the plan API must uphold it.
+    pub fn query_treewidth(&self, query: &Query) -> Option<usize> {
+        *self.query_treewidth.get_or_init(|| {
+            if query.num_vars() <= 13 {
+                let h = cqc_query::query_hypergraph(query);
+                Some(cqc_hypergraph::treewidth::treewidth_exact(&h).0)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// Query-side planning for the FPTRAS of Theorems 5 / 13: build `Â(ϕ)` and
+/// fix the colour-coding repetition budget.
+pub fn plan_fptras(query: &Query, config: &ApproxConfig) -> FptrasPlan {
+    let repetitions = config.colour_repetitions.unwrap_or_else(|| {
+        AnswerOracle::<HybridDecider>::recommended_repetitions(query, config.delta)
+    });
+    FptrasPlan {
+        a_hat: build_a_hat(query),
+        repetitions,
+        query_treewidth: std::sync::OnceLock::new(),
+    }
+}
+
+/// Data-side evaluation of a prepared FPTRAS plan against one database:
+/// build `B(ϕ, D)` and run the Dell–Lapinskas–Meeks edge counter against
+/// the colour-coding oracle.
 ///
-/// Works for every ECQ; the fixed-parameter tractability guarantee applies
-/// when the hypergraph `H(ϕ)` has bounded treewidth (bounded arity) or the
-/// query is a DCQ of bounded adaptive width.
-pub fn fptras_count(
+/// `plan` must come from [`plan_fptras`] on the same `query`; the pairing
+/// is not checked here (use [`crate::Engine::prepare`], which owns it).
+pub fn fptras_count_with_plan(
     query: &Query,
+    plan: &FptrasPlan,
     db: &Structure,
     config: &ApproxConfig,
-) -> Result<FptrasReport, CoreError> {
+) -> Result<EstimateReport, CoreError> {
+    let start = Instant::now();
     if !query.compatible_with(db.signature()) {
-        return Err(CoreError::IncompatibleDatabase(
-            "sig(ϕ) is not contained in sig(D)".into(),
+        return Err(CoreError::incompatible_database(
+            "sig(ϕ) is not contained in sig(D)",
         ));
     }
-    let b_structure =
-        build_b_structure(query, db).map_err(CoreError::IncompatibleDatabase)?;
+    let b_structure = build_b_structure(query, db).map_err(CoreError::incompatible_database)?;
 
     let decider = HybridDecider::new();
-    let repetitions = config
-        .colour_repetitions
-        .unwrap_or_else(|| AnswerOracle::<HybridDecider>::recommended_repetitions(query, config.delta));
-    let mut oracle = AnswerOracle::new(
+    let mut oracle = AnswerOracle::with_a_hat(
         query,
         b_structure,
+        &plan.a_hat,
         db.universe_size(),
         &decider,
-        repetitions,
+        plan.repetitions,
         config.seed,
     );
 
@@ -71,21 +126,53 @@ pub fn fptras_count(
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x9E37));
     let result = approx_edge_count(&mut oracle, &dlm, &mut rng);
 
-    let query_treewidth = if query.num_vars() <= 13 {
-        let h = cqc_query::query_hypergraph(query);
-        Some(cqc_hypergraph::treewidth::treewidth_exact(&h).0)
+    let exact = matches!(result.method, ApproxMethod::Exact) && query.disequalities().is_empty();
+    let mut report = if exact {
+        EstimateReport::exact_value(result.estimate, CountMethod::Fptras)
     } else {
-        None
+        EstimateReport::approximate(
+            result.estimate,
+            CountMethod::Fptras,
+            config.epsilon,
+            config.delta,
+        )
     };
-
-    Ok(FptrasReport {
-        estimate: result.estimate,
-        exact: matches!(result.method, ApproxMethod::Exact)
-            && query.disequalities().is_empty(),
+    report.telemetry = Telemetry {
         oracle_calls: oracle.calls(),
         hom_calls: oracle.hom_calls(),
-        repetitions,
-        query_treewidth,
+        colour_repetitions: plan.repetitions,
+        query_treewidth: plan.query_treewidth(query),
+        wall: start.elapsed(),
+        ..Telemetry::default()
+    };
+    Ok(report)
+}
+
+/// One-shot FPTRAS of Theorem 5 (and, via the same code path with the
+/// unbounded-arity `Hom` engine, Theorem 13) on `(ϕ, D)`: plan, then
+/// evaluate.
+///
+/// Works for every ECQ; the fixed-parameter tractability guarantee applies
+/// when the hypergraph `H(ϕ)` has bounded treewidth (bounded arity) or the
+/// query is a DCQ of bounded adaptive width. Legacy wrapper over
+/// [`plan_fptras`] + [`fptras_count_with_plan`] — when counting against
+/// many databases, prefer [`crate::Engine::prepare`] so `Â(ϕ)` and the
+/// repetition budget are computed once.
+pub fn fptras_count(
+    query: &Query,
+    db: &Structure,
+    config: &ApproxConfig,
+) -> Result<FptrasReport, CoreError> {
+    config.validate()?;
+    let plan = plan_fptras(query, config);
+    let r = fptras_count_with_plan(query, &plan, db, config)?;
+    Ok(FptrasReport {
+        estimate: r.estimate,
+        exact: r.exact,
+        oracle_calls: r.telemetry.oracle_calls,
+        hom_calls: r.telemetry.hom_calls,
+        repetitions: plan.repetitions,
+        query_treewidth: plan.query_treewidth(query),
     })
 }
 
@@ -120,7 +207,16 @@ mod tests {
         let q = parse_query("ans(x) :- F(x, y), F(x, z), y != z").unwrap();
         let db = random_graph(
             6,
-            &[(0, 1), (0, 2), (1, 2), (3, 0), (3, 4), (4, 5), (2, 5), (2, 0)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (3, 0),
+                (3, 4),
+                (4, 5),
+                (2, 5),
+                (2, 0),
+            ],
         );
         let truth = count_answers_via_solutions(&q, &db) as f64;
         let r = fptras_count(&q, &db, &config(0.2, 0.05, 1)).unwrap();

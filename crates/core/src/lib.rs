@@ -3,11 +3,28 @@
 //!
 //! The public API of the reproduction of Focke, Goldberg, Roth and Živný,
 //! *Approximately Counting Answers to Conjunctive Queries with Disequalities
-//! and Negations* (PODS 2022). The main entry points are:
+//! and Negations* (PODS 2022).
 //!
-//! * [`approx_count_answers`] — dispatching front end: FPRAS (Theorem 16) for
-//!   plain CQs, FPTRAS (Theorems 5 / 13) for queries with disequalities
-//!   and/or negations.
+//! ## The engine API (plan once, count many)
+//!
+//! The primary entry point is [`Engine`]: configure accuracy, seed and
+//! backend with [`EngineBuilder`], run the expensive query-side analysis
+//! once with [`Engine::prepare`], then evaluate the resulting
+//! [`PreparedQuery`] against any number of databases:
+//!
+//! * [`PreparedQuery::count`] — one database, returning the unified
+//!   [`EstimateReport`] (estimate, method, guaranteed `(ε, δ)`, telemetry);
+//! * [`PreparedQuery::count_batch`] — many databases, one plan;
+//! * [`PreparedQuery::sample`] — approximately uniform answers (Section 6).
+//!
+//! Errors split into query-side [`PlanError`]s and data-side [`EvalError`]s
+//! under the [`CoreError`] umbrella.
+//!
+//! ## Legacy one-shot entry points
+//!
+//! * [`approx_count_answers`] — dispatching front end: FPRAS (Theorem 16)
+//!   for plain CQs, FPTRAS (Theorems 5 / 13) for queries with disequalities
+//!   and/or negations. Re-plans the query on every call.
 //! * [`fptras_count`] — the FPTRAS of Theorems 5 and 13: the
 //!   Dell–Lapinskas–Meeks edge counter driven by a colour-coding `EdgeFree`
 //!   oracle simulated through `Hom` queries (Section 3, Lemmas 22 and 30).
@@ -25,20 +42,26 @@
 
 pub mod api;
 pub mod baseline;
+pub mod engine;
+pub mod error;
 pub mod fpras;
 pub mod fptras;
 pub mod hamiltonian;
 pub mod lihom;
 pub mod oracle;
+pub mod report;
 pub mod sampling;
 pub mod unions;
 
-pub use api::{approx_count_answers, exact_count_answers, ApproxConfig, CoreError, CountEstimate, CountMethod};
+pub use api::{approx_count_answers, exact_count_answers, ApproxConfig, CountEstimate};
 pub use baseline::{bruteforce_count, naive_monte_carlo};
-pub use fpras::{fpras_count, FprasReport};
-pub use fptras::{fptras_count, FptrasReport};
+pub use engine::{auto_method, Backend, Engine, EngineBuilder, PlanSummary, PreparedQuery};
+pub use error::{CoreError, EvalError, PlanError};
+pub use fpras::{fpras_count, fpras_count_with_plan, plan_fpras, FprasPlan, FprasReport};
+pub use fptras::{fptras_count, fptras_count_with_plan, plan_fptras, FptrasPlan, FptrasReport};
 pub use hamiltonian::{hamiltonian_path_query, undirected_graph_database};
 pub use lihom::{count_locally_injective_homomorphisms, locally_injective_query};
 pub use oracle::AnswerOracle;
-pub use sampling::sample_answers;
+pub use report::{CountMethod, EstimateReport, Telemetry};
+pub use sampling::{sample_answers, sample_answers_with_plan};
 pub use unions::count_union;

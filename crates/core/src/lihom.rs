@@ -13,7 +13,8 @@
 //! no hyperedges), so bounded-treewidth patterns give an FPTRAS
 //! (Corollary 6).
 
-use crate::api::{ApproxConfig, CoreError};
+use crate::api::ApproxConfig;
+use crate::error::CoreError;
 use crate::fptras::{fptras_count, FptrasReport};
 use cqc_data::{Structure, StructureBuilder};
 use cqc_query::{Query, QueryBuilder};
@@ -62,8 +63,8 @@ impl PatternGraph {
             adj[v].insert(u);
         }
         let mut out = BTreeSet::new();
-        for w in 0..self.n {
-            let neigh: Vec<usize> = adj[w].iter().copied().collect();
+        for nbrs in &adj {
+            let neigh: Vec<usize> = nbrs.iter().copied().collect();
             for i in 0..neigh.len() {
                 for j in (i + 1)..neigh.len() {
                     out.insert((neigh[i].min(neigh[j]), neigh[i].max(neigh[j])));
@@ -137,7 +138,7 @@ mod tests {
         assert_eq!(q.num_free_vars(), 4);
         assert_eq!(q.positive_atoms().count(), 3);
         assert_eq!(q.disequalities().len(), 2); // (0,2) and (1,3)
-        // hypergraph is the path: treewidth 1
+                                                // hypergraph is the path: treewidth 1
         let h = cqc_query::query_hypergraph(&q);
         assert_eq!(cqc_hypergraph::treewidth::treewidth_exact(&h).0, 1);
     }

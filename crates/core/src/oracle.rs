@@ -31,7 +31,7 @@ use std::collections::BTreeSet;
 pub struct AnswerOracle<'a, H: HomDecider> {
     query: &'a Query,
     b_structure: Structure,
-    a_hat: Structure,
+    a_hat: std::borrow::Cow<'a, Structure>,
     decider: &'a H,
     /// Number of colour-coding repetitions `Q` per oracle call.
     repetitions: usize,
@@ -58,7 +58,51 @@ impl<'a, H: HomDecider> AnswerOracle<'a, H> {
         repetitions: usize,
         seed: u64,
     ) -> Self {
-        let a_hat = build_a_hat(query);
+        let a_hat = std::borrow::Cow::Owned(build_a_hat(query));
+        Self::with_cow_a_hat(
+            query,
+            b_structure,
+            a_hat,
+            universe_size,
+            decider,
+            repetitions,
+            seed,
+        )
+    }
+
+    /// Create the oracle from a pre-built `Â(ϕ)` (the prepared-plan hot
+    /// path: `Â(ϕ)` is query-side, cached in
+    /// [`crate::fptras::FptrasPlan`], and only ever read — so it is
+    /// borrowed, not cloned, per evaluation).
+    pub fn with_a_hat(
+        query: &'a Query,
+        b_structure: Structure,
+        a_hat: &'a Structure,
+        universe_size: usize,
+        decider: &'a H,
+        repetitions: usize,
+        seed: u64,
+    ) -> Self {
+        Self::with_cow_a_hat(
+            query,
+            b_structure,
+            std::borrow::Cow::Borrowed(a_hat),
+            universe_size,
+            decider,
+            repetitions,
+            seed,
+        )
+    }
+
+    fn with_cow_a_hat(
+        query: &'a Query,
+        b_structure: Structure,
+        a_hat: std::borrow::Cow<'a, Structure>,
+        universe_size: usize,
+        decider: &'a H,
+        repetitions: usize,
+        seed: u64,
+    ) -> Self {
         AnswerOracle {
             query,
             b_structure,

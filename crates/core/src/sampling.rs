@@ -7,7 +7,9 @@
 //! erring; the colour-coding repetitions make oracle errors exponentially
 //! unlikely (see `crate::oracle`).
 
-use crate::api::{ApproxConfig, CoreError};
+use crate::api::ApproxConfig;
+use crate::error::CoreError;
+use crate::fptras::{plan_fptras, FptrasPlan};
 use crate::oracle::AnswerOracle;
 use cqc_data::{Structure, Val};
 use cqc_dlm::sample_edge;
@@ -16,32 +18,33 @@ use cqc_query::{build_b_structure, Query};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Draw `count` (approximately) uniform answers of `(ϕ, D)`. Returns fewer
-/// than `count` tuples only when the query has no answers at all.
-/// Each returned tuple lists the values of the free variables in head order.
-pub fn sample_answers(
+/// [`sample_answers`] with a prepared plan (the oracle skeleton `Â(ϕ)` and
+/// the repetition budget are query-side and cached in [`FptrasPlan`]).
+///
+/// `plan` must come from [`crate::plan_fptras`] on the same `query`; the
+/// pairing is not checked here (use [`crate::Engine::prepare`], which owns
+/// it).
+pub fn sample_answers_with_plan(
     query: &Query,
+    plan: &FptrasPlan,
     db: &Structure,
     count: usize,
     config: &ApproxConfig,
 ) -> Result<Vec<Vec<Val>>, CoreError> {
     if !query.compatible_with(db.signature()) {
-        return Err(CoreError::IncompatibleDatabase(
-            "sig(ϕ) is not contained in sig(D)".into(),
+        return Err(CoreError::incompatible_database(
+            "sig(ϕ) is not contained in sig(D)",
         ));
     }
-    let b_structure =
-        build_b_structure(query, db).map_err(CoreError::IncompatibleDatabase)?;
+    let b_structure = build_b_structure(query, db).map_err(CoreError::incompatible_database)?;
     let decider = HybridDecider::new();
-    let repetitions = config
-        .colour_repetitions
-        .unwrap_or_else(|| AnswerOracle::<HybridDecider>::recommended_repetitions(query, config.delta));
-    let mut oracle = AnswerOracle::new(
+    let mut oracle = AnswerOracle::with_a_hat(
         query,
         b_structure,
+        &plan.a_hat,
         db.universe_size(),
         &decider,
-        repetitions,
+        plan.repetitions,
         config.seed,
     );
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x5A17));
@@ -53,6 +56,23 @@ pub fn sample_answers(
         }
     }
     Ok(out)
+}
+
+/// Draw `count` (approximately) uniform answers of `(ϕ, D)`. Returns fewer
+/// than `count` tuples only when the query has no answers at all.
+/// Each returned tuple lists the values of the free variables in head order.
+///
+/// Legacy wrapper over [`plan_fptras`] + [`sample_answers_with_plan`] —
+/// when sampling against many databases, prefer [`crate::Engine::prepare`].
+pub fn sample_answers(
+    query: &Query,
+    db: &Structure,
+    count: usize,
+    config: &ApproxConfig,
+) -> Result<Vec<Vec<Val>>, CoreError> {
+    config.validate()?;
+    let plan = plan_fptras(query, config);
+    sample_answers_with_plan(query, &plan, db, count, config)
 }
 
 #[cfg(test)]

@@ -1,9 +1,10 @@
 //! Counting answers to unions of (extended) conjunctive queries
 //! (Section 6, second extension) via the Karp–Luby union estimator.
 
-use crate::api::{ApproxConfig, CoreError};
-use crate::fptras::fptras_count;
-use crate::sampling::sample_answers;
+use crate::api::ApproxConfig;
+use crate::error::CoreError;
+use crate::fptras::{fptras_count_with_plan, plan_fptras};
+use crate::sampling::sample_answers_with_plan;
 use cqc_data::Structure;
 use cqc_query::{is_answer, Query};
 use rand::rngs::StdRng;
@@ -21,15 +22,19 @@ pub fn count_union(
     trials: usize,
     config: &ApproxConfig,
 ) -> Result<f64, CoreError> {
+    config.validate()?;
     if queries.is_empty() {
         return Ok(0.0);
     }
     let ell = queries[0].num_free_vars();
     if queries.iter().any(|q| q.num_free_vars() != ell) {
-        return Err(CoreError::UnsupportedQueryClass(
-            "all queries of a union must have the same number of free variables".into(),
+        return Err(CoreError::unsupported_query_class(
+            "all queries of a union must have the same number of free variables",
         ));
     }
+    // Plan each member query once; the plans are reused below by both the
+    // per-query estimates and the Karp–Luby answer sampling.
+    let plans: Vec<_> = queries.iter().map(|q| plan_fptras(q, config)).collect();
     // Per-query estimates.
     let mut weights = Vec::with_capacity(queries.len());
     for (i, q) in queries.iter().enumerate() {
@@ -37,7 +42,7 @@ pub fn count_union(
             seed: config.seed.wrapping_add(i as u64),
             ..config.clone()
         };
-        weights.push(fptras_count(q, db, &cfg)?.estimate);
+        weights.push(fptras_count_with_plan(q, &plans[i], db, &cfg)?.estimate);
     }
     let total: f64 = weights.iter().sum();
     if total == 0.0 {
@@ -70,7 +75,7 @@ pub fn count_union(
             seed: config.seed.wrapping_add(0xB00 + i as u64),
             ..config.clone()
         };
-        let samples = sample_answers(&queries[i], db, t, &cfg)?;
+        let samples = sample_answers_with_plan(&queries[i], &plans[i], db, t, &cfg)?;
         for tau in samples {
             used_trials += 1;
             let first = queries.iter().position(|q| is_answer(q, db, &tau));

@@ -45,10 +45,22 @@ fn graph_db(raw: &RawGraph) -> Structure {
 /// The fixed pool of bounded-treewidth queries the properties range over.
 fn query_pool() -> Vec<(&'static str, Query)> {
     vec![
-        ("path2", parse_query("ans(x, y) :- E(x, z), E(z, y)").unwrap()),
-        ("friends", parse_query("ans(x) :- E(x, y), E(x, z), y != z").unwrap()),
-        ("asym", parse_query("ans(x, y) :- E(x, y), !E(y, x)").unwrap()),
-        ("loopless", parse_query("ans(x) :- E(x, y), x != y").unwrap()),
+        (
+            "path2",
+            parse_query("ans(x, y) :- E(x, z), E(z, y)").unwrap(),
+        ),
+        (
+            "friends",
+            parse_query("ans(x) :- E(x, y), E(x, z), y != z").unwrap(),
+        ),
+        (
+            "asym",
+            parse_query("ans(x, y) :- E(x, y), !E(y, x)").unwrap(),
+        ),
+        (
+            "loopless",
+            parse_query("ans(x) :- E(x, y), x != y").unwrap(),
+        ),
         ("boolean", parse_query("ans() :- E(x, y), E(y, z)").unwrap()),
     ]
 }

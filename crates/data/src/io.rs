@@ -162,8 +162,7 @@ pub fn parse_facts(text: &str) -> Result<Structure, FactsError> {
     }
     let mut structure = builder.build();
     if !names.is_empty() {
-        let mut element_names: Vec<String> =
-            (0..universe).map(|i| i.to_string()).collect();
+        let mut element_names: Vec<String> = (0..universe).map(|i| i.to_string()).collect();
         for (line, idx, name) in names {
             if (idx as usize) >= universe {
                 return Err(FactsError::Data {
@@ -192,9 +191,11 @@ pub fn write_facts(db: &Structure) -> String {
         db.universe_size()
     ));
     out.push_str(&format!("universe {}\n", db.universe_size()));
-    let symbols: Vec<_> = db.signature().iter().map(|(id, name, arity)| {
-        (id, name.to_string(), arity)
-    }).collect();
+    let symbols: Vec<_> = db
+        .signature()
+        .iter()
+        .map(|(id, name, arity)| (id, name.to_string(), arity))
+        .collect();
     for (_, name, arity) in &symbols {
         out.push_str(&format!("relation {name} {arity}\n"));
     }

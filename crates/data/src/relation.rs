@@ -4,6 +4,10 @@ use crate::tuple::{Tuple, Val};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 
+/// Per-position value index: `index[pos][v]` lists the tuples carrying
+/// value `v` at position `pos`.
+type PositionIndex = Vec<HashMap<Val, Vec<Tuple>>>;
+
 /// A relation `R^D ⊆ U(D)^{ar(R)}`: a set of facts of a fixed arity.
 ///
 /// Tuples are kept in a sorted set (deterministic iteration) and an inverted
@@ -16,7 +20,7 @@ pub struct Relation {
     /// Lazily built index: `index[pos]` maps a value to the tuples that carry
     /// that value at position `pos`. Invalidated on mutation.
     #[serde(skip)]
-    index: std::cell::RefCell<Option<Vec<HashMap<Val, Vec<Tuple>>>>>,
+    index: std::cell::RefCell<Option<PositionIndex>>,
 }
 
 impl PartialEq for Relation {

@@ -17,7 +17,13 @@ pub struct Structure {
     element_names: Option<Vec<String>>,
 }
 
-/// Databases are structures; the paper uses the two terms interchangeably.
+/// The documented public name for a database `D`.
+///
+/// Databases *are* relational structures — the paper uses the two terms
+/// interchangeably (Section 1.1) — so this is an alias of [`Structure`].
+/// Application code and the facade prelude use `Database` for data-side
+/// values (what you evaluate a prepared query against) and `Structure` for
+/// query-side associated structures such as `A(ϕ)` and `B(ϕ, D)`.
 pub type Database = Structure;
 
 impl Structure {

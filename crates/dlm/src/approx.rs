@@ -188,12 +188,7 @@ pub fn approx_edge_count<O: EdgeFreeOracle, R: Rng>(
 /// Keep every vertex of every class independently with probability `q`.
 fn subsample<R: Rng>(full: &[BTreeSet<usize>], q: f64, rng: &mut R) -> Vec<BTreeSet<usize>> {
     full.iter()
-        .map(|p| {
-            p.iter()
-                .copied()
-                .filter(|_| rng.gen::<f64>() < q)
-                .collect()
-        })
+        .map(|p| p.iter().copied().filter(|_| rng.gen::<f64>() < q).collect())
         .collect()
 }
 
@@ -251,7 +246,11 @@ mod tests {
     fn half_dense_hypergraph_estimate_is_close() {
         // edges: all pairs (i, j) with (i + j) even over 30×30 = 450 edges
         let edges: Vec<Vec<usize>> = (0..30)
-            .flat_map(|i| (0..30).filter(move |j| (i + j) % 2 == 0).map(move |j| vec![i, j]))
+            .flat_map(|i| {
+                (0..30)
+                    .filter(move |j| (i + j) % 2 == 0)
+                    .map(move |j| vec![i, j])
+            })
             .collect();
         let truth = edges.len() as f64;
         let h = ExplicitHypergraph::new(vec![30, 30], edges);

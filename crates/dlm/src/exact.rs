@@ -115,10 +115,7 @@ mod tests {
         let h = ExplicitHypergraph::complete(vec![8, 8]);
         let mut oracle = h;
         let parts = full_parts(&oracle);
-        assert_eq!(
-            exact_edge_count_with_budget(&mut oracle, &parts, 10),
-            None
-        );
+        assert_eq!(exact_edge_count_with_budget(&mut oracle, &parts, 10), None);
         // a generous budget succeeds
         assert_eq!(
             exact_edge_count_with_budget(&mut oracle, &parts, 100_000),

@@ -63,10 +63,7 @@ impl ExplicitHypergraph {
         if class_sizes.is_empty() {
             edges = vec![vec![]];
         }
-        ExplicitHypergraph {
-            class_sizes,
-            edges,
-        }
+        ExplicitHypergraph { class_sizes, edges }
     }
 }
 
@@ -134,8 +131,7 @@ mod tests {
 
     #[test]
     fn three_partite_membership() {
-        let mut h =
-            ExplicitHypergraph::new(vec![2, 3, 2], vec![vec![0, 2, 1], vec![1, 0, 0]]);
+        let mut h = ExplicitHypergraph::new(vec![2, 3, 2], vec![vec![0, 2, 1], vec![1, 0, 0]]);
         let parts = vec![
             [0].into_iter().collect(),
             [2].into_iter().collect(),

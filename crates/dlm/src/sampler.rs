@@ -50,10 +50,10 @@ pub fn sample_edge<O: EdgeFreeOracle, R: Rng>(oracle: &mut O, rng: &mut R) -> Op
         left_parts[idx] = left.iter().copied().collect();
         let mut right_parts = parts.clone();
         right_parts[idx] = right.iter().copied().collect();
-        let cl = exact_edge_count_with_budget(oracle, &left_parts, u64::MAX)
-            .expect("unbounded budget");
-        let cr = exact_edge_count_with_budget(oracle, &right_parts, u64::MAX)
-            .expect("unbounded budget");
+        let cl =
+            exact_edge_count_with_budget(oracle, &left_parts, u64::MAX).expect("unbounded budget");
+        let cr =
+            exact_edge_count_with_budget(oracle, &right_parts, u64::MAX).expect("unbounded budget");
         debug_assert!(cl + cr > 0, "parent region had an edge");
         let go_left = (rng.gen_range(0..cl + cr)) < cl;
         parts = if go_left { left_parts } else { right_parts };
@@ -79,11 +79,7 @@ pub fn empirical_distribution<O: EdgeFreeOracle, R: Rng>(
 
 /// Helper used by tests: restrict `parts` to a single vertex `v` in class
 /// `class` (exposed for the core crate's self-reduction tests).
-pub fn restrict_class(
-    parts: &[BTreeSet<usize>],
-    class: usize,
-    v: usize,
-) -> Vec<BTreeSet<usize>> {
+pub fn restrict_class(parts: &[BTreeSet<usize>], class: usize, v: usize) -> Vec<BTreeSet<usize>> {
     let mut out = parts.to_vec();
     out[class] = [v].into_iter().collect();
     out
@@ -122,7 +118,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let dist = empirical_distribution(&mut h, &mut rng, 2000);
         assert_eq!(dist.len(), 4);
-        for (_, &count) in &dist {
+        for &count in dist.values() {
             assert!(
                 (count as i64 - 500).abs() < 150,
                 "frequency {count} far from uniform"

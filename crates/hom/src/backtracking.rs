@@ -43,13 +43,23 @@ impl BacktrackingDecider {
         }
         // static variable order: most constrained (smallest domain, then most constraints)
         let mut order: Vec<usize> = (0..n).collect();
-        let constraint_count = |v: usize| inst.constraints.iter().filter(|c| c.vars.contains(&v)).count();
+        let constraint_count = |v: usize| {
+            inst.constraints
+                .iter()
+                .filter(|c| c.vars.contains(&v))
+                .count()
+        };
         order.sort_by_key(|&v| (domains[v].len(), usize::MAX - constraint_count(v)));
 
         let mut assignment: Vec<Option<Val>> = vec![None; n];
         let mut nodes: u64 = 0;
         if self.search(&inst, &domains, &order, 0, &mut assignment, &mut nodes) {
-            Some(assignment.into_iter().map(|v| v.expect("complete")).collect())
+            Some(
+                assignment
+                    .into_iter()
+                    .map(|v| v.expect("complete"))
+                    .collect(),
+            )
         } else {
             None
         }
@@ -233,7 +243,9 @@ mod tests {
 
     #[test]
     fn node_limit_stops_search() {
-        let solver = BacktrackingDecider { node_limit: Some(1) };
+        let solver = BacktrackingDecider {
+            node_limit: Some(1),
+        };
         // with only one node explored the solver may fail to find an existing
         // homomorphism — it must not panic and must return quickly
         let _ = solver.decide(&clique_graph(3), &clique_graph(5));

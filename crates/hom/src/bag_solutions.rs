@@ -20,11 +20,7 @@ use cqc_data::{Structure, Val};
 /// Assignments (in `bag` order) of the bag variables that satisfy every
 /// constraint of the instance whose scope is contained in `bag`.
 /// `domains[v]` bounds the values considered for variable `v`.
-pub fn bag_solutions(
-    inst: &HomInstance<'_>,
-    bag: &[usize],
-    domains: &[Vec<Val>],
-) -> Vec<Vec<Val>> {
+pub fn bag_solutions(inst: &HomInstance<'_>, bag: &[usize], domains: &[Vec<Val>]) -> Vec<Vec<Val>> {
     let in_bag = |v: usize| bag.contains(&v);
     let local: Vec<usize> = inst
         .constraints
@@ -214,7 +210,7 @@ mod tests {
         // bag {0, 1}: only the constraint E(0,1) lies inside
         let sols = bag_solutions(&inst, &[0, 1], &domains);
         assert_eq!(sols.len(), 3); // edges (0,1), (1,2), (2,3)
-        // bag {0, 2}: no constraint inside → full cross product of domains
+                                   // bag {0, 2}: no constraint inside → full cross product of domains
         let sols = bag_solutions(&inst, &[0, 2], &domains);
         assert_eq!(sols.len(), 16);
         // bag {0,1,2}: both constraints inside → paths of length 2

@@ -12,6 +12,9 @@ use cqc_data::{Structure, Val};
 use cqc_hypergraph::treewidth::{treewidth_exact, treewidth_upper_bound};
 use std::collections::HashMap;
 
+/// Extension counts keyed by a bag assignment.
+type ExtensionTable = HashMap<Vec<Val>, u128>;
+
 /// Count the homomorphisms from `A` to `B` exactly.
 ///
 /// The pattern's tree decomposition is computed exactly for up to 13 elements
@@ -45,7 +48,7 @@ pub fn count_homomorphisms(a: &Structure, b: &Structure) -> u128 {
         let mut table: HashMap<Vec<Val>, u128> = HashMap::with_capacity(local.len());
         // For each child, pre-group its extension counts by the projection
         // onto the shared variables.
-        let mut child_groups: Vec<(Vec<usize>, HashMap<Vec<Val>, u128>)> = Vec::new();
+        let mut child_groups: Vec<(Vec<usize>, ExtensionTable)> = Vec::new();
         for &c in td.children(t) {
             let child_bag: Vec<usize> = td.bag(c).iter().copied().collect();
             let shared: Vec<usize> = bag
@@ -166,14 +169,8 @@ mod tests {
 
     #[test]
     fn count_zero_when_no_hom_exists() {
-        assert_eq!(
-            count_homomorphisms(&cycle_graph(5), &cycle_graph(4)),
-            0
-        );
-        assert_eq!(
-            count_homomorphisms(&clique_graph(4), &clique_graph(3)),
-            0
-        );
+        assert_eq!(count_homomorphisms(&cycle_graph(5), &cycle_graph(4)), 0);
+        assert_eq!(count_homomorphisms(&clique_graph(4), &clique_graph(3)), 0);
     }
 
     #[test]

@@ -95,11 +95,9 @@ impl<'a> HomInstance<'a> {
         // Use the per-column index on the most selective bound position.
         let rel = self.b.relation(c.sym);
         let (pos0, val0) = bound[0];
-        rel.select(pos0, val0).iter().any(|t| {
-            bound
-                .iter()
-                .all(|&(pos, val)| t.get(pos) == val)
-        })
+        rel.select(pos0, val0)
+            .iter()
+            .any(|t| bound.iter().all(|&(pos, val)| t.get(pos) == val))
     }
 
     /// Check a *full* assignment against every constraint.

@@ -25,15 +25,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod bag_solutions;
 pub mod backtracking;
+pub mod bag_solutions;
 pub mod count;
 pub mod decomposition_dp;
 pub mod instance;
 pub mod oracle;
 
-pub use bag_solutions::{bag_partial_solutions, bag_solutions};
 pub use backtracking::BacktrackingDecider;
+pub use bag_solutions::{bag_partial_solutions, bag_solutions};
 pub use count::count_homomorphisms;
 pub use decomposition_dp::DecompositionDecider;
 pub use instance::HomInstance;

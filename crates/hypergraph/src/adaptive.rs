@@ -81,12 +81,14 @@ fn best_response_mu(h: &Hypergraph, bags: &[BTreeSet<usize>]) -> (f64, Fractiona
             for &v in e {
                 row[v] = 1.0;
             }
-            lp.add_constraint(&row, ConstraintOp::Le, 1.0).expect("dims");
+            lp.add_constraint(&row, ConstraintOp::Le, 1.0)
+                .expect("dims");
         }
         for v in 0..n {
             let mut row = vec![0.0; n];
             row[v] = 1.0;
-            lp.add_constraint(&row, ConstraintOp::Le, 1.0).expect("dims");
+            lp.add_constraint(&row, ConstraintOp::Le, 1.0)
+                .expect("dims");
         }
         if let Ok(sol) = lp.solve() {
             if sol.objective > best_val {
@@ -229,7 +231,11 @@ mod tests {
     fn observation_34_tw_le_arity_times_aw() {
         // tw(H) ≤ a · aw(H) − 1; since we only have bounds, check
         // tw(H) ≤ a · upper(aw) − 1 + tolerance.
-        for h in [path(6), clique(4), Hypergraph::from_edges(5, &[&[0, 1, 2], &[2, 3, 4]])] {
+        for h in [
+            path(6),
+            clique(4),
+            Hypergraph::from_edges(5, &[&[0, 1, 2], &[2, 3, 4]]),
+        ] {
             let (tw, _) = treewidth_exact(&h);
             let a = h.arity();
             let b = adaptive_width_bounds(&h, 1);

@@ -291,11 +291,8 @@ impl NiceTreeDecomposition {
                 }
                 1 => {
                     let c = ch[0];
-                    let diff: BTreeSet<usize> = td
-                        .bag(t)
-                        .symmetric_difference(td.bag(c))
-                        .copied()
-                        .collect();
+                    let diff: BTreeSet<usize> =
+                        td.bag(t).symmetric_difference(td.bag(c)).copied().collect();
                     if diff.len() != 1 {
                         return Err(format!(
                             "node {t} and its child differ in {} elements",
@@ -419,10 +416,8 @@ impl NiceBuilder {
                 0 => NiceNodeKind::Leaf,
                 1 => {
                     let c = ch[0];
-                    let added: Vec<usize> =
-                        td.bag(t).difference(td.bag(c)).copied().collect();
-                    let removed: Vec<usize> =
-                        td.bag(c).difference(td.bag(t)).copied().collect();
+                    let added: Vec<usize> = td.bag(t).difference(td.bag(c)).copied().collect();
+                    let removed: Vec<usize> = td.bag(c).difference(td.bag(t)).copied().collect();
                     if added.len() == 1 && removed.is_empty() {
                         NiceNodeKind::Introduce(added[0])
                     } else if removed.len() == 1 && added.is_empty() {
@@ -558,10 +553,7 @@ mod tests {
     #[test]
     fn nice_decomposition_high_branching() {
         // 5 children under one root bag
-        let h = Hypergraph::from_edges(
-            6,
-            &[&[0, 1], &[0, 2], &[0, 3], &[0, 4], &[0, 5]],
-        );
+        let h = Hypergraph::from_edges(6, &[&[0, 1], &[0, 2], &[0, 3], &[0, 4], &[0, 5]]);
         let mut td = TreeDecomposition::with_root(set(&[0]));
         for v in 1..6 {
             td.add_child(0, set(&[0, v]));
@@ -577,7 +569,15 @@ mod tests {
         // grid-ish hypergraph with a handmade decomposition
         let h = Hypergraph::from_edges(
             6,
-            &[&[0, 1], &[1, 2], &[3, 4], &[4, 5], &[0, 3], &[1, 4], &[2, 5]],
+            &[
+                &[0, 1],
+                &[1, 2],
+                &[3, 4],
+                &[4, 5],
+                &[0, 3],
+                &[1, 4],
+                &[2, 5],
+            ],
         );
         let mut td = TreeDecomposition::with_root(set(&[0, 1, 3, 4]));
         let a = td.add_child(0, set(&[1, 2, 4, 5]));

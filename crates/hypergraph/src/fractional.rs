@@ -57,7 +57,7 @@ pub fn fractional_edge_cover(h: &Hypergraph, x: &BTreeSet<usize>) -> Option<Frac
     for (j, &i) in relevant.iter().enumerate() {
         // Cap at 1.0: the optimum never needs weights above 1, but numerical
         // noise may exceed it marginally.
-        weights[i] = sol.values[j].min(1.0).max(0.0);
+        weights[i] = sol.values[j].clamp(0.0, 1.0);
     }
     Some(FractionalCover {
         weights,
@@ -124,7 +124,9 @@ pub fn maximum_fractional_independent_set(h: &Hypergraph) -> FractionalIndepende
         lp.add_constraint(&row, ConstraintOp::Le, 1.0)
             .expect("dimensions match");
     }
-    let sol = lp.solve().expect("fractional independent set LP is feasible and bounded");
+    let sol = lp
+        .solve()
+        .expect("fractional independent set LP is feasible and bounded");
     FractionalIndependentSet {
         weights: sol.values,
         value: sol.objective,

@@ -31,9 +31,9 @@ pub enum WidthMeasure {
 pub fn bag_cost(h: &Hypergraph, bag: &BTreeSet<usize>, measure: WidthMeasure) -> f64 {
     match measure {
         WidthMeasure::Treewidth => bag.len() as f64 - 1.0,
-        WidthMeasure::Hypertreewidth => {
-            integral_cover_number(h, bag).map(|c| c as f64).unwrap_or(f64::INFINITY)
-        }
+        WidthMeasure::Hypertreewidth => integral_cover_number(h, bag)
+            .map(|c| c as f64)
+            .unwrap_or(f64::INFINITY),
         WidthMeasure::FractionalHypertreewidth => {
             fractional_cover_number(h, bag).unwrap_or(f64::INFINITY)
         }
@@ -46,7 +46,10 @@ pub fn f_width_of_decomposition<F>(td: &TreeDecomposition, mut f: F) -> f64
 where
     F: FnMut(&BTreeSet<usize>) -> f64,
 {
-    td.bags().iter().map(|b| f(b)).fold(f64::NEG_INFINITY, f64::max)
+    td.bags()
+        .iter()
+        .map(&mut f)
+        .fold(f64::NEG_INFINITY, f64::max)
 }
 
 /// The `f`-width of a decomposition under a named measure.
@@ -85,24 +88,24 @@ where
     if n == 0 {
         return (0.0, TreeDecomposition::single_bag(BTreeSet::new()));
     }
-    let score =
-        |h: &Hypergraph, td: &TreeDecomposition, f: &mut F| -> f64 {
-            td.bags()
-                .iter()
-                .map(|b| f(h, b))
-                .fold(f64::NEG_INFINITY, f64::max)
-        };
+    let score = |h: &Hypergraph, td: &TreeDecomposition, f: &mut F| -> f64 {
+        td.bags()
+            .iter()
+            .map(|b| f(h, b))
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
 
     let mut best: Option<(f64, TreeDecomposition)> = None;
-    let consider = |order: &EliminationOrder, f: &mut F, best: &mut Option<(f64, TreeDecomposition)>| {
-        let mut td = order.decomposition(h);
-        td.ensure_all_vertices(h);
-        let td = td.contract_equal_bags();
-        let w = score(h, &td, f);
-        if best.as_ref().map(|(bw, _)| w < *bw).unwrap_or(true) {
-            *best = Some((w, td));
-        }
-    };
+    let consider =
+        |order: &EliminationOrder, f: &mut F, best: &mut Option<(f64, TreeDecomposition)>| {
+            let mut td = order.decomposition(h);
+            td.ensure_all_vertices(h);
+            let td = td.contract_equal_bags();
+            let w = score(h, &td, f);
+            if best.as_ref().map(|(bw, _)| w < *bw).unwrap_or(true) {
+                *best = Some((w, td));
+            }
+        };
 
     if n <= exact_limit {
         // Exhaustive enumeration of elimination orders via Heap's algorithm.

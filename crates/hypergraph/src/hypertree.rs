@@ -109,10 +109,7 @@ fn exact_cover(edges: &[BTreeSet<usize>], x: &BTreeSet<usize>) -> usize {
 /// maximum over bags of the minimum edge cover of the bag.
 ///
 /// Returns `None` if some bag contains a vertex lying in no hyperedge.
-pub fn hypertree_width_of_decomposition(
-    h: &Hypergraph,
-    td: &TreeDecomposition,
-) -> Option<usize> {
+pub fn hypertree_width_of_decomposition(h: &Hypergraph, td: &TreeDecomposition) -> Option<usize> {
     let mut width = 0usize;
     for bag in td.bags() {
         width = width.max(integral_cover_number(h, bag)?);
@@ -166,11 +163,11 @@ mod tests {
         // Classic set-cover instance where greedy is suboptimal:
         // universe {0..5}; sets {0,1,2,3} misses, two disjoint big sets vs overlapping ones.
         // Exact cover: {0,1,2} and {3,4,5} → 2. Greedy may pick {1,2,3,4} first → 3.
-        let h = Hypergraph::from_edges(
-            6,
-            &[&[0, 1, 2], &[3, 4, 5], &[1, 2, 3, 4]],
+        let h = Hypergraph::from_edges(6, &[&[0, 1, 2], &[3, 4, 5], &[1, 2, 3, 4]]);
+        assert_eq!(
+            integral_cover_number(&h, &set(&[0, 1, 2, 3, 4, 5])),
+            Some(2)
         );
-        assert_eq!(integral_cover_number(&h, &set(&[0, 1, 2, 3, 4, 5])), Some(2));
     }
 
     #[test]

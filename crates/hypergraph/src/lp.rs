@@ -180,10 +180,10 @@ impl LinearProgram {
 
         // Objective in minimisation form.
         let mut c = vec![0.0f64; total];
-        for j in 0..n {
-            c[j] = match self.direction {
-                Direction::Minimize => self.objective[j],
-                Direction::Maximize => -self.objective[j],
+        for (cj, obj) in c.iter_mut().zip(&self.objective) {
+            *cj = match self.direction {
+                Direction::Minimize => *obj,
+                Direction::Maximize => -*obj,
             };
         }
 
@@ -225,9 +225,7 @@ impl LinearProgram {
             }
         }
         // Remove redundant rows whose basis is the placeholder.
-        let keep: Vec<usize> = (0..a.len())
-            .filter(|&i| basis[i] != usize::MAX)
-            .collect();
+        let keep: Vec<usize> = (0..a.len()).filter(|&i| basis[i] != usize::MAX).collect();
         let a2: Vec<Vec<f64>> = keep.iter().map(|&i| a[i].clone()).collect();
         let b2: Vec<f64> = keep.iter().map(|&i| b[i]).collect();
         let basis2: Vec<usize> = keep.iter().map(|&i| basis[i]).collect();
@@ -374,7 +372,8 @@ mod tests {
         // minimise x0 + x1 subject to x0 + x1 ≥ 1
         let mut lp = LinearProgram::new(2, Direction::Minimize);
         lp.set_objective(&[1.0, 1.0]);
-        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Ge, 1.0).unwrap();
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Ge, 1.0)
+            .unwrap();
         let sol = lp.solve().unwrap();
         assert!(approx(sol.objective, 1.0));
         assert!(approx(sol.values.iter().sum::<f64>(), 1.0));
@@ -387,11 +386,14 @@ mod tests {
         let mut lp = LinearProgram::new(3, Direction::Minimize);
         lp.set_objective(&[1.0, 1.0, 1.0]);
         // vertex 0 in edges 0 and 2
-        lp.add_constraint(&[1.0, 0.0, 1.0], ConstraintOp::Ge, 1.0).unwrap();
+        lp.add_constraint(&[1.0, 0.0, 1.0], ConstraintOp::Ge, 1.0)
+            .unwrap();
         // vertex 1 in edges 0 and 1
-        lp.add_constraint(&[1.0, 1.0, 0.0], ConstraintOp::Ge, 1.0).unwrap();
+        lp.add_constraint(&[1.0, 1.0, 0.0], ConstraintOp::Ge, 1.0)
+            .unwrap();
         // vertex 2 in edges 1 and 2
-        lp.add_constraint(&[0.0, 1.0, 1.0], ConstraintOp::Ge, 1.0).unwrap();
+        lp.add_constraint(&[0.0, 1.0, 1.0], ConstraintOp::Ge, 1.0)
+            .unwrap();
         let sol = lp.solve().unwrap();
         assert!(approx(sol.objective, 1.5), "got {}", sol.objective);
     }
@@ -401,9 +403,12 @@ mod tests {
         // maximise x0 + x1 s.t. x0 ≤ 2, x1 ≤ 3, x0 + x1 ≤ 4  → 4
         let mut lp = LinearProgram::new(2, Direction::Maximize);
         lp.set_objective(&[1.0, 1.0]);
-        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 2.0).unwrap();
-        lp.add_constraint(&[0.0, 1.0], ConstraintOp::Le, 3.0).unwrap();
-        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Le, 4.0).unwrap();
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 2.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 1.0], ConstraintOp::Le, 3.0)
+            .unwrap();
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Le, 4.0)
+            .unwrap();
         let sol = lp.solve().unwrap();
         assert!(approx(sol.objective, 4.0));
     }
@@ -413,8 +418,10 @@ mod tests {
         // minimise 2x0 + x1 s.t. x0 + x1 = 3, x0 ≥ 1 → x0 = 1, x1 = 2, obj 4
         let mut lp = LinearProgram::new(2, Direction::Minimize);
         lp.set_objective(&[2.0, 1.0]);
-        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Eq, 3.0).unwrap();
-        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Ge, 1.0).unwrap();
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Eq, 3.0)
+            .unwrap();
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Ge, 1.0)
+            .unwrap();
         let sol = lp.solve().unwrap();
         assert!(approx(sol.objective, 4.0));
         assert!(approx(sol.values[0], 1.0));

@@ -32,11 +32,7 @@ impl EliminationOrder {
         let mut eliminated = vec![false; n];
         let mut width = 0usize;
         for &v in &self.0 {
-            let neigh: Vec<usize> = adj[v]
-                .iter()
-                .copied()
-                .filter(|&u| !eliminated[u])
-                .collect();
+            let neigh: Vec<usize> = adj[v].iter().copied().filter(|&u| !eliminated[u]).collect();
             width = width.max(neigh.len());
             // fill in a clique among the remaining neighbours
             for i in 0..neigh.len() {
@@ -70,11 +66,7 @@ impl EliminationOrder {
         let mut eliminated = vec![false; n];
         let mut bags: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
         for &v in &self.0 {
-            let neigh: Vec<usize> = adj[v]
-                .iter()
-                .copied()
-                .filter(|&u| !eliminated[u])
-                .collect();
+            let neigh: Vec<usize> = adj[v].iter().copied().filter(|&u| !eliminated[u]).collect();
             let mut bag: BTreeSet<usize> = neigh.iter().copied().collect();
             bag.insert(v);
             bags[v] = bag;
@@ -122,11 +114,7 @@ pub fn min_degree_order(h: &Hypergraph) -> EliminationOrder {
 /// whose elimination introduces the fewest fill-in edges.
 pub fn min_fill_order(h: &Hypergraph) -> EliminationOrder {
     greedy_order(h, |adj, eliminated, v| {
-        let neigh: Vec<usize> = adj[v]
-            .iter()
-            .copied()
-            .filter(|&u| !eliminated[u])
-            .collect();
+        let neigh: Vec<usize> = adj[v].iter().copied().filter(|&u| !eliminated[u]).collect();
         let mut fill = 0usize;
         for i in 0..neigh.len() {
             for j in (i + 1)..neigh.len() {
@@ -152,11 +140,7 @@ where
             .filter(|&v| !eliminated[v])
             .min_by_key(|&v| score(&adj, &eliminated, v))
             .expect("vertices remain");
-        let neigh: Vec<usize> = adj[v]
-            .iter()
-            .copied()
-            .filter(|&u| !eliminated[u])
-            .collect();
+        let neigh: Vec<usize> = adj[v].iter().copied().filter(|&u| !eliminated[u]).collect();
         for i in 0..neigh.len() {
             for j in (i + 1)..neigh.len() {
                 adj[neigh[i]].insert(neigh[j]);

@@ -182,11 +182,7 @@ pub fn bag_assignment_locally_consistent(
     bag: &[Var],
     values: &[Val],
 ) -> bool {
-    let lookup = |v: Var| -> Option<Val> {
-        bag.iter()
-            .position(|&b| b == v)
-            .map(|i| values[i])
-    };
+    let lookup = |v: Var| -> Option<Val> { bag.iter().position(|&b| b == v).map(|i| values[i]) };
     for atom in q.positive_atoms() {
         let sym = match db.signature().symbol(&atom.relation) {
             Some(s) => s,
@@ -198,11 +194,10 @@ pub fn bag_assignment_locally_consistent(
             .enumerate()
             .filter_map(|(pos, v)| lookup(*v).map(|val| (pos, val)))
             .collect();
-        let witness = db.relation(sym).iter().any(|t| {
-            constrained
-                .iter()
-                .all(|&(pos, val)| t.get(pos) == val)
-        });
+        let witness = db
+            .relation(sym)
+            .iter()
+            .any(|t| constrained.iter().all(|&(pos, val)| t.get(pos) == val));
         if !witness {
             return false;
         }

@@ -63,13 +63,15 @@ impl QueryBuilder {
 
     /// Add a positive atom `R(vars…)`.
     pub fn atom(&mut self, relation: &str, vars: &[Var]) -> &mut Self {
-        self.literals.push(Literal::Positive(Atom::new(relation, vars)));
+        self.literals
+            .push(Literal::Positive(Atom::new(relation, vars)));
         self
     }
 
     /// Add a negated atom `¬R(vars…)`.
     pub fn negated_atom(&mut self, relation: &str, vars: &[Var]) -> &mut Self {
-        self.literals.push(Literal::Negated(Atom::new(relation, vars)));
+        self.literals
+            .push(Literal::Negated(Atom::new(relation, vars)));
         self
     }
 
@@ -119,8 +121,8 @@ impl QueryBuilder {
         let mut new_names: Vec<String> = Vec::new();
         for i in 0..n {
             let r = find(&mut parent, i);
-            if !new_index.contains_key(&r) {
-                new_index.insert(r, new_names.len() as u32);
+            if let std::collections::hash_map::Entry::Vacant(e) = new_index.entry(r) {
+                e.insert(new_names.len() as u32);
                 new_names.push(self.names[r].clone());
             }
         }

@@ -113,7 +113,8 @@ fn hat_signature(q: &Query) -> Signature {
             Literal::Positive(_) => atom.relation.clone(),
             Literal::Negated(_) => negated_symbol_name(&atom.relation),
         };
-        sig.declare(&name, atom.arity()).expect("consistent arities");
+        sig.declare(&name, atom.arity())
+            .expect("consistent arities");
     }
     for (name, ar) in hat_signature_extension(q) {
         sig.declare(&name, ar).expect("fresh names");
@@ -300,8 +301,11 @@ mod tests {
         loop {
             let ok = a.signature().iter().all(|(sym, _, ar)| {
                 a.relation(sym).iter().all(|t| {
-                    let image: Vec<Val> =
-                        t.values().iter().map(|v| Val(assignment[v.index()])).collect();
+                    let image: Vec<Val> = t
+                        .values()
+                        .iter()
+                        .map(|v| Val(assignment[v.index()]))
+                        .collect();
                     debug_assert_eq!(image.len(), ar);
                     b.holds(sym, &image)
                 })

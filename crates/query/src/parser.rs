@@ -59,7 +59,13 @@ pub fn parse_query(input: &str) -> Result<Query, QueryError> {
                 tokens.pop();
                 true
             }
-            Some(Token::Ident(s)) if s == "not" && matches!(tokens.get(tokens.len().wrapping_sub(2)), Some(Token::Ident(_))) => {
+            Some(Token::Ident(s))
+                if s == "not"
+                    && matches!(
+                        tokens.get(tokens.len().wrapping_sub(2)),
+                        Some(Token::Ident(_))
+                    ) =>
+            {
                 tokens.pop();
                 true
             }

@@ -57,9 +57,7 @@ fn raw_query() -> impl Strategy<Value = RawQuery> {
 /// disequalities, or a disequality relates a variable with itself).
 fn build_query(raw: &RawQuery) -> Option<cqc_query::Query> {
     let mut b = QueryBuilder::new();
-    let vars: Vec<_> = (0..raw.num_vars)
-        .map(|i| b.var(&format!("v{i}")))
-        .collect();
+    let vars: Vec<_> = (0..raw.num_vars).map(|i| b.var(&format!("v{i}"))).collect();
     b.free(&vars[0..raw.num_free]);
     let mut used = vec![false; raw.num_vars];
     let mut has_atom = false;
@@ -113,7 +111,9 @@ fn random_db(universe: usize, seed: &[u8]) -> Structure {
     // Deterministic pseudo-random fill derived from the seed bytes.
     let mut state = 0x9E3779B97F4A7C15u64;
     for &byte in seed {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(byte as u64 + 1);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(byte as u64 + 1);
     }
     let mut next = || {
         state ^= state << 13;

@@ -109,8 +109,11 @@ pub fn random_ternary_database<R: Rng>(n: usize, facts: usize, rng: &mut R) -> S
         b.fact("R", &t).unwrap();
     }
     for _ in 0..facts {
-        b.fact("E", &[rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)])
-            .unwrap();
+        b.fact(
+            "E",
+            &[rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)],
+        )
+        .unwrap();
     }
     b.build()
 }

@@ -64,10 +64,7 @@ pub fn star_query(leaves: usize, disequalities: bool) -> QuerySpec {
         }
     }
     QuerySpec {
-        name: format!(
-            "star(m={leaves}{})",
-            if disequalities { ",≠" } else { "" }
-        ),
+        name: format!("star(m={leaves}{})", if disequalities { ",≠" } else { "" }),
         query: b.build().expect("star query is well-formed"),
     }
 }

@@ -12,7 +12,16 @@ fn main() {
     let mut b = StructureBuilder::new(people.len());
     b.relation("F", 2);
     b.element_names(&people);
-    for (u, v) in [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 0), (5, 0)] {
+    for (u, v) in [
+        (0, 1),
+        (0, 2),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (3, 5),
+        (4, 0),
+        (5, 0),
+    ] {
         b.fact("F", &[u, v]).unwrap();
     }
     let db = b.build();
@@ -25,14 +34,20 @@ fn main() {
     let exact = exact_count_answers(&q, &db);
     println!("exact count:      {exact}");
 
-    let cfg = ApproxConfig::new(0.2, 0.05).with_seed(42);
-    let est = approx_count_answers(&q, &db, &cfg).unwrap();
+    // Prepare the query once, then count and sample from the same plan.
+    let engine = Engine::builder()
+        .accuracy(0.2, 0.05)
+        .seed(42)
+        .build()
+        .unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let est = prepared.count(&db).unwrap();
     println!(
-        "approx count:     {:.1}   (method {:?}, exact? {})",
+        "approx count:     {:.1}   (method {}, exact? {})",
         est.estimate, est.method, est.exact
     );
 
-    let samples = sample_answers(&q, &db, 5, &cfg).unwrap();
+    let samples = prepared.sample(&db, 5).unwrap();
     let names: Vec<&str> = samples.iter().map(|t| people[t[0].index()]).collect();
     println!("sampled answers:  {names:?}");
 }

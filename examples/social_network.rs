@@ -32,10 +32,9 @@ fn main() {
     let cfg = ApproxConfig::new(0.25, 0.05).with_seed(1);
 
     // 1. "Influencers": users followed by two distinct users who do not block them.
-    let influencers = parse_query(
-        "ans(x) :- Follows(y, x), Follows(z, x), y != z, !Blocks(y, x), !Blocks(z, x)",
-    )
-    .unwrap();
+    let influencers =
+        parse_query("ans(x) :- Follows(y, x), Follows(z, x), y != z, !Blocks(y, x), !Blocks(z, x)")
+            .unwrap();
     report("influencers (ECQ, FPTRAS)", &influencers, &db, &cfg);
 
     // 2. "Mutuals": ordered pairs following each other.

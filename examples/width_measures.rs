@@ -14,7 +14,10 @@ use cqcount::workloads::{clique_query, footnote4_star_query, hyperchain_query, p
 fn main() {
     let queries: Vec<(String, Query)> = vec![
         ("path, k=3, with ≠".into(), path_query(3, true, false).query),
-        ("footnote-4 star, k=4".into(), footnote4_star_query(4, false).query),
+        (
+            "footnote-4 star, k=4".into(),
+            footnote4_star_query(4, false).query,
+        ),
         ("clique k=4".into(), clique_query(4, true).query),
         ("ternary hyperchain".into(), hyperchain_query(3, true).query),
         ("hamiltonian n=5".into(), hamiltonian_path_query(5)),

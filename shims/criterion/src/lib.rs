@@ -1,0 +1,288 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `Criterion::benchmark_group`, per-group knobs (`sample_size`,
+//! `warm_up_time`, `measurement_time`), `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurements are honest wall-clock timings (median over the sample
+//! count, with the byte-identical output format kept deliberately simple);
+//! there is no statistical analysis, HTML report, or command-line filter.
+//! Swap this path dependency for the crates.io `criterion` to get the full
+//! harness without source changes.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(
+            &id.0,
+            10,
+            Duration::from_millis(200),
+            Duration::from_secs(2),
+            &mut f,
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// How long to warm up before timing.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Upper bound on the total time spent timing one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_benchmark(
+            &full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Run a benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_benchmark(
+            &full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    name: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Warm-up: run the body until the warm-up budget is spent.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warm_up_time {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            break; // body never called iter(); avoid spinning forever
+        }
+    }
+    // Measurement: `sample_size` samples or until the time budget runs out.
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    let measure_start = Instant::now();
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            per_iter.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        }
+        if measure_start.elapsed() > measurement_time {
+            break;
+        }
+    }
+    if per_iter.is_empty() {
+        println!("{name:<48} (no measurement: bencher.iter was never called)");
+        return;
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "{name:<48} median {:>12}  mean {:>12}  ({} samples)",
+        format_time(median),
+        format_time(mean),
+        per_iter.len()
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Passed to benchmark bodies; `iter` times the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time repeated executions of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // A small fixed batch keeps per-call overhead amortised without the
+        // full criterion calibration machinery.
+        let iters = 3u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters;
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(pub String);
+
+impl BenchmarkId {
+    /// A `name/parameter` identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Define a benchmark group function calling each target with a `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(20));
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(5), &5u64, |b, n| {
+            b.iter(|| {
+                calls += 1;
+                (0..*n).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("a", 3).0, "a/3");
+        assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+    }
+}

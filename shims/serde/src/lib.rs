@@ -1,0 +1,18 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data types but
+//! never serializes anything (there is no `serde_json` in the tree), so this
+//! shim provides the two trait names plus inert derive macros that accept
+//! `#[serde(...)]` field attributes. If real serialization is ever needed,
+//! swap this path dependency for the crates.io `serde` and everything keeps
+//! compiling.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

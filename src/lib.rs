@@ -5,37 +5,62 @@
 //! Goldberg, Roth and Živný, including every substrate it builds on. This
 //! facade crate re-exports the workspace crates under stable names:
 //!
-//! * [`data`] — relational databases / structures,
+//! * [`data`] — relational databases ([`prelude::Database`], the documented
+//!   alias of `Structure`; the paper uses the two terms interchangeably),
 //! * [`hypergraph`] — hypergraphs, tree decompositions, width measures,
 //! * [`query`] — CQ / DCQ / ECQ queries, parsing, associated structures,
 //! * [`hom`] — homomorphism decision and counting engines,
 //! * [`dlm`] — oracle-based approximate edge counting
 //!   (Dell–Lapinskas–Meeks framework),
 //! * [`automata`] — tree automata and #TA counting,
-//! * [`core`] — the paper's algorithms (FPTRAS, FPRAS, sampling, unions,
+//! * [`core`] — the paper's algorithms behind the [`prelude::Engine`] /
+//!   [`prelude::PreparedQuery`] API (FPTRAS, FPRAS, sampling, unions,
 //!   locally injective homomorphisms, the Observation 10 construction),
 //! * [`workloads`] — generators used by the examples and benchmarks.
 //!
-//! ## Quick start
+//! ## Quick start: plan once, count many
+//!
+//! Query-side analysis (class dispatch, decomposition search, oracle
+//! construction) is expensive; data-side evaluation is the hot path. The
+//! [`prelude::Engine`] separates the two — prepare a query once, then
+//! evaluate it against any number of databases:
 //!
 //! ```
 //! use cqcount::prelude::*;
 //!
 //! // A small social network: F(a, b) means "a counts b as a friend".
-//! let mut b = StructureBuilder::new(5);
-//! b.relation("F", 2);
-//! for (u, v) in [(0, 1), (0, 2), (1, 3), (3, 0), (3, 4)] {
-//!     b.fact("F", &[u, v]).unwrap();
+//! fn network(edges: &[(u32, u32)]) -> Database {
+//!     let mut b = StructureBuilder::new(6);
+//!     b.relation("F", 2);
+//!     for &(u, v) in edges {
+//!         b.fact("F", &[u, v]).unwrap();
+//!     }
+//!     b.build()
 //! }
-//! let db = b.build();
+//! let monday = network(&[(0, 1), (0, 2), (1, 3), (3, 0), (3, 4)]);
+//! let tuesday = network(&[(0, 1), (0, 2), (1, 3), (3, 0), (3, 4), (4, 5), (4, 0)]);
 //!
 //! // The paper's query (1): people with at least two *distinct* friends.
 //! let q = parse_query("ans(x) :- F(x, y), F(x, z), y != z").unwrap();
 //!
-//! let cfg = ApproxConfig::new(0.25, 0.05);
-//! let estimate = approx_count_answers(&q, &db, &cfg).unwrap();
-//! assert_eq!(estimate.estimate, 2.0); // persons 0 and 3
+//! // Plan once...
+//! let engine = Engine::builder().accuracy(0.25, 0.05).seed(42).build().unwrap();
+//! let prepared = engine.prepare(&q).unwrap();
+//!
+//! // ...then count against each day's snapshot with the same plan.
+//! let reports = prepared.count_batch(&[monday, tuesday]).unwrap();
+//! assert_eq!(reports[0].estimate, 2.0); // persons 0 and 3
+//! assert_eq!(reports[1].estimate, 3.0); // person 4 now qualifies too
+//!
+//! // Every report says what it guarantees and what it cost.
+//! assert!(reports[0].method == CountMethod::Fptras);
+//! assert!(reports[0].telemetry.oracle_calls > 0);
 //! ```
+//!
+//! For one-off calls the legacy free functions
+//! ([`prelude::approx_count_answers`], [`prelude::sample_answers`], …)
+//! remain available; they are thin wrappers that plan and evaluate in one
+//! step, and return bit-identical estimates for the same seed.
 
 #![forbid(unsafe_code)]
 
@@ -53,7 +78,9 @@ pub mod prelude {
     pub use cqc_core::{
         approx_count_answers, count_locally_injective_homomorphisms, count_union,
         exact_count_answers, fpras_count, fptras_count, hamiltonian_path_query, naive_monte_carlo,
-        sample_answers, undirected_graph_database, ApproxConfig, CountEstimate, CountMethod,
+        sample_answers, undirected_graph_database, ApproxConfig, Backend, CoreError, CountEstimate,
+        CountMethod, Engine, EngineBuilder, EstimateReport, EvalError, PlanError, PlanSummary,
+        PreparedQuery, Telemetry,
     };
     pub use cqc_data::{Database, Structure, StructureBuilder, Val};
     pub use cqc_query::{parse_query, Query, QueryBuilder, QueryClass};

@@ -1,0 +1,144 @@
+//! Plan-reuse guarantees of the `Engine` / `PreparedQuery` API.
+//!
+//! The contract the prepared-statement redesign rests on: for a fixed seed,
+//! evaluating a *prepared* query must be bit-identical to the legacy
+//! one-shot path — across query classes (CQ / DCQ / ECQ), databases, and
+//! repeated evaluations — because both paths run the same data-side code
+//! with the same RNG streams. Workloads come from `cqc-workloads`.
+
+use cqcount::prelude::*;
+use cqcount::workloads::{
+    erdos_renyi, footnote4_star_query, graph_database, path_query, star_query,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn snapshot(n: usize, avg_deg: f64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = erdos_renyi(n, avg_deg / n as f64, &mut rng);
+    graph_database(&g, "E", false)
+}
+
+/// One query per Figure 1 column, all from the workload generators:
+/// a plain CQ (FPRAS), a DCQ (FPTRAS) and an ECQ (FPTRAS).
+fn workload_queries() -> Vec<(QueryClass, Query)> {
+    let cq = footnote4_star_query(2, false).query;
+    let dcq = star_query(2, true).query;
+    let ecq = path_query(2, false, true).query;
+    assert_eq!(cq.class(), QueryClass::CQ);
+    assert_eq!(dcq.class(), QueryClass::DCQ);
+    assert_eq!(ecq.class(), QueryClass::ECQ);
+    vec![
+        (QueryClass::CQ, cq),
+        (QueryClass::DCQ, dcq),
+        (QueryClass::ECQ, ecq),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `PreparedQuery::count` with a fixed seed returns bit-identical
+    /// estimates to the one-shot path, for every query class and every
+    /// database.
+    #[test]
+    fn prepared_count_is_bit_identical_to_one_shot(seed in any::<u64>(), db_seed in any::<u64>()) {
+        let engine = Engine::builder().accuracy(0.25, 0.05).seed(seed).build().unwrap();
+        let cfg = engine.config().clone();
+        let dbs = [
+            snapshot(10, 2.5, db_seed),
+            snapshot(14, 3.0, db_seed ^ 0xA5A5),
+            snapshot(18, 2.0, db_seed ^ 0x5A5A),
+        ];
+        for (class, q) in workload_queries() {
+            let prepared = engine.prepare(&q).unwrap();
+            for db in &dbs {
+                let r = prepared.count(db).unwrap();
+                let one_shot = approx_count_answers(&q, db, &cfg).unwrap();
+                prop_assert_eq!(
+                    r.estimate.to_bits(),
+                    one_shot.estimate.to_bits(),
+                    "{:?}: prepared {} vs one-shot {}",
+                    class,
+                    r.estimate,
+                    one_shot.estimate
+                );
+                prop_assert_eq!(r.method, one_shot.method);
+                // and the legacy per-scheme entry points agree too
+                match r.method {
+                    CountMethod::Fpras => prop_assert_eq!(
+                        r.estimate.to_bits(),
+                        fpras_count(&q, db, &cfg).unwrap().estimate.to_bits()
+                    ),
+                    CountMethod::Fptras => prop_assert_eq!(
+                        r.estimate.to_bits(),
+                        fptras_count(&q, db, &cfg).unwrap().estimate.to_bits()
+                    ),
+                    CountMethod::Exact => {}
+                }
+            }
+        }
+    }
+
+    /// Re-counting with the same prepared plan is deterministic, and
+    /// `count_batch` is exactly the fold of `count`.
+    #[test]
+    fn prepared_evaluation_is_deterministic(seed in any::<u64>(), db_seed in any::<u64>()) {
+        let engine = Engine::builder().accuracy(0.3, 0.05).seed(seed).build().unwrap();
+        let dbs = vec![
+            snapshot(12, 2.5, db_seed),
+            snapshot(9, 3.0, db_seed ^ 1),
+            snapshot(15, 2.0, db_seed ^ 2),
+        ];
+        for (_, q) in workload_queries() {
+            let prepared = engine.prepare(&q).unwrap();
+            let batch = prepared.count_batch(&dbs).unwrap();
+            prop_assert_eq!(batch.len(), dbs.len());
+            for (db, r) in dbs.iter().zip(&batch) {
+                let again = prepared.count(db).unwrap();
+                prop_assert_eq!(r.estimate.to_bits(), again.estimate.to_bits());
+            }
+        }
+    }
+
+    /// Prepared sampling equals one-shot sampling for the same seed.
+    #[test]
+    fn prepared_sampling_is_bit_identical_to_one_shot(seed in any::<u64>()) {
+        let engine = Engine::builder().accuracy(0.3, 0.05).seed(seed).build().unwrap();
+        let cfg = engine.config().clone();
+        let db = snapshot(12, 3.0, seed ^ 0xBEEF);
+        for (_, q) in workload_queries() {
+            let prepared = engine.prepare(&q).unwrap();
+            let a = prepared.sample(&db, 6).unwrap();
+            let b = sample_answers(&q, &db, 6, &cfg).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+/// The estimates the prepared path returns are not just self-consistent but
+/// accurate: spot-check against the exact baseline on fixed instances.
+#[test]
+fn prepared_estimates_track_the_exact_count() {
+    let engine = Engine::builder()
+        .accuracy(0.2, 0.02)
+        .seed(99)
+        .build()
+        .unwrap();
+    for (_, q) in workload_queries() {
+        let prepared = engine.prepare(&q).unwrap();
+        for s in 0..3u64 {
+            let db = snapshot(12, 3.0, 7 + s);
+            let truth = exact_count_answers(&q, &db) as f64;
+            let r = prepared.count(&db).unwrap();
+            assert!(
+                (r.estimate - truth).abs() <= 0.5 * truth.max(1.0),
+                "{}: estimate {} vs exact {}",
+                q,
+                r.estimate,
+                truth
+            );
+        }
+    }
+}
