@@ -24,7 +24,9 @@
 
 use crate::automaton::{TransitionTarget, TreeAutomaton};
 use crate::tree::{LabeledTree, TreeShape};
-use rand::Rng;
+use cqc_runtime::{split_seed2, Runtime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Tuning parameters for [`approx_count_fixed_shape`].
@@ -77,11 +79,74 @@ struct Component {
 /// Approximately count the labellings of `shape` accepted by `a`
 /// (`|{ψ : (shape, ψ) accepted}|`), i.e. the `N`-slice restricted to this
 /// shape — which for the Lemma 52 automata equals `|L_N(A)| = |Ans(ϕ, D)|`.
+///
+/// Legacy convenience wrapper: draws a root seed from `rng` and runs the
+/// deterministic counter serially. Prefer
+/// [`approx_count_fixed_shape_seeded`], which is bit-identical for any
+/// thread count.
 pub fn approx_count_fixed_shape<R: Rng>(
     a: &TreeAutomaton,
     shape: &TreeShape,
     config: &TaApproxConfig,
     rng: &mut R,
+) -> f64 {
+    approx_count_fixed_shape_seeded(a, shape, config, rng.gen::<u64>(), &Runtime::serial())
+}
+
+/// The components of `L(t, q)` at a node with the given children, weighted
+/// by the child estimates computed so far.
+fn components_of(
+    a: &TreeAutomaton,
+    children: &[usize],
+    info: &[HashMap<usize, NodeStateInfo>],
+    q: usize,
+) -> Vec<Component> {
+    let mut components: Vec<Component> = Vec::new();
+    for (label, target) in a.transitions_from(q) {
+        let weight = match (target, children.len()) {
+            (TransitionTarget::Leaf, 0) => 1.0,
+            (TransitionTarget::Unary(q1), 1) => info[children[0]]
+                .get(&q1)
+                .map(|i| i.estimate)
+                .unwrap_or(0.0),
+            (TransitionTarget::Binary(q1, q2), 2) => {
+                let l = info[children[0]]
+                    .get(&q1)
+                    .map(|i| i.estimate)
+                    .unwrap_or(0.0);
+                let r = info[children[1]]
+                    .get(&q2)
+                    .map(|i| i.estimate)
+                    .unwrap_or(0.0);
+                l * r
+            }
+            _ => 0.0,
+        };
+        if weight > 0.0 {
+            components.push(Component {
+                label,
+                target,
+                weight,
+            });
+        }
+    }
+    components
+}
+
+/// Deterministic, parallel approximate counter. Tree nodes are processed
+/// bottom-up (a genuine sequential dependency: a node's component weights
+/// and sample pools come from its children), but within a node every state
+/// `q` is independent and is fanned out over `runtime`. State `q` at node
+/// `t` draws all of its randomness from the private RNG stream
+/// `split_seed2(seed, t, q)`, so the result is **bit-identical for 1, 2,
+/// or N threads** — parallelism changes only which thread happens to run a
+/// state, never the draws that state makes.
+pub fn approx_count_fixed_shape_seeded(
+    a: &TreeAutomaton,
+    shape: &TreeShape,
+    config: &TaApproxConfig,
+    seed: u64,
+    runtime: &Runtime,
 ) -> f64 {
     let order = shape.postorder();
     // info[t]: state → (estimate, samples)
@@ -98,44 +163,19 @@ pub fn approx_count_fixed_shape<R: Rng>(
 
     for &t in &order {
         let children = shape.children(t);
-        for &q in &states_with_transitions {
-            // Build the components of L(t, q).
-            let mut components: Vec<Component> = Vec::new();
-            for (label, target) in a.transitions_from(q) {
-                let weight = match (target, children.len()) {
-                    (TransitionTarget::Leaf, 0) => 1.0,
-                    (TransitionTarget::Unary(q1), 1) => info[children[0]]
-                        .get(&q1)
-                        .map(|i| i.estimate)
-                        .unwrap_or(0.0),
-                    (TransitionTarget::Binary(q1, q2), 2) => {
-                        let l = info[children[0]]
-                            .get(&q1)
-                            .map(|i| i.estimate)
-                            .unwrap_or(0.0);
-                        let r = info[children[1]]
-                            .get(&q2)
-                            .map(|i| i.estimate)
-                            .unwrap_or(0.0);
-                        l * r
-                    }
-                    _ => 0.0,
-                };
-                if weight > 0.0 {
-                    components.push(Component {
-                        label,
-                        target,
-                        weight,
-                    });
+        let entries: Vec<Option<(usize, NodeStateInfo)>> =
+            runtime.par_map(&states_with_transitions, |_, &q| {
+                let components = components_of(a, children, &info, q);
+                if components.is_empty() {
+                    return None;
                 }
-            }
-            if components.is_empty() {
-                continue;
-            }
-            let entry = estimate_union(a, shape, t, children, &info, &components, config, rng);
-            if entry.estimate > 0.0 {
-                info[t].insert(q, entry);
-            }
+                let mut rng = StdRng::seed_from_u64(split_seed2(seed, t as u64, q as u64));
+                let entry =
+                    estimate_union(a, shape, t, children, &info, &components, config, &mut rng);
+                (entry.estimate > 0.0).then_some((q, entry))
+            });
+        for (q, entry) in entries.into_iter().flatten() {
+            info[t].insert(q, entry);
         }
     }
 

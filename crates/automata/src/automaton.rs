@@ -17,14 +17,29 @@ pub enum TransitionTarget {
 
 /// A nondeterministic tree automaton `A = (S, Σ, Δ, s₀)` over binary trees
 /// (Definition 50). States and labels are dense indices.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct TreeAutomaton {
     num_states: usize,
     num_labels: usize,
     initial: usize,
     transitions: Vec<(usize, usize, TransitionTarget)>,
+    /// Lazily built lookup tables. A `OnceLock` (not a `RefCell`) so a
+    /// fully built automaton is `Sync`: the approximate counter shares it
+    /// read-only across the runtime's worker threads.
     #[serde(skip)]
-    index: std::cell::RefCell<Option<TransitionIndex>>,
+    index: std::sync::OnceLock<TransitionIndex>,
+}
+
+impl Clone for TreeAutomaton {
+    fn clone(&self) -> Self {
+        TreeAutomaton {
+            num_states: self.num_states,
+            num_labels: self.num_labels,
+            initial: self.initial,
+            transitions: self.transitions.clone(),
+            index: std::sync::OnceLock::new(),
+        }
+    }
 }
 
 impl PartialEq for TreeAutomaton {
@@ -54,7 +69,7 @@ impl TreeAutomaton {
             num_labels,
             initial,
             transitions: Vec::new(),
-            index: std::cell::RefCell::new(None),
+            index: std::sync::OnceLock::new(),
         }
     }
 
@@ -83,7 +98,7 @@ impl TreeAutomaton {
                 assert!(q1 < self.num_states && q2 < self.num_states)
             }
         }
-        *self.index.borrow_mut() = None;
+        self.index = std::sync::OnceLock::new();
         self.transitions.push((state, label, target));
     }
 
@@ -94,11 +109,7 @@ impl TreeAutomaton {
 
     /// The targets available from `(state, label)`.
     pub fn targets(&self, state: usize, label: usize) -> Vec<TransitionTarget> {
-        self.ensure_index();
-        self.index
-            .borrow()
-            .as_ref()
-            .expect("built")
+        self.ensure_index()
             .by_state_label
             .get(&(state, label))
             .cloned()
@@ -107,11 +118,7 @@ impl TreeAutomaton {
 
     /// All `(state, target)` transitions reading `label`.
     pub fn transitions_with_label(&self, label: usize) -> Vec<(usize, TransitionTarget)> {
-        self.ensure_index();
-        self.index
-            .borrow()
-            .as_ref()
-            .expect("built")
+        self.ensure_index()
             .by_label
             .get(&label)
             .cloned()
@@ -120,29 +127,23 @@ impl TreeAutomaton {
 
     /// All `(label, target)` transitions out of `state`.
     pub fn transitions_from(&self, state: usize) -> Vec<(usize, TransitionTarget)> {
-        self.ensure_index();
-        self.index
-            .borrow()
-            .as_ref()
-            .expect("built")
+        self.ensure_index()
             .by_state
             .get(&state)
             .cloned()
             .unwrap_or_default()
     }
 
-    fn ensure_index(&self) {
-        let mut idx = self.index.borrow_mut();
-        if idx.is_some() {
-            return;
-        }
-        let mut built = TransitionIndex::default();
-        for &(s, l, t) in &self.transitions {
-            built.by_state_label.entry((s, l)).or_default().push(t);
-            built.by_label.entry(l).or_default().push((s, t));
-            built.by_state.entry(s).or_default().push((l, t));
-        }
-        *idx = Some(built);
+    fn ensure_index(&self) -> &TransitionIndex {
+        self.index.get_or_init(|| {
+            let mut built = TransitionIndex::default();
+            for &(s, l, t) in &self.transitions {
+                built.by_state_label.entry((s, l)).or_default().push(t);
+                built.by_label.entry(l).or_default().push((s, t));
+                built.by_state.entry(s).or_default().push((l, t));
+            }
+            built
+        })
     }
 
     /// The set of states `q` such that the subtree of `tree` rooted at `node`

@@ -26,7 +26,7 @@ pub mod automaton;
 pub mod exact;
 pub mod tree;
 
-pub use approx::{approx_count_fixed_shape, TaApproxConfig};
+pub use approx::{approx_count_fixed_shape, approx_count_fixed_shape_seeded, TaApproxConfig};
 pub use automaton::{TransitionTarget, TreeAutomaton};
 pub use exact::{count_labelings_fixed_shape, count_slice_bruteforce};
 pub use tree::{LabeledTree, TreeShape};

@@ -7,12 +7,13 @@
 //! ```
 //! Experiments: `thm5`, `obs9`, `obs10`, `cor6`, `thm13`, `thm16`,
 //! `footnote4`, `sampling`, `unions`, `widths`, `ablation-colour`,
-//! `ablation-naive`. `--large` uses the full problem sizes recorded in
+//! `ablation-naive`, `parallel`. `--large` uses the full problem sizes recorded in
 //! EXPERIMENTS.md; the default sizes finish in a couple of minutes on a
 //! laptop.
 
 use cqc_bench::{header, relative_error, row, timed};
 use cqc_core::lihom::PatternGraph;
+use cqc_core::Engine;
 use cqc_core::{
     approx_count_answers, count_locally_injective_homomorphisms, count_union, exact_count_answers,
     fpras_count, fptras_count, hamiltonian_path_query, naive_monte_carlo, sample_answers,
@@ -77,9 +78,100 @@ fn main() {
     if run("ablation-naive") {
         experiment_ablation_naive();
     }
+    if run("parallel") {
+        experiment_parallel(large);
+    }
 }
 
-/// E1 — Theorem 5: FPTRAS accuracy and scaling for bounded-treewidth ECQs.
+/// Parallel scaling of the deterministic runtime (see
+/// `benches/parallel_scaling.rs` for the criterion variant): repetitions/sec
+/// on the Theorem 5 colour-coding workload and wall time on the Theorem 16
+/// Karp–Luby workload, at 1/2/4/8 threads. The estimates are asserted
+/// bit-identical across thread counts on every row.
+fn experiment_parallel(large: bool) {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("\n== Parallel scaling (deterministic runtime; host parallelism = {host}) ==");
+    header(&[
+        "workload", "threads", "estimate", "secs", "reps/sec", "speedup",
+    ]);
+    let (n_dcq, n_cq) = if large { (96, 32) } else { (48, 24) };
+
+    let scaling_rows = |label: &str,
+                        query: &cqc_query::Query,
+                        db: &cqc_data::Structure,
+                        configure: &dyn Fn(cqc_core::EngineBuilder) -> cqc_core::EngineBuilder,
+                        show_reps: bool| {
+        let mut base_secs = None;
+        let mut base_hom = None;
+        let mut reference = None;
+        for threads in [1usize, 2, 4, 8] {
+            let engine = configure(Engine::builder().accuracy(0.3, 0.1).threads(threads))
+                .build()
+                .unwrap();
+            let prepared = engine.prepare(query).unwrap();
+            let (report, secs) = timed(|| prepared.count(db).unwrap());
+            match reference {
+                None => reference = Some(report.estimate),
+                Some(e) => assert_eq!(
+                    e.to_bits(),
+                    report.estimate.to_bits(),
+                    "determinism violated at {threads} threads"
+                ),
+            }
+            let base = *base_secs.get_or_insert(secs);
+            // Fixed logical budget (the 1-thread run's hom calls) over wall
+            // time: per-row hom_calls would count scheduling-dependent
+            // speculative rounds and overstate throughput at high thread
+            // counts.
+            let work = *base_hom.get_or_insert(report.telemetry.hom_calls) as f64;
+            row(&[
+                label.into(),
+                threads.to_string(),
+                format!("{}", report.estimate),
+                format!("{secs:.3}"),
+                if show_reps {
+                    format!("{:.0}", work / secs)
+                } else {
+                    "-".into()
+                },
+                format!("{:.2}x", base / secs),
+            ]);
+        }
+    };
+
+    // Theorem 5 colour-coding repetitions.
+    let dcq = star_query(2, true).query;
+    let dcq_db = {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = erdos_renyi(n_dcq, 3.0 / n_dcq as f64, &mut rng);
+        graph_database(&g, "E", false)
+    };
+    scaling_rows(
+        "thm5 colour",
+        &dcq,
+        &dcq_db,
+        &|b| b.seed(11).colour_repetitions(64),
+        true,
+    );
+
+    // Theorem 16 Karp–Luby union trials (sampling counter forced).
+    let cq = footnote4_star_query(2, false).query;
+    let cq_db = {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = erdos_renyi(n_cq, 3.0 / n_cq as f64, &mut rng);
+        graph_database(&g, "E", false)
+    };
+    scaling_rows(
+        "thm16 union",
+        &cq,
+        &cq_db,
+        &|b| b.seed(13).exact_state_budget(0),
+        false,
+    );
+}
+
 fn experiment_thm5(large: bool) {
     println!("\n== E1 (Theorem 5): FPTRAS for bounded-treewidth ECQs ==");
     header(&[

@@ -11,6 +11,7 @@ use crate::common::{approx_config, load_database, load_facts_file, load_query};
 use crate::{Args, CliError};
 use cqc_core::{exact_count_answers, Backend, EngineBuilder, PreparedQuery};
 use cqc_data::Structure;
+use cqc_runtime::resolve_threads;
 use std::fmt::Write as _;
 
 fn parse_backend(raw: &str) -> Result<Backend, CliError> {
@@ -95,6 +96,7 @@ pub fn run_count(args: &Args) -> Result<String, CliError> {
             .unwrap();
         }
         writeln!(out, "ε, δ        : {}, {}", cfg.epsilon, cfg.delta).unwrap();
+        writeln!(out, "threads     : {}", resolve_threads(cfg.threads)).unwrap();
         write_plan_header(&mut out, &prepared);
     }
 
@@ -121,12 +123,15 @@ pub fn run_count(args: &Args) -> Result<String, CliError> {
     }
 
     if !quiet && (repeat > 1 || dbs.len() > 1) {
+        // `threads=` is part of the scrapeable summary: bench scripts parse
+        // it out of the amortised timing line.
         writeln!(
             out,
-            "evaluated   : {} run(s) in {:.3} ms total ({:.3} ms/run, plan reused)",
+            "evaluated   : {} run(s) in {:.3} ms total ({:.3} ms/run, plan reused, threads={})",
             evaluations,
             total_eval.as_secs_f64() * 1e3,
-            total_eval.as_secs_f64() * 1e3 / evaluations as f64
+            total_eval.as_secs_f64() * 1e3 / evaluations as f64,
+            resolve_threads(cfg.threads)
         )
         .unwrap();
     }

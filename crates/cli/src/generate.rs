@@ -80,7 +80,15 @@ pub fn build_workload(args: &Args) -> Result<Structure, CliError> {
 }
 
 /// Run `cqc generate`.
+///
+/// Accepts `--threads N` (0 = auto) like `count` and `sample` for CLI
+/// uniformity. Generation itself stays single-threaded by design: the
+/// emitted database is a pure function of `--seed` drawn from one
+/// sequential RNG stream, and keeping that artifact byte-stable matters
+/// more than generator wall time (the summary still reports the resolved
+/// thread count so scripts can scrape one format everywhere).
 pub fn run_generate(args: &Args) -> Result<String, CliError> {
+    let threads: usize = args.get_or("threads", 0)?;
     let db = build_workload(args)?;
     let rendered = write_facts(&db);
     match args.value_of("out") {
@@ -88,9 +96,10 @@ pub fn run_generate(args: &Args) -> Result<String, CliError> {
             std::fs::write(path, &rendered)
                 .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
             Ok(format!(
-                "wrote {} elements, {} facts to {path}\n",
+                "wrote {} elements, {} facts to {path} (threads={})\n",
                 db.universe_size(),
-                db.fact_count()
+                db.fact_count(),
+                cqc_runtime::resolve_threads(threads)
             ))
         }
         None => Ok(rendered),

@@ -83,6 +83,9 @@ COMMON OPTIONS:
     --epsilon E           relative error (default 0.25)
     --delta D             failure probability (default 0.05)
     --seed S              RNG seed (default 0xC0FFEE)
+    --threads N           worker threads; 0 = auto (COUNTING_THREADS env, else
+                          available parallelism). Estimates are bit-identical
+                          for any thread count (deterministic seed-splitting)
     --method M            auto | fpras | fptras | exact   (count only, default auto)
     --repeat N            evaluate each database N times reusing the prepared
                           plan, reporting amortised timings (count only, default 1)
@@ -169,7 +172,12 @@ pub(crate) mod common {
             return Err(CliError::Usage("`--delta` must lie in (0, 1)".into()));
         }
         let seed: u64 = args.get_or("seed", 0xC0FFEE)?;
-        Ok(ApproxConfig::new(epsilon, delta).with_seed(seed))
+        // 0 = auto (COUNTING_THREADS env, else available parallelism); the
+        // thread count never changes estimates, only wall times.
+        let threads: usize = args.get_or("threads", 0)?;
+        let mut cfg = ApproxConfig::new(epsilon, delta).with_seed(seed);
+        cfg.threads = threads;
+        Ok(cfg)
     }
 }
 

@@ -27,6 +27,11 @@ pub struct ApproxConfig {
     /// The FPRAS switches from the exact fixed-shape #TA counter to the
     /// sampling counter once the automaton has more states than this.
     pub fpras_exact_state_budget: usize,
+    /// Worker threads for the parallel runtime (`0` = automatic: the
+    /// `COUNTING_THREADS` environment variable, else the machine's available
+    /// parallelism). Thanks to deterministic seed-splitting the thread count
+    /// **never** affects estimates — only wall-clock time; see `cqc-runtime`.
+    pub threads: usize,
 }
 
 impl Default for ApproxConfig {
@@ -37,6 +42,7 @@ impl Default for ApproxConfig {
             seed: 0xC0FFEE,
             colour_repetitions: None,
             fpras_exact_state_budget: 4_000,
+            threads: 0,
         }
     }
 }

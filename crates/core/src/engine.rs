@@ -32,12 +32,15 @@
 
 use crate::api::{exact_count_answers, ApproxConfig};
 use crate::error::CoreError;
-use crate::fpras::{fpras_count_with_plan, plan_fpras, FprasPlan};
-use crate::fptras::{fptras_count_with_plan, plan_fptras, FptrasPlan};
+use crate::fpras::{fpras_count_with_plan, plan_fpras_with, FprasPlan};
+use crate::fptras::{
+    fptras_count_with_plan, fptras_count_with_scratch, plan_fptras, EvalScratch, FptrasPlan,
+};
 use crate::report::{CountMethod, EstimateReport};
 use crate::sampling::sample_answers_with_plan;
 use cqc_data::{Structure, Val};
 use cqc_query::{Query, QueryClass};
+use cqc_runtime::Runtime;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
@@ -134,6 +137,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Set the number of worker threads for the parallel runtime
+    /// (`0` = automatic: the `COUNTING_THREADS` environment variable, else
+    /// `std::thread::available_parallelism()`). Estimates are bit-identical
+    /// for any thread count — the runtime derives every RNG stream from
+    /// `(seed, work-item index)`, never from scheduling order.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// Validate the configuration and build the engine.
     pub fn build(self) -> Result<Engine, CoreError> {
         self.config.validate()?;
@@ -205,10 +218,13 @@ impl Engine {
         self.config.validate()?;
         let started = Instant::now();
         let class = query.class();
+        // The decomposition candidate search parallelises too; the chosen
+        // plan is bit-identical for any thread count.
+        let runtime = Runtime::new(self.config.threads);
         let plan = match self.backend {
             Backend::Auto => match auto_method(class) {
                 CountMethod::Fpras => Plan::Fpras {
-                    count: Box::new(plan_fpras(query)?),
+                    count: Box::new(plan_fpras_with(query, &runtime)?),
                     sample: OnceLock::new(),
                 },
                 CountMethod::Fptras | CountMethod::Exact => {
@@ -216,7 +232,7 @@ impl Engine {
                 }
             },
             Backend::Fpras => Plan::Fpras {
-                count: Box::new(plan_fpras(query)?),
+                count: Box::new(plan_fpras_with(query, &runtime)?),
                 sample: OnceLock::new(),
             },
             Backend::Fptras => Plan::Fptras(plan_fptras(query, &self.config)),
@@ -354,9 +370,67 @@ impl PreparedQuery {
     }
 
     /// Evaluate against many databases with one cached plan (the amortised
-    /// hot path). Fails fast on the first incompatible database.
+    /// hot path), fanned out over the engine's parallel runtime.
+    ///
+    /// Deterministic: the *estimates* are bit-identical to
+    /// `dbs.iter().map(|db| self.count(db))` for any thread count, because
+    /// database `i`'s estimate depends only on the plan, the seed and
+    /// `dbs[i]` — deliberately **not** on its batch position. The flip side
+    /// of that contract is that all databases share the engine's seed, so
+    /// estimation errors across a batch of near-identical snapshots are
+    /// correlated; callers that want independent errors (e.g. to average
+    /// across snapshots) should vary the engine seed, not rely on batch
+    /// position. Each worker thread owns one [`EvalScratch`] that it reuses
+    /// across all the databases it evaluates, dropping the per-database
+    /// allocations the serial loop used to pay (see the invariant on
+    /// [`EvalScratch`]). Telemetry may differ from the serial loop:
+    /// `threads_used` records this batch's worker count, and `hom_calls`
+    /// can vary with scheduling (early-exit colour rounds evaluate a
+    /// scheduling-dependent number of speculative repetitions). Returns
+    /// the error of the first failing database (by index) if any fail.
     pub fn count_batch(&self, dbs: &[Structure]) -> Result<Vec<EstimateReport>, CoreError> {
-        dbs.iter().map(|db| self.count(db)).collect()
+        let runtime = Runtime::new(self.config.threads);
+        match &self.plan {
+            // The FPTRAS path parallelises *across* databases first; any
+            // worker threads the batch cannot use (fewer databases than
+            // threads) are handed to the inner per-evaluation runtime so a
+            // 2-database batch on an 8-thread engine still runs the colour
+            // rounds 4-wide instead of stranding 6 workers.
+            Plan::Fptras(plan) => {
+                let chunk = dbs.len().div_ceil(runtime.threads()).max(1);
+                let chunks: Vec<&[Structure]> = dbs.chunks(chunk).collect();
+                let inner = Runtime::new((runtime.threads() / chunks.len().max(1)).max(1));
+                let per_chunk: Vec<Vec<Result<EstimateReport, CoreError>>> =
+                    runtime.par_map(&chunks, |_, chunk| {
+                        // per-thread scratch, reused across this worker's databases
+                        let mut scratch = EvalScratch::new();
+                        chunk
+                            .iter()
+                            .map(|db| {
+                                fptras_count_with_scratch(
+                                    &self.query,
+                                    plan,
+                                    db,
+                                    &self.config,
+                                    inner,
+                                    &mut scratch,
+                                )
+                                .map(|mut report| {
+                                    // the evaluation itself ran serially, but
+                                    // the batch ran on this many workers
+                                    report.telemetry.threads_used = runtime.threads();
+                                    report
+                                })
+                            })
+                            .collect()
+                    });
+                per_chunk.into_iter().flatten().collect()
+            }
+            // The FPRAS and exact paths parallelise inside each evaluation
+            // (sampling counter / decomposition reuse), so the batch loop
+            // stays serial here and delegates.
+            _ => dbs.iter().map(|db| self.count(db)).collect(),
+        }
     }
 
     /// Draw `count` (approximately) uniform answers of `(ϕ, D)`

@@ -16,16 +16,15 @@ use crate::api::ApproxConfig;
 use crate::error::CoreError;
 use crate::report::{CountMethod, EstimateReport, Telemetry};
 use cqc_automata::{
-    approx_count_fixed_shape, count_labelings_fixed_shape, TaApproxConfig, TransitionTarget,
+    approx_count_fixed_shape_seeded, count_labelings_fixed_shape, TaApproxConfig, TransitionTarget,
     TreeAutomaton, TreeShape,
 };
 use cqc_data::{Structure, Val};
 use cqc_hom::bag_partial_solutions;
-use cqc_hypergraph::fwidth::{minimise_width, WidthMeasure};
+use cqc_hypergraph::fwidth::WidthMeasure;
 use cqc_hypergraph::NiceTreeDecomposition;
 use cqc_query::{build_a_structure, build_b_structure, query_hypergraph, Query, QueryClass, Var};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cqc_runtime::{split_seed, Runtime};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -59,6 +58,26 @@ pub struct FprasPlan {
     pub fhw: f64,
     /// The associated structure `A(ϕ)` (Definition 18).
     pub a_structure: Structure,
+    /// The automaton tree shape mirroring the decomposition tree. Query-side
+    /// (a pure function of `nice`), so it is built once here instead of per
+    /// evaluation — `count_batch` reuses it across every database.
+    pub shape: TreeShape,
+    /// Per-node bags as sorted variable-index lists (query-side, ditto).
+    pub bags: Vec<Vec<usize>>,
+}
+
+/// The automaton tree shape and per-node sorted bags of a nice tree
+/// decomposition (query-side; [`FprasPlan`] caches the result so
+/// evaluations never rebuild it).
+fn shape_and_bags(nice: &NiceTreeDecomposition) -> (TreeShape, Vec<Vec<usize>>) {
+    let td = &nice.td;
+    let n_nodes = td.num_nodes();
+    let children: Vec<Vec<usize>> = (0..n_nodes).map(|t| td.children(t).to_vec()).collect();
+    let shape = TreeShape::new(children, td.root());
+    let bags: Vec<Vec<usize>> = (0..n_nodes)
+        .map(|t| td.bag(t).iter().copied().collect())
+        .collect();
+    (shape, bags)
 }
 
 /// Query-side planning for the FPRAS of Theorem 16: class check,
@@ -68,6 +87,15 @@ pub struct FprasPlan {
 /// or negations — by Observation 10 no FPRAS exists for those (unless
 /// NP = RP); use the FPTRAS path instead.
 pub fn plan_fpras(query: &Query) -> Result<FprasPlan, CoreError> {
+    plan_fpras_with(query, &Runtime::serial())
+}
+
+/// [`plan_fpras`] with the decomposition candidate search fanned out over
+/// the given runtime. The chosen decomposition — and hence every estimate
+/// computed from the plan — is bit-identical for any thread count (the
+/// parallel search keeps the first candidate attaining the minimum width,
+/// exactly like the serial one).
+pub fn plan_fpras_with(query: &Query, runtime: &Runtime) -> Result<FprasPlan, CoreError> {
     if query.class() != QueryClass::CQ {
         return Err(CoreError::unsupported_query_class(
             "the FPRAS of Theorem 16 applies to CQs without disequalities or negations \
@@ -75,13 +103,20 @@ pub fn plan_fpras(query: &Query) -> Result<FprasPlan, CoreError> {
         ));
     }
     let h = query_hypergraph(query);
-    let (fhw, td) = minimise_width(&h, WidthMeasure::FractionalHypertreewidth);
+    let (fhw, td) = cqc_hypergraph::fwidth::minimise_width_par(
+        &h,
+        WidthMeasure::FractionalHypertreewidth,
+        runtime,
+    );
     let nice = td.into_nice();
     nice.validate_nice().map_err(CoreError::plan_internal)?;
+    let (shape, bags) = shape_and_bags(&nice);
     Ok(FprasPlan {
         nice,
         fhw,
         a_structure: build_a_structure(query),
+        shape,
+        bags,
     })
 }
 
@@ -96,6 +131,7 @@ pub fn fpras_count_with_plan(
     db: &Structure,
     config: &ApproxConfig,
 ) -> Result<EstimateReport, CoreError> {
+    let runtime = Runtime::new(config.threads);
     let start = Instant::now();
     if !query.compatible_with(db.signature()) {
         return Err(CoreError::incompatible_database(
@@ -104,30 +140,37 @@ pub fn fpras_count_with_plan(
     }
 
     // Steps 2 + 3 (Section 5.2): per-bag solutions and the Lemma 52 automaton.
-    let construction = build_lemma52_automaton_with(query, &plan.a_structure, db, &plan.nice)?;
-    let tree_nodes = construction.shape.num_nodes();
+    // The tree shape and bags are query-side and come from the plan.
+    let (automaton, states) =
+        build_automaton_in(query, &plan.a_structure, db, &plan.nice, &plan.bags)?;
+    let tree_nodes = plan.shape.num_nodes();
+    let build_wall = start.elapsed();
 
     // Step 4: count the accepted labellings of the fixed shape.
     // The exact subset-DP is used when the state space is small; otherwise the
-    // sampling-based counter (Lemma 51 / ACJR) takes over.
-    let (estimate, exact) = if construction.states <= config.fpras_exact_state_budget {
+    // sampling-based counter (Lemma 51 / ACJR) takes over, fanned out over
+    // the runtime with per-(node, state) seed-split RNG streams — the
+    // estimate is bit-identical for any thread count.
+    let count_start = Instant::now();
+    let (estimate, exact) = if states <= config.fpras_exact_state_budget {
         (
-            count_labelings_fixed_shape(&construction.automaton, &construction.shape) as f64,
+            count_labelings_fixed_shape(&automaton, &plan.shape) as f64,
             true,
         )
     } else {
-        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x51CE));
         let ta_config = TaApproxConfig::new(config.epsilon, config.delta);
         (
-            approx_count_fixed_shape(
-                &construction.automaton,
-                &construction.shape,
+            approx_count_fixed_shape_seeded(
+                &automaton,
+                &plan.shape,
                 &ta_config,
-                &mut rng,
+                split_seed(config.seed, 0x51CE),
+                &runtime,
             ),
             false,
         )
     };
+    let count_wall = count_start.elapsed();
 
     let mut report = if exact {
         EstimateReport::exact_value(estimate, CountMethod::Fpras)
@@ -135,10 +178,12 @@ pub fn fpras_count_with_plan(
         EstimateReport::approximate(estimate, CountMethod::Fpras, config.epsilon, config.delta)
     };
     report.telemetry = Telemetry {
-        automaton_states: construction.states,
+        automaton_states: states,
         tree_nodes,
         fhw: Some(plan.fhw),
         wall: start.elapsed(),
+        threads_used: runtime.threads(),
+        phase_walls: vec![("build_automaton", build_wall), ("count", count_wall)],
         ..Telemetry::default()
     };
     Ok(report)
@@ -196,19 +241,30 @@ pub fn build_lemma52_automaton_with(
     db: &Structure,
     nice: &NiceTreeDecomposition,
 ) -> Result<Lemma52Automaton, CoreError> {
+    let (shape, bags) = shape_and_bags(nice);
+    let (automaton, states) = build_automaton_in(query, a_structure, db, nice, &bags)?;
+    Ok(Lemma52Automaton {
+        automaton,
+        shape,
+        states,
+    })
+}
+
+/// The data-side core of the Lemma 52 construction, with the query-side
+/// parts (`A(ϕ)`, the bags) supplied by the caller — [`FprasPlan`] caches
+/// them so repeated evaluations (and `count_batch`) do not rebuild them.
+fn build_automaton_in(
+    query: &Query,
+    a_structure: &Structure,
+    db: &Structure,
+    nice: &NiceTreeDecomposition,
+    bags: &[Vec<usize>],
+) -> Result<(TreeAutomaton, usize), CoreError> {
     let b_structure = build_b_structure(query, db).map_err(CoreError::incompatible_database)?;
     let td = &nice.td;
     let n_nodes = td.num_nodes();
 
-    // The automaton's tree shape mirrors the decomposition tree.
-    let children: Vec<Vec<usize>> = (0..n_nodes).map(|t| td.children(t).to_vec()).collect();
-    let shape = TreeShape::new(children, td.root());
-
     // Per-node solution relations Sol(ϕ, D, B_t) (Definition 47, Lemma 48).
-    // Bags are sorted variable-index lists.
-    let bags: Vec<Vec<usize>> = (0..n_nodes)
-        .map(|t| td.bag(t).iter().copied().collect())
-        .collect();
     let sols: Vec<Vec<Vec<Val>>> = bags
         .iter()
         .map(|bag| bag_partial_solutions(a_structure, &b_structure, bag))
@@ -217,12 +273,7 @@ pub fn build_lemma52_automaton_with(
     // If the root (empty bag) has no solution, there are no answers at all:
     // represent this with a trivially empty automaton.
     if sols[td.root()].is_empty() {
-        let automaton = TreeAutomaton::new(1, 1, 0);
-        return Ok(Lemma52Automaton {
-            automaton,
-            shape,
-            states: 1,
-        });
+        return Ok((TreeAutomaton::new(1, 1, 0), 1));
     }
 
     // States: (t, α); labels: (t, proj(α, free(ϕ))).
@@ -323,11 +374,8 @@ pub fn build_lemma52_automaton_with(
         }
     }
 
-    Ok(Lemma52Automaton {
-        states: state_id.len(),
-        automaton,
-        shape,
-    })
+    let states = state_id.len();
+    Ok((automaton, states))
 }
 
 #[cfg(test)]

@@ -15,7 +15,9 @@ use crate::report::{CountMethod, EstimateReport, Telemetry};
 use cqc_data::Structure;
 use cqc_dlm::{approx_edge_count, ApproxMethod, DlmConfig, EdgeFreeOracle};
 use cqc_hom::HybridDecider;
+use cqc_query::colored::ColouringFamily;
 use cqc_query::{build_a_hat, build_b_structure, Query};
+use cqc_runtime::Runtime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -91,6 +93,43 @@ pub fn plan_fptras(query: &Query, config: &ApproxConfig) -> FptrasPlan {
     }
 }
 
+/// Per-thread evaluation scratch for batch counting.
+///
+/// **Invariant (why reuse is sound):** everything in here is either
+/// stateless across evaluations (the `Hom` decider — its only mutable state
+/// is atomic telemetry counters) or a pure function of the query and the
+/// database *dimensions* (the all-true relaxation colouring, which depends
+/// only on `(|Δ(ϕ)|, |U(D)|)` and is revalidated against each database).
+/// Reusing the scratch across the databases one worker evaluates in
+/// [`crate::PreparedQuery::count_batch`] therefore cannot change any
+/// estimate — it only removes per-database allocations. The scratch is
+/// owned by exactly **one** worker thread (never shared), so reuse also
+/// never introduces cross-thread contention.
+#[derive(Default)]
+pub struct EvalScratch {
+    decider: HybridDecider,
+    /// Cached relaxation colouring, keyed by `(|Δ(ϕ)|, |U(D)|)`: reused
+    /// verbatim while consecutive databases share those dimensions.
+    relaxed: Option<(usize, usize, ColouringFamily)>,
+}
+
+impl EvalScratch {
+    /// A fresh scratch (one per worker thread).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Make sure the cached relaxation colouring matches the dimensions.
+    fn ensure_relaxed(&mut self, num_diseq: usize, universe_size: usize) {
+        let fits =
+            matches!(&self.relaxed, Some((d, u, _)) if *d == num_diseq && *u == universe_size);
+        if !fits {
+            let family = ColouringFamily::from_fn(num_diseq, universe_size, |_, _| true);
+            self.relaxed = Some((num_diseq, universe_size, family));
+        }
+    }
+}
+
 /// Data-side evaluation of a prepared FPTRAS plan against one database:
 /// build `B(ϕ, D)` and run the Dell–Lapinskas–Meeks edge counter against
 /// the colour-coding oracle.
@@ -103,6 +142,27 @@ pub fn fptras_count_with_plan(
     db: &Structure,
     config: &ApproxConfig,
 ) -> Result<EstimateReport, CoreError> {
+    let mut scratch = EvalScratch::new();
+    fptras_count_with_scratch(
+        query,
+        plan,
+        db,
+        config,
+        Runtime::new(config.threads),
+        &mut scratch,
+    )
+}
+
+/// [`fptras_count_with_plan`] with an explicit runtime and a reusable
+/// per-thread [`EvalScratch`] (the `count_batch` hot path).
+pub fn fptras_count_with_scratch(
+    query: &Query,
+    plan: &FptrasPlan,
+    db: &Structure,
+    config: &ApproxConfig,
+    runtime: Runtime,
+    scratch: &mut EvalScratch,
+) -> Result<EstimateReport, CoreError> {
     let start = Instant::now();
     if !query.compatible_with(db.signature()) {
         return Err(CoreError::incompatible_database(
@@ -110,21 +170,31 @@ pub fn fptras_count_with_plan(
         ));
     }
     let b_structure = build_b_structure(query, db).map_err(CoreError::incompatible_database)?;
+    scratch.ensure_relaxed(query.disequalities().len(), db.universe_size());
+    let build_wall = start.elapsed();
 
-    let decider = HybridDecider::new();
+    let relaxed = scratch
+        .relaxed
+        .as_ref()
+        .map(|(_, _, c)| c)
+        .expect("ensured");
     let mut oracle = AnswerOracle::with_a_hat(
         query,
         b_structure,
         &plan.a_hat,
         db.universe_size(),
-        &decider,
+        &scratch.decider,
         plan.repetitions,
         config.seed,
-    );
+    )
+    .with_runtime(runtime)
+    .with_relaxed_colouring(relaxed);
 
+    let count_start = Instant::now();
     let dlm = DlmConfig::new(config.epsilon, config.delta);
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x9E37));
     let result = approx_edge_count(&mut oracle, &dlm, &mut rng);
+    let count_wall = count_start.elapsed();
 
     let exact = matches!(result.method, ApproxMethod::Exact) && query.disequalities().is_empty();
     let mut report = if exact {
@@ -143,6 +213,8 @@ pub fn fptras_count_with_plan(
         colour_repetitions: plan.repetitions,
         query_treewidth: plan.query_treewidth(query),
         wall: start.elapsed(),
+        threads_used: runtime.threads(),
+        phase_walls: vec![("build_b", build_wall), ("count", count_wall)],
         ..Telemetry::default()
     };
     Ok(report)

@@ -57,8 +57,13 @@ pub use api::{approx_count_answers, exact_count_answers, ApproxConfig, CountEsti
 pub use baseline::{bruteforce_count, naive_monte_carlo};
 pub use engine::{auto_method, Backend, Engine, EngineBuilder, PlanSummary, PreparedQuery};
 pub use error::{CoreError, EvalError, PlanError};
-pub use fpras::{fpras_count, fpras_count_with_plan, plan_fpras, FprasPlan, FprasReport};
-pub use fptras::{fptras_count, fptras_count_with_plan, plan_fptras, FptrasPlan, FptrasReport};
+pub use fpras::{
+    fpras_count, fpras_count_with_plan, plan_fpras, plan_fpras_with, FprasPlan, FprasReport,
+};
+pub use fptras::{
+    fptras_count, fptras_count_with_plan, fptras_count_with_scratch, plan_fptras, EvalScratch,
+    FptrasPlan, FptrasReport,
+};
 pub use hamiltonian::{hamiltonian_path_query, undirected_graph_database};
 pub use lihom::{count_locally_injective_homomorphisms, locally_injective_query};
 pub use oracle::AnswerOracle;

@@ -22,21 +22,33 @@ use cqc_dlm::EdgeFreeOracle;
 use cqc_hom::HomDecider;
 use cqc_query::colored::{build_a_hat, build_b_hat, ColouringFamily, PartiteSets};
 use cqc_query::Query;
+use cqc_runtime::{split_seed, Runtime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::borrow::Cow;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The `EdgeFree` oracle for `H(ϕ, D)` used by the FPTRAS of Theorems 5
 /// and 13.
 pub struct AnswerOracle<'a, H: HomDecider> {
     query: &'a Query,
     b_structure: Structure,
-    a_hat: std::borrow::Cow<'a, Structure>,
+    a_hat: Cow<'a, Structure>,
     decider: &'a H,
     /// Number of colour-coding repetitions `Q` per oracle call.
     repetitions: usize,
     universe_size: usize,
-    rng: StdRng,
+    /// Root of the oracle's seed tree. Repetition `r` of oracle call `c`
+    /// draws its colouring from the stream `split_seed2(seed, c, r)` —
+    /// never from a shared sequential stream — so the oracle's answers are
+    /// bit-identical for any thread count (see `cqc-runtime`).
+    seed: u64,
+    runtime: Runtime,
+    /// The all-true colouring used by the relaxation check; constant across
+    /// calls, so it is built lazily on the first relaxation query (or
+    /// borrowed from a batch scratch and never allocated here at all).
+    relaxed_colouring: Option<Cow<'a, ColouringFamily>>,
     hom_calls: u64,
     oracle_calls: u64,
 }
@@ -58,7 +70,7 @@ impl<'a, H: HomDecider> AnswerOracle<'a, H> {
         repetitions: usize,
         seed: u64,
     ) -> Self {
-        let a_hat = std::borrow::Cow::Owned(build_a_hat(query));
+        let a_hat = Cow::Owned(build_a_hat(query));
         Self::with_cow_a_hat(
             query,
             b_structure,
@@ -86,7 +98,7 @@ impl<'a, H: HomDecider> AnswerOracle<'a, H> {
         Self::with_cow_a_hat(
             query,
             b_structure,
-            std::borrow::Cow::Borrowed(a_hat),
+            Cow::Borrowed(a_hat),
             universe_size,
             decider,
             repetitions,
@@ -97,7 +109,7 @@ impl<'a, H: HomDecider> AnswerOracle<'a, H> {
     fn with_cow_a_hat(
         query: &'a Query,
         b_structure: Structure,
-        a_hat: std::borrow::Cow<'a, Structure>,
+        a_hat: Cow<'a, Structure>,
         universe_size: usize,
         decider: &'a H,
         repetitions: usize,
@@ -110,10 +122,35 @@ impl<'a, H: HomDecider> AnswerOracle<'a, H> {
             decider,
             repetitions: repetitions.max(1),
             universe_size,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            runtime: Runtime::serial(),
+            relaxed_colouring: None,
             hom_calls: 0,
             oracle_calls: 0,
         }
+    }
+
+    /// Run the colour-coding repetitions of each `EdgeFree` call on the
+    /// given runtime (default: serial). Bit-identical answers for any
+    /// thread count — each repetition has its own seed-split RNG stream.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Borrow a pre-built all-true relaxation colouring instead of
+    /// allocating one (the per-thread batch scratch shares it across the
+    /// databases of a `count_batch` run; dimensions must match
+    /// `(|Δ(ϕ)|, |U(D)|)`).
+    pub fn with_relaxed_colouring(mut self, colouring: &'a ColouringFamily) -> Self {
+        debug_assert_eq!(colouring.red.len(), self.query.disequalities().len());
+        debug_assert!(colouring
+            .red
+            .first()
+            .map(|r| r.len() == self.universe_size)
+            .unwrap_or(true));
+        self.relaxed_colouring = Some(Cow::Borrowed(colouring));
+        self
     }
 
     /// A practical default for the number of colouring rounds: with `|Δ|`
@@ -153,12 +190,14 @@ impl<'a, H: HomDecider> AnswerOracle<'a, H> {
     /// within the restricted region. A negative answer soundly certifies
     /// edge-freeness.
     fn relaxed_hom_query(&mut self, parts: &PartiteSets) -> bool {
-        let colouring = ColouringFamily::from_fn(
-            self.query.disequalities().len(),
-            self.universe_size,
-            |_, _| true,
-        );
-        let (mut b_hat, decode) = build_b_hat(self.query, &self.b_structure, parts, &colouring);
+        let colouring = self.relaxed_colouring.get_or_insert_with(|| {
+            Cow::Owned(ColouringFamily::from_fn(
+                self.query.disequalities().len(),
+                self.universe_size,
+                |_, _| true,
+            ))
+        });
+        let (mut b_hat, decode) = build_b_hat(self.query, &self.b_structure, parts, colouring);
         // make every element carry *both* colours
         for d in 0..self.query.disequalities().len() {
             let blue = b_hat
@@ -176,7 +215,7 @@ impl<'a, H: HomDecider> AnswerOracle<'a, H> {
     }
 }
 
-impl<'a, H: HomDecider> EdgeFreeOracle for AnswerOracle<'a, H> {
+impl<'a, H: HomDecider + Sync> EdgeFreeOracle for AnswerOracle<'a, H> {
     fn num_classes(&self) -> usize {
         self.query.num_free_vars()
     }
@@ -200,17 +239,41 @@ impl<'a, H: HomDecider> EdgeFreeOracle for AnswerOracle<'a, H> {
         if !self.relaxed_hom_query(&partite) {
             return true;
         }
-        // Colour-coding rounds.
-        for _ in 0..self.repetitions {
-            let colouring = {
-                let rng = &mut self.rng;
-                ColouringFamily::from_fn(num_diseq, self.universe_size, |_, _| rng.gen::<bool>())
-            };
-            if self.hom_query(&partite, &colouring) {
-                return false;
-            }
-        }
-        true
+        // Colour-coding rounds, fanned out over the runtime. Repetition `r`
+        // of this call draws its colouring from the private RNG stream
+        // `split_seed2(seed, call, r)`, so the *set* of colourings is a pure
+        // function of the seed and the call index. "Some round sees a
+        // homomorphism" is an order-insensitive ∃ over that fixed set, hence
+        // the answer is bit-identical for 1, 2, or N threads — only the
+        // number of rounds actually evaluated (after a witness is found)
+        // varies with scheduling, which is why `hom_calls` is telemetry, not
+        // part of the determinism contract.
+        let call_seed = split_seed(self.seed, self.oracle_calls);
+        let (query, b_structure, a_hat, decider) =
+            (self.query, &self.b_structure, &*self.a_hat, self.decider);
+        let universe_size = self.universe_size;
+        // Fanning out pays a thread-spawn tax per oracle call; when a
+        // call's total work is tiny (few rounds over a small `B̂`), the tax
+        // exceeds the parallelised work, so small instances run serially.
+        // The cutoff cannot affect the answer — the set of colourings and
+        // hence the ∃ outcome is the same either way.
+        let work_proxy = self.repetitions * (universe_size + self.b_structure.fact_count());
+        let runtime = if work_proxy >= 2048 {
+            self.runtime
+        } else {
+            Runtime::serial()
+        };
+        let rounds_evaluated = AtomicU64::new(0);
+        let witnessed = runtime.par_any_n(self.repetitions, |r| {
+            let mut rng = StdRng::seed_from_u64(split_seed(call_seed, r as u64));
+            let colouring =
+                ColouringFamily::from_fn(num_diseq, universe_size, |_, _| rng.gen::<bool>());
+            let (b_hat, _) = build_b_hat(query, b_structure, &partite, &colouring);
+            rounds_evaluated.fetch_add(1, Ordering::Relaxed);
+            decider.decide(a_hat, &b_hat)
+        });
+        self.hom_calls += rounds_evaluated.load(Ordering::Relaxed);
+        !witnessed
     }
 
     fn calls(&self) -> u64 {

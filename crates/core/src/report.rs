@@ -48,6 +48,14 @@ pub struct Telemetry {
     pub query_treewidth: Option<usize>,
     /// Wall-clock time of the evaluation (excluding query preparation).
     pub wall: Duration,
+    /// Worker threads the parallel runtime ran this evaluation with. The
+    /// thread count never affects the estimate (deterministic
+    /// seed-splitting), only the wall times.
+    pub threads_used: usize,
+    /// Wall-clock time per evaluation phase, in execution order (e.g.
+    /// `build_b` / `count` for the FPTRAS, `build_automaton` / `count` for
+    /// the FPRAS).
+    pub phase_walls: Vec<(&'static str, Duration)>,
 }
 
 /// The unified result of one evaluation of a prepared query against a

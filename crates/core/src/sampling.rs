@@ -15,6 +15,7 @@ use cqc_data::{Structure, Val};
 use cqc_dlm::sample_edge;
 use cqc_hom::HybridDecider;
 use cqc_query::{build_b_structure, Query};
+use cqc_runtime::Runtime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -38,6 +39,10 @@ pub fn sample_answers_with_plan(
     }
     let b_structure = build_b_structure(query, db).map_err(CoreError::incompatible_database)?;
     let decider = HybridDecider::new();
+    // The self-reduction descends sequentially, but each descent step's
+    // colour-coding rounds fan out over the runtime; the oracle's per-call
+    // seed-splitting keeps the drawn answers bit-identical for any thread
+    // count.
     let mut oracle = AnswerOracle::with_a_hat(
         query,
         b_structure,
@@ -46,7 +51,8 @@ pub fn sample_answers_with_plan(
         &decider,
         plan.repetitions,
         config.seed,
-    );
+    )
+    .with_runtime(Runtime::new(config.threads));
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x5A17));
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {

@@ -13,14 +13,28 @@ type PositionIndex = Vec<HashMap<Val, Vec<Tuple>>>;
 /// Tuples are kept in a sorted set (deterministic iteration) and an inverted
 /// index `position → value → tuple positions` is maintained lazily to support
 /// selections during joins and homomorphism search.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Relation {
     arity: usize,
     tuples: BTreeSet<Tuple>,
     /// Lazily built index: `index[pos]` maps a value to the tuples that carry
-    /// that value at position `pos`. Invalidated on mutation.
+    /// that value at position `pos`. Invalidated on mutation. A `OnceLock`
+    /// (rather than a `RefCell`) so that read-only relations stay `Sync` —
+    /// the parallel runtime shares databases across worker threads, and the
+    /// first thread to need the index builds it for everyone.
     #[serde(skip)]
-    index: std::cell::RefCell<Option<PositionIndex>>,
+    index: std::sync::OnceLock<PositionIndex>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        // the lazy index is cheap to rebuild; don't copy it
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.clone(),
+            index: std::sync::OnceLock::new(),
+        }
+    }
 }
 
 impl PartialEq for Relation {
@@ -37,7 +51,7 @@ impl Relation {
         Relation {
             arity,
             tuples: BTreeSet::new(),
-            index: std::cell::RefCell::new(None),
+            index: std::sync::OnceLock::new(),
         }
     }
 
@@ -72,7 +86,7 @@ impl Relation {
             t.arity(),
             self.arity
         );
-        *self.index.borrow_mut() = None;
+        self.index = std::sync::OnceLock::new();
         self.tuples.insert(t)
     }
 
@@ -99,9 +113,7 @@ impl Relation {
     /// Builds the per-column index on first use.
     pub fn select(&self, pos: usize, value: Val) -> Vec<Tuple> {
         assert!(pos < self.arity);
-        self.ensure_index();
-        let idx = self.index.borrow();
-        idx.as_ref().expect("index built")[pos]
+        self.ensure_index()[pos]
             .get(&value)
             .cloned()
             .unwrap_or_default()
@@ -160,18 +172,16 @@ impl Relation {
         self.len() * self.arity
     }
 
-    fn ensure_index(&self) {
-        let mut idx = self.index.borrow_mut();
-        if idx.is_some() {
-            return;
-        }
-        let mut built: Vec<HashMap<Val, Vec<Tuple>>> = vec![HashMap::new(); self.arity];
-        for t in &self.tuples {
-            for (pos, v) in t.values().iter().enumerate() {
-                built[pos].entry(*v).or_default().push(t.clone());
+    fn ensure_index(&self) -> &PositionIndex {
+        self.index.get_or_init(|| {
+            let mut built: Vec<HashMap<Val, Vec<Tuple>>> = vec![HashMap::new(); self.arity];
+            for t in &self.tuples {
+                for (pos, v) in t.values().iter().enumerate() {
+                    built[pos].entry(*v).or_default().push(t.clone());
+                }
             }
-        }
-        *idx = Some(built);
+            built
+        })
     }
 }
 

@@ -24,40 +24,56 @@ use std::collections::BTreeSet;
 /// fully polynomial approximate sampler is obtained by replacing the exact
 /// counts with [`crate::approx_edge_count`]; see Section 6 of the paper.)
 pub fn sample_edge<O: EdgeFreeOracle, R: Rng>(oracle: &mut O, rng: &mut R) -> Option<Vec<usize>> {
-    let mut parts = full_parts(oracle);
-    if oracle.edge_free(&parts) {
+    let full = full_parts(oracle);
+    if oracle.edge_free(&full) {
         return None;
     }
-    loop {
-        // done when every class is a singleton
-        if parts.iter().all(|p| p.len() == 1) {
-            return Some(
-                parts
-                    .iter()
-                    .map(|p| *p.iter().next().expect("singleton"))
-                    .collect(),
-            );
+    // The oracle may be probabilistic (the colour-coding simulation of
+    // Lemma 22): a positive answer certifies an edge, but "edge-free" can be
+    // a false negative with small probability. If a descent step finds both
+    // halves empty even though the parent region is certified non-empty, the
+    // oracle went blind mid-descent — restart the descent from the full
+    // region, which consumes fresh oracle randomness, rather than panicking
+    // or descending into a region that may truly be empty (which would end
+    // at a non-edge). Each restart fails with probability at most the
+    // oracle's per-descent error, so the loop terminates geometrically fast.
+    const MAX_RESTARTS: usize = 256;
+    for _ in 0..MAX_RESTARTS {
+        let mut parts = full.clone();
+        'descent: loop {
+            // done when every class is a singleton
+            if parts.iter().all(|p| p.len() == 1) {
+                return Some(
+                    parts
+                        .iter()
+                        .map(|p| *p.iter().next().expect("singleton"))
+                        .collect(),
+                );
+            }
+            // split the largest class
+            let (idx, _) = parts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, p)| p.len())
+                .expect("some class has ≥ 2 vertices");
+            let items: Vec<usize> = parts[idx].iter().copied().collect();
+            let (left, right) = items.split_at(items.len() / 2);
+            let mut left_parts = parts.clone();
+            left_parts[idx] = left.iter().copied().collect();
+            let mut right_parts = parts.clone();
+            right_parts[idx] = right.iter().copied().collect();
+            let cl = exact_edge_count_with_budget(oracle, &left_parts, u64::MAX)
+                .expect("unbounded budget");
+            let cr = exact_edge_count_with_budget(oracle, &right_parts, u64::MAX)
+                .expect("unbounded budget");
+            if cl + cr == 0 {
+                break 'descent; // oracle false negative: restart from the top
+            }
+            let go_left = (rng.gen_range(0..cl + cr)) < cl;
+            parts = if go_left { left_parts } else { right_parts };
         }
-        // split the largest class
-        let (idx, _) = parts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, p)| p.len())
-            .expect("some class has ≥ 2 vertices");
-        let items: Vec<usize> = parts[idx].iter().copied().collect();
-        let (left, right) = items.split_at(items.len() / 2);
-        let mut left_parts = parts.clone();
-        left_parts[idx] = left.iter().copied().collect();
-        let mut right_parts = parts.clone();
-        right_parts[idx] = right.iter().copied().collect();
-        let cl =
-            exact_edge_count_with_budget(oracle, &left_parts, u64::MAX).expect("unbounded budget");
-        let cr =
-            exact_edge_count_with_budget(oracle, &right_parts, u64::MAX).expect("unbounded budget");
-        debug_assert!(cl + cr > 0, "parent region had an edge");
-        let go_left = (rng.gen_range(0..cl + cr)) < cl;
-        parts = if go_left { left_parts } else { right_parts };
     }
+    panic!("sample_edge: oracle reported the region non-empty but {MAX_RESTARTS} descents found no edge");
 }
 
 /// Draw `samples` edges and return the empirical distribution as a map from

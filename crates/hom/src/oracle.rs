@@ -3,7 +3,7 @@
 use crate::backtracking::BacktrackingDecider;
 use crate::decomposition_dp::DecompositionDecider;
 use cqc_data::Structure;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Statistics collected by a [`HomDecider`] across a run (oracle call counts
 /// are reported in the experiments of EXPERIMENTS.md).
@@ -59,8 +59,11 @@ pub struct HybridDecider {
     pub width_threshold: usize,
     decomposition: DecompositionDecider,
     backtracking: BacktrackingDecider,
-    calls: Cell<u64>,
-    positive: Cell<u64>,
+    // Atomics (not `Cell`s) so a decider shared read-only across the
+    // parallel runtime's worker threads stays `Sync`; the counts are pure
+    // telemetry, so `Relaxed` ordering suffices.
+    calls: AtomicU64,
+    positive: AtomicU64,
 }
 
 impl Default for HybridDecider {
@@ -70,8 +73,8 @@ impl Default for HybridDecider {
             width_threshold: 4,
             decomposition: DecompositionDecider::new(),
             backtracking: BacktrackingDecider::new(),
-            calls: Cell::new(0),
-            positive: Cell::new(0),
+            calls: AtomicU64::new(0),
+            positive: AtomicU64::new(0),
         }
     }
 }
@@ -101,7 +104,7 @@ impl HybridDecider {
 
 impl HomDecider for HybridDecider {
     fn decide(&self, a: &Structure, b: &Structure) -> bool {
-        self.calls.set(self.calls.get() + 1);
+        self.calls.fetch_add(1, Ordering::Relaxed);
         let result = match self.choice {
             EngineChoice::Decomposition => self.decomposition.decide(a, b),
             EngineChoice::Backtracking => self.backtracking.decide(a, b),
@@ -115,21 +118,21 @@ impl HomDecider for HybridDecider {
             }
         };
         if result {
-            self.positive.set(self.positive.get() + 1);
+            self.positive.fetch_add(1, Ordering::Relaxed);
         }
         result
     }
 
     fn stats(&self) -> HomStats {
         HomStats {
-            calls: self.calls.get(),
-            positive: self.positive.get(),
+            calls: self.calls.load(Ordering::Relaxed),
+            positive: self.positive.load(Ordering::Relaxed),
         }
     }
 
     fn reset_stats(&self) {
-        self.calls.set(0);
-        self.positive.set(0);
+        self.calls.store(0, Ordering::Relaxed);
+        self.positive.store(0, Ordering::Relaxed);
     }
 }
 

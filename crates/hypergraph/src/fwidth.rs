@@ -12,6 +12,7 @@ use crate::fractional::fractional_cover_number;
 use crate::hypergraph::Hypergraph;
 use crate::hypertree::integral_cover_number;
 use crate::treewidth::{min_degree_order, min_fill_order, EliminationOrder};
+use cqc_runtime::Runtime;
 use std::collections::BTreeSet;
 
 /// Named width measures used for reporting and experiments.
@@ -84,34 +85,117 @@ pub fn minimise_f_width<F>(
 where
     F: FnMut(&Hypergraph, &BTreeSet<usize>) -> f64,
 {
-    let n = h.num_vertices();
-    if n == 0 {
+    if h.num_vertices() == 0 {
         return (0.0, TreeDecomposition::single_bag(BTreeSet::new()));
     }
-    let score = |h: &Hypergraph, td: &TreeDecomposition, f: &mut F| -> f64 {
-        td.bags()
-            .iter()
-            .map(|b| f(h, b))
-            .fold(f64::NEG_INFINITY, f64::max)
-    };
-
+    // Stream the candidates (one order held at a time, like the original
+    // Heap's-algorithm loop) — the exhaustive regime enumerates n! orders,
+    // so collecting them first would cost O(n!) peak memory.
     let mut best: Option<(f64, TreeDecomposition)> = None;
-    let consider =
-        |order: &EliminationOrder, f: &mut F, best: &mut Option<(f64, TreeDecomposition)>| {
-            let mut td = order.decomposition(h);
-            td.ensure_all_vertices(h);
-            let td = td.contract_equal_bags();
-            let w = score(h, &td, f);
-            if best.as_ref().map(|(bw, _)| w < *bw).unwrap_or(true) {
-                *best = Some((w, td));
-            }
-        };
+    for_each_candidate_order(h, exact_limit, restarts, |order| {
+        let (w, td) = evaluate_order(h, order, &mut f);
+        if best.as_ref().map(|(bw, _)| w < *bw).unwrap_or(true) {
+            best = Some((w, td));
+        }
+    });
+    best.expect("at least one decomposition considered")
+}
 
+/// [`minimise_f_width`] with the candidate evaluations fanned out over the
+/// given runtime. Deterministic: the candidate list is identical to the
+/// serial search and the reduction keeps the **first** candidate (in
+/// enumeration order) attaining the minimum width, so the winning
+/// decomposition is bit-identical for any thread count.
+pub fn minimise_f_width_par<F>(
+    h: &Hypergraph,
+    f: F,
+    exact_limit: usize,
+    restarts: usize,
+    runtime: &Runtime,
+) -> (f64, TreeDecomposition)
+where
+    F: Fn(&Hypergraph, &BTreeSet<usize>) -> f64 + Sync,
+{
+    if h.num_vertices() == 0 {
+        return (0.0, TreeDecomposition::single_bag(BTreeSet::new()));
+    }
+    // Workers fold their slice down to a single local best so at most
+    // O(threads) evaluated decompositions are retained at once (the
+    // exhaustive regime enumerates n! orders — buffering every scored
+    // decomposition would dwarf the planning working set). Slice-local
+    // first-minima merged in slice order with a strict `<` reproduce the
+    // serial search's global first-minimum exactly.
+    let orders = candidate_orders(h, exact_limit, restarts);
+    let slice = runtime.chunk_size(orders.len());
+    let slices: Vec<&[EliminationOrder]> = orders.chunks(slice).collect();
+    runtime
+        .par_reduce(
+            &slices,
+            |_, chunk| {
+                let mut best: Option<(f64, TreeDecomposition)> = None;
+                for order in chunk.iter() {
+                    let mut g = &f;
+                    let (w, td) = evaluate_order(h, order, &mut g);
+                    if best.as_ref().map(|(bw, _)| w < *bw).unwrap_or(true) {
+                        best = Some((w, td));
+                    }
+                }
+                best
+            },
+            None::<(f64, TreeDecomposition)>,
+            |acc, cand| match (acc, cand) {
+                (Some((bw, btd)), Some((w, td))) => {
+                    if w < bw {
+                        Some((w, td))
+                    } else {
+                        Some((bw, btd))
+                    }
+                }
+                (acc, None) => acc,
+                (None, cand) => cand,
+            },
+        )
+        .expect("at least one decomposition considered")
+}
+
+/// Build and score the decomposition induced by one elimination order.
+fn evaluate_order<F>(
+    h: &Hypergraph,
+    order: &EliminationOrder,
+    f: &mut F,
+) -> (f64, TreeDecomposition)
+where
+    F: FnMut(&Hypergraph, &BTreeSet<usize>) -> f64,
+{
+    let mut td = order.decomposition(h);
+    td.ensure_all_vertices(h);
+    let td = td.contract_equal_bags();
+    let w = td
+        .bags()
+        .iter()
+        .map(|b| f(h, b))
+        .fold(f64::NEG_INFINITY, f64::max);
+    (w, td)
+}
+
+/// Visit the candidate elimination orders the width search considers, in a
+/// fixed deterministic enumeration order shared by the serial and parallel
+/// searches: every permutation (Heap's algorithm) in the exhaustive regime,
+/// otherwise the min-degree and min-fill heuristic orders plus `restarts`
+/// xorshift-derived random orders. Visitor-based so the serial search can
+/// stream (one order alive at a time) while the parallel search collects.
+fn for_each_candidate_order(
+    h: &Hypergraph,
+    exact_limit: usize,
+    restarts: usize,
+    mut visit: impl FnMut(&EliminationOrder),
+) {
+    let n = h.num_vertices();
     if n <= exact_limit {
-        // Exhaustive enumeration of elimination orders via Heap's algorithm.
         let mut perm: Vec<usize> = (0..n).collect();
         let mut c = vec![0usize; n];
-        consider(&EliminationOrder(perm.clone()), &mut f, &mut best);
+        let mut scratch = EliminationOrder(perm.clone());
+        visit(&scratch);
         let mut i = 0;
         while i < n {
             if c[i] < i {
@@ -120,7 +204,8 @@ where
                 } else {
                     perm.swap(c[i], i);
                 }
-                consider(&EliminationOrder(perm.clone()), &mut f, &mut best);
+                scratch.0.copy_from_slice(&perm);
+                visit(&scratch);
                 c[i] += 1;
                 i = 0;
             } else {
@@ -129,10 +214,10 @@ where
             }
         }
     } else {
-        consider(&min_degree_order(h), &mut f, &mut best);
-        consider(&min_fill_order(h), &mut f, &mut best);
-        // Deterministic pseudo-random restarts (xorshift; no external RNG
-        // needed, keeps this crate dependency-free).
+        visit(&min_degree_order(h));
+        visit(&min_fill_order(h));
+        // Deterministic pseudo-random restarts (xorshift; independent of
+        // the engine seed so planning stays reproducible per query).
         let mut state = 0x9E3779B97F4A7C15u64;
         for _ in 0..restarts {
             let mut perm: Vec<usize> = (0..n).collect();
@@ -143,10 +228,16 @@ where
                 let j = (state % (i as u64 + 1)) as usize;
                 perm.swap(i, j);
             }
-            consider(&EliminationOrder(perm), &mut f, &mut best);
+            visit(&EliminationOrder(perm));
         }
     }
-    best.expect("at least one decomposition considered")
+}
+
+/// The candidate orders as a vector (the parallel search's fan-out input).
+fn candidate_orders(h: &Hypergraph, exact_limit: usize, restarts: usize) -> Vec<EliminationOrder> {
+    let mut orders = Vec::new();
+    for_each_candidate_order(h, exact_limit, restarts, |o| orders.push(o.clone()));
+    orders
 }
 
 /// Compute (an upper bound on) the width of `H` under a named measure,
@@ -154,6 +245,16 @@ where
 /// at most 8 vertices.
 pub fn minimise_width(h: &Hypergraph, measure: WidthMeasure) -> (f64, TreeDecomposition) {
     minimise_f_width(h, |h, bag| bag_cost(h, bag, measure), 8, 32)
+}
+
+/// [`minimise_width`] with the candidate search fanned out over the given
+/// runtime; bit-identical to the serial search for any thread count.
+pub fn minimise_width_par(
+    h: &Hypergraph,
+    measure: WidthMeasure,
+    runtime: &Runtime,
+) -> (f64, TreeDecomposition) {
+    minimise_f_width_par(h, |h, bag| bag_cost(h, bag, measure), 8, 32, runtime)
 }
 
 #[cfg(test)]

@@ -16,6 +16,9 @@
 //! * [`core`] — the paper's algorithms behind the [`prelude::Engine`] /
 //!   [`prelude::PreparedQuery`] API (FPTRAS, FPRAS, sampling, unions,
 //!   locally injective homomorphisms, the Observation 10 construction),
+//! * [`runtime`] — the deterministic parallel runtime (std-only thread
+//!   pool, seed-splitting; estimates are bit-identical for any thread
+//!   count),
 //! * [`workloads`] — generators used by the examples and benchmarks.
 //!
 //! ## Quick start: plan once, count many
@@ -71,6 +74,7 @@ pub use cqc_dlm as dlm;
 pub use cqc_hom as hom;
 pub use cqc_hypergraph as hypergraph;
 pub use cqc_query as query;
+pub use cqc_runtime as runtime;
 pub use cqc_workloads as workloads;
 
 /// The most commonly used items in one import.
@@ -84,4 +88,5 @@ pub mod prelude {
     };
     pub use cqc_data::{Database, Structure, StructureBuilder, Val};
     pub use cqc_query::{parse_query, Query, QueryBuilder, QueryClass};
+    pub use cqc_runtime::{resolve_threads, split_seed, split_seed2, Runtime};
 }

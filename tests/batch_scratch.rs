@@ -1,0 +1,92 @@
+//! Allocation accounting for the `count_batch` per-thread scratch.
+//!
+//! `PreparedQuery::count_batch` gives each worker thread one `EvalScratch`
+//! that is reused across every database the worker evaluates (the `Hom`
+//! decider plus the cached relaxation colouring — see the invariant
+//! documented on `EvalScratch`). This test pins the promised effect with a
+//! counting global allocator: a single-threaded batch over K databases must
+//! allocate strictly less than K independent `count` calls, while returning
+//! bit-identical estimates.
+
+use cqcount::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_of<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (out, ALLOCATIONS.load(Ordering::Relaxed) - before)
+}
+
+fn network(n: usize, edges: &[(u32, u32)]) -> Database {
+    let mut b = StructureBuilder::new(n);
+    b.relation("E", 2);
+    for &(u, v) in edges {
+        b.fact("E", &[u, v]).unwrap();
+    }
+    b.build()
+}
+
+/// Same-universe snapshots, the shape of a typical batch workload (time
+/// series of one evolving database).
+fn snapshots() -> Vec<Database> {
+    let base = [(0, 1), (0, 2), (1, 3), (3, 0), (3, 4), (4, 5)];
+    (0..6u32)
+        .map(|i| {
+            let mut edges = base.to_vec();
+            edges.push((i % 6, (i + 2) % 6));
+            edges.push(((i + 3) % 6, i % 6));
+            network(6, &edges)
+        })
+        .collect()
+}
+
+#[test]
+fn batch_scratch_allocates_less_than_independent_counts() {
+    let engine = Engine::builder()
+        .accuracy(0.3, 0.05)
+        .seed(7)
+        .threads(1) // single-threaded so the comparison is alloc-for-alloc
+        .build()
+        .unwrap();
+    let q = parse_query("ans(x) :- E(x, y), E(x, z), y != z").unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let dbs = snapshots();
+
+    // warm up lazily built plan state so both measurements see a hot plan
+    let _ = prepared.count(&dbs[0]).unwrap();
+
+    let (individual, individual_allocs) = allocations_of(|| {
+        dbs.iter()
+            .map(|db| prepared.count(db).unwrap())
+            .collect::<Vec<_>>()
+    });
+    let (batch, batch_allocs) = allocations_of(|| prepared.count_batch(&dbs).unwrap());
+
+    for (a, b) in individual.iter().zip(&batch) {
+        assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+    }
+    assert!(
+        batch_allocs < individual_allocs,
+        "batch ({batch_allocs} allocations) must reuse its per-thread scratch and \
+         allocate less than {} independent counts ({individual_allocs} allocations)",
+        dbs.len()
+    );
+}

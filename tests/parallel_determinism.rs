@@ -1,0 +1,157 @@
+//! The determinism contract of the parallel runtime.
+//!
+//! The `runtime` crate derives every RNG stream from `(engine seed,
+//! work-item index)` instead of threading one sequential stream through the
+//! loops, so for a fixed seed the estimates — FPRAS, FPTRAS, batch, and
+//! sampling — must be **bit-identical** for 1, 2, and 8 threads, across all
+//! three query classes of Figure 1.
+
+use cqcount::prelude::*;
+use cqcount::workloads::{
+    erdos_renyi, footnote4_star_query, graph_database, path_query, star_query,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn snapshot(n: usize, avg_deg: f64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = erdos_renyi(n, avg_deg / n as f64, &mut rng);
+    graph_database(&g, "E", false)
+}
+
+/// One query per Figure 1 column: a plain CQ (FPRAS), a DCQ (FPTRAS) and an
+/// ECQ (FPTRAS).
+fn workload_queries() -> Vec<(QueryClass, Query)> {
+    let cq = footnote4_star_query(2, false).query;
+    let dcq = star_query(2, true).query;
+    let ecq = path_query(2, false, true).query;
+    assert_eq!(cq.class(), QueryClass::CQ);
+    assert_eq!(dcq.class(), QueryClass::DCQ);
+    assert_eq!(ecq.class(), QueryClass::ECQ);
+    vec![
+        (QueryClass::CQ, cq),
+        (QueryClass::DCQ, dcq),
+        (QueryClass::ECQ, ecq),
+    ]
+}
+
+fn engine_with_threads(seed: u64, threads: usize) -> Engine {
+    Engine::builder()
+        .accuracy(0.25, 0.05)
+        .seed(seed)
+        .threads(threads)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `PreparedQuery::count` returns bit-identical estimates on 1, 2 and 8
+    /// threads, for every query class.
+    #[test]
+    fn count_is_bit_identical_across_thread_counts(seed in any::<u64>(), db_seed in any::<u64>()) {
+        let dbs = [snapshot(10, 2.5, db_seed), snapshot(14, 3.0, db_seed ^ 0xA5A5)];
+        for (class, q) in workload_queries() {
+            let reference: Vec<u64> = {
+                let prepared = engine_with_threads(seed, 1).prepare(&q).unwrap();
+                dbs.iter().map(|db| prepared.count(db).unwrap().estimate.to_bits()).collect()
+            };
+            for threads in [2usize, 8] {
+                let prepared = engine_with_threads(seed, threads).prepare(&q).unwrap();
+                for (db, &expect) in dbs.iter().zip(&reference) {
+                    let r = prepared.count(db).unwrap();
+                    prop_assert_eq!(
+                        r.estimate.to_bits(),
+                        expect,
+                        "{:?}: {} threads diverged ({} vs {})",
+                        class,
+                        threads,
+                        r.estimate,
+                        f64::from_bits(expect)
+                    );
+                    prop_assert_eq!(r.telemetry.threads_used, threads);
+                }
+            }
+        }
+    }
+
+    /// The FPRAS *sampling* regime (Karp–Luby union trials) is also
+    /// thread-count-invariant — forced by shrinking the exact-state budget
+    /// to zero so the approximate counter always runs.
+    #[test]
+    fn fpras_sampling_regime_is_bit_identical(seed in any::<u64>(), db_seed in any::<u64>()) {
+        let q = footnote4_star_query(2, false).query;
+        let db = snapshot(12, 3.0, db_seed);
+        let sampling_engine = |threads: usize| {
+            Engine::builder()
+                .accuracy(0.3, 0.1)
+                .seed(seed)
+                .threads(threads)
+                .exact_state_budget(0)
+                .build()
+                .unwrap()
+        };
+        let reference = sampling_engine(1).prepare(&q).unwrap().count(&db).unwrap();
+        prop_assert!(!reference.exact, "state budget 0 must force the sampling counter");
+        for threads in [2usize, 8] {
+            let r = sampling_engine(threads).prepare(&q).unwrap().count(&db).unwrap();
+            prop_assert_eq!(
+                r.estimate.to_bits(),
+                reference.estimate.to_bits(),
+                "{} threads diverged",
+                threads
+            );
+        }
+    }
+
+    /// `count_batch` equals the serial fold of `count` — same order, same
+    /// bits — for every thread count.
+    #[test]
+    fn count_batch_is_bit_identical_across_thread_counts(seed in any::<u64>(), db_seed in any::<u64>()) {
+        let dbs = vec![
+            snapshot(12, 2.5, db_seed),
+            snapshot(9, 3.0, db_seed ^ 1),
+            snapshot(15, 2.0, db_seed ^ 2),
+            snapshot(11, 2.5, db_seed ^ 3),
+        ];
+        for (_, q) in workload_queries() {
+            let serial: Vec<u64> = {
+                let prepared = engine_with_threads(seed, 1).prepare(&q).unwrap();
+                dbs.iter().map(|db| prepared.count(db).unwrap().estimate.to_bits()).collect()
+            };
+            for threads in [1usize, 2, 8] {
+                let prepared = engine_with_threads(seed, threads).prepare(&q).unwrap();
+                let batch = prepared.count_batch(&dbs).unwrap();
+                prop_assert_eq!(batch.len(), dbs.len());
+                for (r, &expect) in batch.iter().zip(&serial) {
+                    prop_assert_eq!(r.estimate.to_bits(), expect, "{} threads", threads);
+                }
+            }
+        }
+    }
+
+    /// Answer sampling draws the same answers in the same order for any
+    /// thread count (the oracle's colour rounds parallelise inside each
+    /// descent step).
+    #[test]
+    fn sampling_is_bit_identical_across_thread_counts(seed in any::<u64>()) {
+        let db = snapshot(12, 3.0, seed ^ 0xBEEF);
+        for (_, q) in workload_queries() {
+            let reference = engine_with_threads(seed, 1)
+                .prepare(&q)
+                .unwrap()
+                .sample(&db, 6)
+                .unwrap();
+            for threads in [2usize, 8] {
+                let samples = engine_with_threads(seed, threads)
+                    .prepare(&q)
+                    .unwrap()
+                    .sample(&db, 6)
+                    .unwrap();
+                prop_assert_eq!(&samples, &reference, "{} threads", threads);
+            }
+        }
+    }
+}
