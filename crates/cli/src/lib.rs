@@ -24,6 +24,7 @@ pub mod classify;
 pub mod count;
 pub mod generate;
 pub mod sample;
+pub mod serve;
 
 use std::fmt;
 
@@ -70,6 +71,9 @@ COMMANDS:
                FPRAS / FPTRAS / exact dispatched per Figure 1)
     exact      Count |Ans(ϕ, D)| exactly (brute-force baseline)
     sample     Draw approximately uniform answers (Section 6)
+    serve      Answer newline-delimited JSON count requests, sharding each
+               request's databases across the persistent worker pool —
+               responses are byte-identical for every shard count
     classify   Report the query class and its width measures (Figure 1 column)
     generate   Generate a workload database and write it as a facts file
     help       Show this message
@@ -86,11 +90,19 @@ COMMON OPTIONS:
     --threads N           worker threads; 0 = auto (COUNTING_THREADS env, else
                           available parallelism). Estimates are bit-identical
                           for any thread count (deterministic seed-splitting)
+    --workers N           cap the persistent worker pool width (overrides the
+                          COUNTING_POOL_WORKERS env; never changes estimates)
     --method M            auto | fpras | fptras | exact   (count only, default auto)
     --repeat N            evaluate each database N times reusing the prepared
                           plan, reporting amortised timings (count only, default 1)
     --count N             number of samples                (sample only, default 10)
     --names               print element names instead of indices (sample only)
+
+SERVE OPTIONS:
+    --requests PATH       newline-delimited JSON request file (default: stdin)
+    --shards K            simulated shards per request (default 1); responses
+                          are byte-identical for every K (seed splitting)
+    --quiet               omit the trailing served/plans summary line
 
 GENERATE OPTIONS:
     --family F            erdos-renyi | grid | regular | ternary
@@ -108,11 +120,15 @@ GENERATE OPTIONS:
 /// return the textual report it would print.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
     let args = Args::parse(argv)?;
+    // `--workers` is a COMMON option: consume and apply it before command
+    // dispatch so every command (including `classify`) accepts it.
+    common::apply_workers(&args)?;
     let command = args.command.clone().unwrap_or_else(|| "help".to_string());
     let out = match command.as_str() {
         "count" => count::run_count(&args)?,
         "exact" => count::run_exact(&args)?,
         "sample" => sample::run_sample(&args)?,
+        "serve" => serve::run_serve(&args)?,
         "classify" => classify::run_classify(&args)?,
         "generate" => generate::run_generate(&args)?,
         "help" | "--help" | "-h" => USAGE.to_string(),
@@ -159,6 +175,22 @@ pub(crate) mod common {
     /// Load the database from `--db`.
     pub fn load_database(args: &Args) -> Result<Structure, CliError> {
         load_facts_file(args.require("db")?)
+    }
+
+    /// Apply `--workers N`: cap the persistent worker pool width for the
+    /// rest of the process (overrides `COUNTING_POOL_WORKERS`). Like the
+    /// thread count, the cap never changes estimates — only wall times.
+    pub fn apply_workers(args: &Args) -> Result<(), CliError> {
+        if let Some(raw) = args.value_of("workers") {
+            let workers: usize = raw.parse().map_err(|e| {
+                CliError::Usage(format!("invalid value `{raw}` for `--workers`: {e}"))
+            })?;
+            if workers == 0 {
+                return Err(CliError::Usage("`--workers` must be at least 1".into()));
+            }
+            cqc_runtime::pool::set_worker_cap(workers);
+        }
+        Ok(())
     }
 
     /// Build the approximation configuration from the common options.

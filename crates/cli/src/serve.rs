@@ -1,0 +1,159 @@
+//! The `serve` command: a sharded counting front end over newline-delimited
+//! JSON requests (see `cqc-serve`).
+//!
+//! Requests are read from `--requests PATH` (or standard input when the
+//! option is absent) and answered one JSON line per request:
+//!
+//! ```text
+//! {"id": 1, "query": "ans(x) :- E(x, y), E(x, z), y != z",
+//!  "db_files": ["monday.facts", "tuesday.facts"], "seed": 7, "shards": 4}
+//! ```
+//!
+//! Work item `i` of a request always runs under the derived seed
+//! `split_seed(seed, i)`, so responses are byte-identical for every shard
+//! count and pool width — `--shards`/`--workers` tune wall time only.
+
+use crate::common::approx_config;
+use crate::{Args, CliError};
+use cqc_serve::{Server, ServerConfig};
+
+/// Run `cqc serve`.
+pub fn run_serve(args: &Args) -> Result<String, CliError> {
+    let cfg = approx_config(args)?;
+    let shards: usize = args.get_or("shards", 1)?;
+    if shards == 0 {
+        return Err(CliError::Usage("`--shards` must be at least 1".into()));
+    }
+    let server = Server::new(ServerConfig {
+        shards,
+        threads: cfg.threads,
+        epsilon: cfg.epsilon,
+        delta: cfg.delta,
+        seed: cfg.seed,
+    });
+
+    let mut text;
+    let served = match args.value_of("requests") {
+        Some(path) => {
+            let requests = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Io(format!("cannot read `{path}`: {e}")))?;
+            let mut out = Vec::new();
+            let served = server
+                .serve_lines(std::io::BufReader::new(requests.as_bytes()), &mut out)
+                .map_err(|e| CliError::Count(e.to_string()))?;
+            text = String::from_utf8(out).expect("responses are UTF-8");
+            served
+        }
+        None => {
+            // Interactive mode: stream each response to stdout as soon as
+            // its request line arrives (serve_lines flushes per line), so a
+            // client that waits for an answer before sending the next
+            // request never deadlocks on run()'s buffered return value.
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            text = String::new();
+            server
+                .serve_lines(stdin.lock(), &mut lock)
+                .map_err(|e| CliError::Count(e.to_string()))?
+        }
+    };
+    if !args.switch("quiet") {
+        text.push_str(&format!(
+            "served      : {served} request(s), {} cached plan(s), shards={shards}\n",
+            server.cached_plans()
+        ));
+    }
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args_from;
+    use std::path::PathBuf;
+
+    fn write_temp(name: &str, contents: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("cqc-cli-serve-{}-{name}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    const DB: &str = "\
+universe 6
+relation E 2
+E 0 1
+E 0 2
+E 1 2
+E 2 3
+E 3 4
+E 3 5
+E 5 0
+";
+
+    fn request_line(db_path: &str, shards: usize) -> String {
+        format!(
+            r#"{{"id": 9, "query": "ans(x) :- E(x, y), E(x, z), y != z", "db_files": ["{}"], "seed": 5, "shards": {shards}}}"#,
+            db_path.replace('\\', "\\\\")
+        )
+    }
+
+    #[test]
+    fn serve_answers_requests_from_a_file() {
+        let db = write_temp("db.facts", DB);
+        let requests = write_temp(
+            "reqs.jsonl",
+            &format!(
+                "{}\n{}\n",
+                request_line(db.to_str().unwrap(), 1),
+                request_line(db.to_str().unwrap(), 2)
+            ),
+        );
+        let out =
+            run_serve(&args_from(["serve", "--requests", requests.to_str().unwrap()]).unwrap())
+                .unwrap();
+        assert_eq!(out.matches("\"results\":").count(), 2, "{out}");
+        assert!(
+            out.contains("served      : 2 request(s), 1 cached plan(s)"),
+            "{out}"
+        );
+        // unsharded and 2-way sharded responses agree byte-for-byte
+        // (modulo the echoed shard count)
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0].replace("\"shards\":1", "\"shards\":N"),
+            lines[1].replace("\"shards\":2", "\"shards\":N")
+        );
+        std::fs::remove_file(db).ok();
+        std::fs::remove_file(requests).ok();
+    }
+
+    #[test]
+    fn serve_reports_errors_inline_and_keeps_going() {
+        let requests = write_temp("bad.jsonl", "{\"id\": 1}\nnot json\n");
+        let out = run_serve(
+            &args_from(["serve", "--requests", requests.to_str().unwrap(), "--quiet"]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(out.lines().count(), 2, "{out}");
+        for line in out.lines() {
+            assert!(line.contains("\"error\""), "{line}");
+        }
+        std::fs::remove_file(requests).ok();
+    }
+
+    #[test]
+    fn zero_shards_is_a_usage_error() {
+        let err = run_serve(&args_from(["serve", "--shards", "0"]).unwrap()).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn missing_requests_file_is_an_io_error() {
+        let err =
+            run_serve(&args_from(["serve", "--requests", "/nonexistent/requests.jsonl"]).unwrap())
+                .unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+}

@@ -40,7 +40,6 @@ use crate::report::{CountMethod, EstimateReport};
 use crate::sampling::sample_answers_with_plan;
 use cqc_data::{Structure, Val};
 use cqc_query::{Query, QueryClass};
-use cqc_runtime::Runtime;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
@@ -147,6 +146,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Dispatch the parallel runtime on the given persistent worker pool
+    /// instead of the process-wide one (sized by `COUNTING_POOL_WORKERS`).
+    /// The pool — like the thread count — never affects estimates, only
+    /// wall times; mainly useful for tests and embedders that want
+    /// isolated pool sizing.
+    pub fn worker_pool(mut self, pool: &'static cqc_runtime::pool::Pool) -> Self {
+        self.config.worker_pool = Some(pool);
+        self
+    }
+
     /// Validate the configuration and build the engine.
     pub fn build(self) -> Result<Engine, CoreError> {
         self.config.validate()?;
@@ -219,8 +228,9 @@ impl Engine {
         let started = Instant::now();
         let class = query.class();
         // The decomposition candidate search parallelises too; the chosen
-        // plan is bit-identical for any thread count.
-        let runtime = Runtime::new(self.config.threads);
+        // plan is bit-identical for any thread count. Plans never consume
+        // the seed — `PreparedQuery::count_with_seed` relies on that.
+        let runtime = self.config.runtime();
         let plan = match self.backend {
             Backend::Auto => match auto_method(class) {
                 CountMethod::Fpras => Plan::Fpras {
@@ -347,11 +357,38 @@ impl PreparedQuery {
     /// legacy one-shot API with the same configuration) return bit-identical
     /// estimates.
     pub fn count(&self, db: &Structure) -> Result<EstimateReport, CoreError> {
+        self.count_with_config(db, &self.config)
+    }
+
+    /// [`count`](PreparedQuery::count) with the engine seed replaced by
+    /// `seed` for this one evaluation, reusing the cached plan.
+    ///
+    /// Plans are **seed-independent** (class dispatch, the decomposition
+    /// search and the oracle skeleton never consume randomness), so
+    /// `count_with_seed(db, engine_seed)` is bit-identical to `count(db)`,
+    /// and evaluations under different seeds still share all query-side
+    /// work. This is the primitive the sharded serving front end
+    /// (`cqc-serve`) builds on: work item `i` of a request is always
+    /// evaluated under `split_seed(request_seed, i)`, so any partition of
+    /// the items across shards merges back — in shard-index order — to
+    /// exactly the single-node answer.
+    pub fn count_with_seed(&self, db: &Structure, seed: u64) -> Result<EstimateReport, CoreError> {
+        if seed == self.config.seed {
+            return self.count(db);
+        }
+        let mut config = self.config.clone();
+        config.seed = seed;
+        self.count_with_config(db, &config)
+    }
+
+    fn count_with_config(
+        &self,
+        db: &Structure,
+        config: &ApproxConfig,
+    ) -> Result<EstimateReport, CoreError> {
         match &self.plan {
-            Plan::Fpras { count, .. } => {
-                fpras_count_with_plan(&self.query, count, db, &self.config)
-            }
-            Plan::Fptras(plan) => fptras_count_with_plan(&self.query, plan, db, &self.config),
+            Plan::Fpras { count, .. } => fpras_count_with_plan(&self.query, count, db, config),
+            Plan::Fptras(plan) => fptras_count_with_plan(&self.query, plan, db, config),
             Plan::Exact { .. } => {
                 let started = Instant::now();
                 if !self.query.compatible_with(db.signature()) {
@@ -389,7 +426,7 @@ impl PreparedQuery {
     /// scheduling-dependent number of speculative repetitions). Returns
     /// the error of the first failing database (by index) if any fail.
     pub fn count_batch(&self, dbs: &[Structure]) -> Result<Vec<EstimateReport>, CoreError> {
-        let runtime = Runtime::new(self.config.threads);
+        let runtime = self.config.runtime();
         match &self.plan {
             // The FPTRAS path parallelises *across* databases first; any
             // worker threads the batch cannot use (fewer databases than
@@ -399,7 +436,7 @@ impl PreparedQuery {
             Plan::Fptras(plan) => {
                 let chunk = dbs.len().div_ceil(runtime.threads()).max(1);
                 let chunks: Vec<&[Structure]> = dbs.chunks(chunk).collect();
-                let inner = Runtime::new((runtime.threads() / chunks.len().max(1)).max(1));
+                let inner = runtime.with_threads((runtime.threads() / chunks.len().max(1)).max(1));
                 let per_chunk: Vec<Vec<Result<EstimateReport, CoreError>>> =
                     runtime.par_map(&chunks, |_, chunk| {
                         // per-thread scratch, reused across this worker's databases

@@ -131,7 +131,7 @@ pub fn fpras_count_with_plan(
     db: &Structure,
     config: &ApproxConfig,
 ) -> Result<EstimateReport, CoreError> {
-    let runtime = Runtime::new(config.threads);
+    let runtime = config.runtime();
     let start = Instant::now();
     if !query.compatible_with(db.signature()) {
         return Err(CoreError::incompatible_database(

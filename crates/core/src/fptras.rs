@@ -143,14 +143,7 @@ pub fn fptras_count_with_plan(
     config: &ApproxConfig,
 ) -> Result<EstimateReport, CoreError> {
     let mut scratch = EvalScratch::new();
-    fptras_count_with_scratch(
-        query,
-        plan,
-        db,
-        config,
-        Runtime::new(config.threads),
-        &mut scratch,
-    )
+    fptras_count_with_scratch(query, plan, db, config, config.runtime(), &mut scratch)
 }
 
 /// [`fptras_count_with_plan`] with an explicit runtime and a reusable

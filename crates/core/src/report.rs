@@ -48,9 +48,13 @@ pub struct Telemetry {
     pub query_treewidth: Option<usize>,
     /// Wall-clock time of the evaluation (excluding query preparation).
     pub wall: Duration,
-    /// Worker threads the parallel runtime ran this evaluation with. The
-    /// thread count never affects the estimate (deterministic
-    /// seed-splitting), only the wall times.
+    /// The **configured** fan-out width of the parallel runtime for this
+    /// evaluation (the resolved `threads` setting). The concurrency
+    /// actually achieved can be lower — the persistent pool caps helpers at
+    /// its own width (`COUNTING_POOL_WORKERS` / `--workers`), and small
+    /// oracle calls run serially below the dispatch cutoff. Neither the
+    /// configured nor the achieved width ever affects the estimate
+    /// (deterministic seed-splitting), only the wall times.
     pub threads_used: usize,
     /// Wall-clock time per evaluation phase, in execution order (e.g.
     /// `build_b` / `count` for the FPTRAS, `build_automaton` / `count` for

@@ -15,7 +15,6 @@ use cqc_data::{Structure, Val};
 use cqc_dlm::sample_edge;
 use cqc_hom::HybridDecider;
 use cqc_query::{build_b_structure, Query};
-use cqc_runtime::Runtime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -52,7 +51,7 @@ pub fn sample_answers_with_plan(
         plan.repetitions,
         config.seed,
     )
-    .with_runtime(Runtime::new(config.threads));
+    .with_runtime(config.runtime());
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x5A17));
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {

@@ -168,6 +168,75 @@ mod tests {
         }
     }
 
+    /// An oracle that answers honestly except on a chosen set of call
+    /// indices (1-based), where it falsely reports "edge-free" — the
+    /// colour-coding oracle's one-sided failure mode (a positive answer
+    /// certifies an edge; a negative can be a false negative).
+    struct LyingOracle {
+        inner: ExplicitHypergraph,
+        calls: u64,
+        lie_on: std::ops::RangeInclusive<u64>,
+    }
+
+    impl EdgeFreeOracle for LyingOracle {
+        fn num_classes(&self) -> usize {
+            self.inner.num_classes()
+        }
+        fn class_size(&self, i: usize) -> usize {
+            self.inner.class_size(i)
+        }
+        fn edge_free(&mut self, parts: &[BTreeSet<usize>]) -> bool {
+            self.calls += 1;
+            if self.lie_on.contains(&self.calls) {
+                return true; // false negative: deny the edge
+            }
+            self.inner.edge_free(parts)
+        }
+        fn calls(&self) -> u64 {
+            self.calls
+        }
+    }
+
+    /// Regression test for the false-negative restart: a probabilistic
+    /// oracle that goes blind mid-descent (both halves of a certified
+    /// non-empty region count to zero) must make `sample_edge` restart the
+    /// descent with fresh randomness — the pre-fix code panicked with
+    /// "region non-empty but no edge found on either side".
+    #[test]
+    fn false_negative_mid_descent_restarts_instead_of_panicking() {
+        let edges = vec![vec![0, 3], vec![1, 1], vec![2, 0], vec![3, 2]];
+        // Call 1 is the initial non-emptiness certificate (must be honest).
+        // Calls 2–3 are the first descent step's two half counts: lying
+        // "edge-free" on both makes cl + cr == 0 with the parent certified
+        // non-empty — exactly the mid-descent blind spot. A couple more
+        // lying calls widen the window in case the split order shifts.
+        let mut oracle = LyingOracle {
+            inner: ExplicitHypergraph::new(vec![4, 4], edges.clone()),
+            calls: 0,
+            lie_on: 2..=4,
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let e = sample_edge(&mut oracle, &mut rng).expect("restart must find an edge");
+        assert!(edges.contains(&e), "sampled non-edge {e:?}");
+        // the restart really happened: more calls than one clean descent of
+        // the lying window, and the post-window descent ran to completion
+        assert!(oracle.calls() > 4, "only {} oracle calls", oracle.calls());
+    }
+
+    /// The restart loop gives up (panics with a diagnostic) only when the
+    /// oracle denies every edge forever — it must not loop unboundedly.
+    #[test]
+    #[should_panic(expected = "descents found no edge")]
+    fn permanently_blind_oracle_panics_with_diagnostic() {
+        let mut oracle = LyingOracle {
+            inner: ExplicitHypergraph::new(vec![2, 2], vec![vec![0, 0]]),
+            calls: 0,
+            lie_on: 2..=u64::MAX,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = sample_edge(&mut oracle, &mut rng);
+    }
+
     #[test]
     fn restrict_class_helper() {
         let parts: Vec<BTreeSet<usize>> = vec![(0..4).collect(), (0..4).collect()];

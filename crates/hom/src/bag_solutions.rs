@@ -2,7 +2,7 @@
 //!
 //! Two flavours are provided:
 //!
-//! * [`bag_solutions`] — assignments of the bag variables satisfying every
+//! * [`bag_solutions()`] — assignments of the bag variables satisfying every
 //!   constraint whose scope lies **inside** the bag; this is the local
 //!   relation used by the tree-decomposition dynamic programming
 //!   ([`crate::DecompositionDecider`], [`crate::count_homomorphisms`]).

@@ -2,7 +2,7 @@
 //!
 //! Dynamic programming over a tree decomposition of the pattern structure
 //! `A`: for each bag, the locally consistent assignments are computed
-//! ([`crate::bag_solutions`]); a bottom-up semijoin pass keeps only the
+//! ([`crate::bag_solutions()`]); a bottom-up semijoin pass keeps only the
 //! assignments extendable into each subtree; a homomorphism exists iff the
 //! root retains at least one assignment. The running time is
 //! `poly(‖A‖, ‖B‖) · |U(B)|^{w+1}` for a decomposition of width `w`, i.e.

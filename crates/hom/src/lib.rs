@@ -17,7 +17,7 @@
 //!   see DESIGN.md, substitutions).
 //! * [`count_homomorphisms`] — exact homomorphism counting by DP over a tree
 //!   decomposition (Dalmau–Jonsson), used as a baseline.
-//! * [`bag_solutions`] / [`bag_partial_solutions`] — per-bag (partial)
+//! * [`bag_solutions()`] / [`bag_partial_solutions`] — per-bag (partial)
 //!   solution relations computed by a generic-join style algorithm; the
 //!   latter implements the `Sol(ϕ, D, B_t)` computation of Lemma 48
 //!   (Grohe–Marx fractional-cover join) used by the Theorem 16 pipeline.

@@ -42,24 +42,34 @@
 //! (requested, or [`THREADS_ENV`], or `std::thread::available_parallelism`
 //! — see [`resolve_threads`]). [`Runtime::par_map`] /
 //! [`Runtime::par_map_n`] execute a fixed index range with chunked
-//! work-stealing: scoped worker threads repeatedly claim the next chunk of
-//! indices from a shared atomic cursor, so a slow chunk on one worker does
-//! not idle the others. Results are returned **in index order**, making
+//! work-stealing: the participants (the calling thread plus persistent
+//! pool workers) repeatedly claim the next chunk of indices from a shared
+//! atomic cursor, so a slow chunk on one participant does not idle the
+//! others. Results are returned **in index order**, making
 //! `par_map` a drop-in replacement for a serial `map` loop.
 //! [`Runtime::par_reduce`] folds the mapped results in index order (again
 //! scheduling-independent), and [`Runtime::par_any_n`] evaluates an
 //! order-insensitive "∃ index with predicate" with cooperative early exit.
 //!
-//! Workers are spawned per call via `std::thread::scope`, which keeps the
-//! crate free of `unsafe` and of global state; callers parallelise at the
-//! coarsest profitable granularity (one `par_map` per oracle call, per
-//! automaton node, per batch) so the spawn cost is amortised over many
-//! work items.
+//! Work is executed by the **persistent worker pool** of [`pool`]: a
+//! `par_*` call publishes its loop body as a scoped job, the calling
+//! thread participates, and up to `threads − 1` long-lived pool workers
+//! join in — dispatching costs a mutex lock and a wakeup instead of a
+//! thread spawn per call, which is what makes fanning out *small* oracle
+//! calls profitable. Nested calls (a `par_*` issued from inside a pool
+//! worker) and calls that find the pool busy fall back to per-call
+//! `std::thread::scope` spawning, which is semantically identical. The
+//! pool module carries the repository's only `unsafe` (lifetime-erased
+//! scoped jobs behind a retire-before-return protocol — see its docs);
+//! everything else in the workspace remains `forbid(unsafe_code)`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
+
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Environment variable consulted by [`resolve_threads`] when the caller
 /// requests automatic thread selection (`0`). Used by CI to force a fixed
@@ -106,11 +116,41 @@ pub fn resolve_threads(requested: usize) -> usize {
 
 /// A resolved parallel execution context: a thread count plus the
 /// deterministic `par_*` primitives. Cheap to copy and pass down the call
-/// stack; worker threads are scoped to each individual `par_*` call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// stack; work runs on the persistent worker [`pool`] (with a scoped-spawn
+/// fallback for nested or contended calls).
+#[derive(Clone, Copy)]
 pub struct Runtime {
     threads: usize,
+    /// `false` forces the per-call scoped-spawn path (benchmarking the
+    /// pool against its predecessor; results are identical either way).
+    use_pool: bool,
+    /// Pool to dispatch on (`None` = the process-wide [`pool::global`]).
+    pool: Option<&'static pool::Pool>,
 }
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("threads", &self.threads)
+            .field("use_pool", &self.use_pool)
+            .field("local_pool", &self.pool.is_some())
+            .finish()
+    }
+}
+
+impl PartialEq for Runtime {
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads
+            && self.use_pool == other.use_pool
+            && match (self.pool, other.pool) {
+                (Some(a), Some(b)) => std::ptr::eq(a, b),
+                (None, None) => true,
+                _ => false,
+            }
+    }
+}
+
+impl Eq for Runtime {}
 
 impl Default for Runtime {
     /// Equivalent to `Runtime::new(0)` (automatic thread selection).
@@ -125,18 +165,81 @@ impl Runtime {
     pub fn new(requested: usize) -> Self {
         Runtime {
             threads: resolve_threads(requested).max(1),
+            use_pool: true,
+            pool: None,
         }
     }
 
     /// The single-threaded runtime (all `par_*` calls degenerate to serial
     /// loops on the calling thread; used to avoid nested oversubscription).
     pub const fn serial() -> Self {
-        Runtime { threads: 1 }
+        Runtime {
+            threads: 1,
+            use_pool: true,
+            pool: None,
+        }
     }
 
     /// The resolved number of worker threads.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// This runtime with a different resolved thread count, keeping the
+    /// pool configuration (used by `count_batch` to hand leftover width to
+    /// the inner per-evaluation runtime).
+    pub fn with_threads(mut self, requested: usize) -> Self {
+        self.threads = resolve_threads(requested).max(1);
+        self
+    }
+
+    /// Dispatch `par_*` calls on the given pool instead of the process-wide
+    /// [`pool::global`]. The pool (like the thread count) affects wall
+    /// times only, never results; the determinism matrix in
+    /// `tests/parallel_determinism.rs` runs engines against pools of width
+    /// 1, 2 and 8 and requires bit-identical estimates.
+    pub fn with_pool(mut self, pool: &'static pool::Pool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Force the per-call scoped-spawn path, bypassing the persistent pool
+    /// (the pre-pool implementation, kept as the nested/contended fallback;
+    /// exposed so benchmarks can measure the spawn tax the pool removes).
+    pub fn without_pool(mut self) -> Self {
+        self.use_pool = false;
+        self
+    }
+
+    /// Run `body` on up to `width` participants: the calling thread plus
+    /// `width − 1` pool helpers, falling back to scoped spawning when the
+    /// pool refuses (nested call, pool busy, or [`Runtime::without_pool`]).
+    /// Every participant runs `body` exactly once; `body` self-schedules
+    /// over an atomic cursor, so participant count affects scheduling only.
+    fn execute_wide(&self, width: usize, body: &(dyn Fn() + Sync)) {
+        let mut width = width;
+        if width > 1 && self.use_pool {
+            let pool = self.pool.unwrap_or_else(pool::global);
+            if pool.try_execute(width, body) {
+                return;
+            }
+            // The fallback still honours the pool's width cap
+            // (`--workers` / `COUNTING_POOL_WORKERS`): a nested or
+            // pool-busy caller must not exceed the operator's bound just
+            // because it spawns its own scoped threads.
+            width = width.min(pool.width());
+        }
+        if width <= 1 {
+            body();
+            return;
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (1..width).map(|_| s.spawn(body)).collect();
+            body();
+            for h in handles {
+                h.join().expect("runtime worker panicked");
+            }
+        });
     }
 
     /// Chunk size for `n` items: small enough that work can be stolen
@@ -161,31 +264,26 @@ impl Runtime {
         let workers = self.threads.min(n);
         let chunk = self.chunk_size(n);
         let cursor = AtomicUsize::new(0);
-        let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut local: Vec<(usize, R)> = Vec::new();
-                        loop {
-                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                            if start >= n {
-                                break;
-                            }
-                            for i in start..(start + chunk).min(n) {
-                                local.push((i, f(i)));
-                            }
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for h in handles {
-                buckets.push(h.join().expect("runtime worker panicked"));
+        // Participants append their locally collected (index, result) pairs
+        // here — one short lock per participant, after its work is done.
+        let sink: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+        self.execute_wide(workers, &|| {
+            let mut local: Vec<(usize, R)> = Vec::new();
+            loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + chunk).min(n) {
+                    local.push((i, f(i)));
+                }
+            }
+            if !local.is_empty() {
+                sink.lock().expect("no poisoned sink").extend(local);
             }
         });
         let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        for (i, r) in buckets.into_iter().flatten() {
+        for (i, r) in sink.into_inner().expect("no poisoned sink") {
             out[i] = Some(r);
         }
         out.into_iter()
@@ -232,21 +330,17 @@ impl Runtime {
         let workers = self.threads.min(n);
         let cursor = AtomicUsize::new(0);
         let found = AtomicBool::new(false);
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    if found.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    if pred(i) {
-                        found.store(true, Ordering::Relaxed);
-                        break;
-                    }
-                });
+        self.execute_wide(workers, &|| loop {
+            if found.load(Ordering::Relaxed) {
+                break;
+            }
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            if pred(i) {
+                found.store(true, Ordering::Relaxed);
+                break;
             }
         });
         found.load(Ordering::Relaxed)
@@ -338,6 +432,56 @@ mod tests {
             i == 0
         }));
         assert!(evaluated.load(Ordering::Relaxed) < 10_000);
+    }
+
+    #[test]
+    fn pool_scoped_and_serial_paths_agree() {
+        let inputs: Vec<u64> = (0..513).collect();
+        let serial: Vec<u64> = inputs.iter().map(|&x| x.wrapping_mul(x) ^ 3).collect();
+        for threads in [2usize, 8] {
+            let pooled = Runtime::new(threads);
+            let scoped = Runtime::new(threads).without_pool();
+            assert_eq!(
+                pooled.par_map(&inputs, |_, &x| x.wrapping_mul(x) ^ 3),
+                serial
+            );
+            assert_eq!(
+                scoped.par_map(&inputs, |_, &x| x.wrapping_mul(x) ^ 3),
+                serial
+            );
+            assert!(pooled.par_any_n(513, |i| i == 400));
+            assert!(scoped.par_any_n(513, |i| i == 400));
+        }
+    }
+
+    #[test]
+    fn local_pools_of_any_width_give_identical_results() {
+        let serial: Vec<usize> = (0..257).map(|i| i * 3 + 1).collect();
+        for width in [1usize, 2, 8] {
+            let p: &'static pool::Pool = Box::leak(Box::new(pool::Pool::new(width)));
+            let rt = Runtime::new(8).with_pool(p);
+            assert_eq!(
+                rt.par_map_n(257, |i| i * 3 + 1),
+                serial,
+                "pool width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_par_calls_fall_back_to_scoped_spawn() {
+        // outer par_map on the pool; inner par_map from pool workers must
+        // not deadlock and must produce the same results
+        let rt = Runtime::new(4);
+        let out = rt.par_map_n(8, |i| {
+            let inner = Runtime::new(2);
+            inner
+                .par_map_n(16, |j| i * 100 + j)
+                .into_iter()
+                .sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|i| (0..16).map(|j| i * 100 + j).sum()).collect();
+        assert_eq!(out, expect);
     }
 
     #[test]

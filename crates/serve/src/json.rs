@@ -1,0 +1,431 @@
+//! A minimal, dependency-free JSON layer for the serving front end.
+//!
+//! The workspace has no crates.io access and the vendored `serde` shim is
+//! inert (it provides derives that expand to nothing), so the wire format
+//! of `cqc-serve` is handled by this module: a small [`Value`] tree, a
+//! recursive-descent parser, and a deterministic renderer. Objects keep
+//! **insertion order** (they are backed by a `Vec`, not a map), so a
+//! response rendered twice from the same data is byte-identical — the
+//! shard-equivalence tests compare rendered responses as raw bytes.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order (rendering is deterministic).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a `u64`, if it is a non-negative integer
+    /// that `f64` represents **unambiguously** (< 2⁵³). At and beyond 2⁵³
+    /// distinct integers collapse onto one `f64` in the number parser
+    /// (2⁵³ + 1 rounds to 2⁵³), so accepting them would silently return a
+    /// *different* integer than the client sent — callers that need the
+    /// full `u64` range (e.g. seeds) should accept a decimal string
+    /// alongside the number form.
+    pub fn as_u64(&self) -> Option<u64> {
+        const MAX_UNAMBIGUOUS: f64 = (1u64 << 53) as f64;
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < MAX_UNAMBIGUOUS => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Render to a compact JSON string (deterministic: object members in
+    /// insertion order, numbers via Rust's shortest round-trip `Display`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                if n.is_finite() {
+                    // integers render without a trailing ".0"
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    // JSON has no NaN/∞; encode as null like serde_json does
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => render_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse error: byte offset plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{literal}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("non-ascii \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // BMP only (no surrogate pairs) — plenty for the
+                            // query/facts syntax this wire format carries
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // consume one UTF-8 scalar
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Num(42.0));
+        assert_eq!(parse("-1.5e3").unwrap(), Value::Num(-1500.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": [1, {"b": "x"}], "c": null}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&Value::Null));
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].get("b").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = Value::Str("line\nquote\"slash\\tab\tend".into());
+        let rendered = original.render();
+        assert_eq!(parse(&rendered).unwrap(), original);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_ordered() {
+        let v = Value::Obj(vec![
+            ("z".into(), Value::Num(1.0)),
+            ("a".into(), Value::Bool(false)),
+        ]);
+        assert_eq!(v.render(), r#"{"z":1,"a":false}"#);
+        assert_eq!(v.render(), v.render());
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for bits in [
+            0x3FF0_0000_0000_0001u64,
+            0x4000_0000_0000_0000,
+            0x0000_0000_0000_0001,
+        ] {
+            let x = f64::from_bits(bits);
+            let rendered = Value::Num(x).render();
+            let back = parse(&rendered).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), bits, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,", "\"x", "{\"a\" 1}", "1 2", "tru", "{'a': 1}"] {
+            assert!(parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn queries_with_unicode_survive() {
+        let q = "ans(x) :- E(x, y), y != z"; // plus a non-ascii comment char
+        let v = Value::Obj(vec![("query".into(), Value::Str(format!("{q} ∧ é")))]);
+        let back = parse(&v.render()).unwrap();
+        assert_eq!(
+            back.get("query").unwrap().as_str(),
+            Some(&*format!("{q} ∧ é"))
+        );
+    }
+}

@@ -1,0 +1,549 @@
+//! The sharded counting server.
+//!
+//! ## Sharding contract
+//!
+//! A request carries a query, a list of databases (the *work items*) and a
+//! request seed. Work item `i` is **always** evaluated under the derived
+//! seed `split_seed(request_seed, i)` — regardless of which shard, thread
+//! or machine evaluates it. This is the `(seed, work-item index)` scheme of
+//! `cqc-runtime` lifted to the serving layer: because an item's estimate is
+//! a pure function of `(plan, item seed, database)`, *any* partition of the
+//! items across shards merges back — in shard-index order — to exactly the
+//! answer a single unsharded node computes. The shard-equivalence tests
+//! pin this down to the byte: responses rendered for 1, 2 and 4 shards are
+//! identical.
+//!
+//! Shards here are *simulated*: each shard's slice of items is evaluated by
+//! a participant of the persistent worker pool (`cqc_runtime::pool`). A
+//! distributed deployment would place each shard on its own machine and
+//! merge partials the same way; nothing in the contract changes, which is
+//! the point of deriving item seeds instead of threading one RNG stream
+//! through the request.
+
+use crate::json::{parse, Value};
+use cqc_core::{Backend, CoreError, Engine, EngineBuilder, EstimateReport, PreparedQuery};
+use cqc_data::{parse_facts, Structure};
+use cqc_query::parse_query;
+use cqc_runtime::{split_seed, Runtime};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::sync::{Arc, Mutex};
+
+/// Errors surfaced by the serving front end (rendered into `error`
+/// responses by the request loop).
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// The request line is not valid JSON or misses required members.
+    Request(String),
+    /// The query text could not be parsed.
+    Query(String),
+    /// A database could not be parsed or read.
+    Database(String),
+    /// Planning or evaluation failed.
+    Count(String),
+    /// Writing a response failed.
+    Io(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Request(m) => write!(f, "bad request: {m}"),
+            ServeError::Query(m) => write!(f, "query error: {m}"),
+            ServeError::Database(m) => write!(f, "database error: {m}"),
+            ServeError::Count(m) => write!(f, "counting error: {m}"),
+            ServeError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Server-wide defaults; individual requests may override the accuracy,
+/// seed and shard count per request.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Simulated shards a request's work items are partitioned across
+    /// (requests may override with a `"shards"` member). The shard count
+    /// never affects results — only which pool participant computes what.
+    pub shards: usize,
+    /// Worker threads for each shard's inner evaluations (`0` = auto).
+    pub threads: usize,
+    /// Default relative error `ε`.
+    pub epsilon: f64,
+    /// Default failure probability `δ`.
+    pub delta: f64,
+    /// Default request seed.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 1,
+            threads: 0,
+            epsilon: 0.25,
+            delta: 0.05,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Key of the prepared-plan cache: everything query-side that shapes a
+/// plan. Seeds and shard counts are deliberately absent — plans are
+/// seed-independent, which is what lets one cached plan serve every seed
+/// and every shard layout with bit-identical results.
+type PlanKey = (String, u64, u64, u8);
+
+/// The sharded counting server: caches prepared plans per (query,
+/// accuracy, backend) and answers count requests by fanning work items
+/// across simulated shards on the persistent worker pool.
+pub struct Server {
+    config: ServerConfig,
+    plans: Mutex<BTreeMap<PlanKey, Arc<PreparedQuery>>>,
+}
+
+impl Server {
+    /// A server with the given defaults.
+    pub fn new(config: ServerConfig) -> Self {
+        Server {
+            config,
+            plans: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The server's defaults.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Number of distinct prepared plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.lock().expect("plan cache lock").len()
+    }
+
+    /// Fetch or build the prepared plan for a (query, accuracy, backend)
+    /// triple. Concurrent first requests for a key may prepare redundantly
+    /// (the lock is not held across the expensive `prepare`); the first
+    /// insert wins and every caller — including the redundant preparers —
+    /// returns the cached [`PreparedQuery`], so later requests always
+    /// share one plan. Redundant preparation is harmless beyond the wasted
+    /// work: plans are seed-independent and deterministic.
+    fn plan_for(
+        &self,
+        query_text: &str,
+        epsilon: f64,
+        delta: f64,
+        backend: Backend,
+    ) -> Result<Arc<PreparedQuery>, ServeError> {
+        let key: PlanKey = (
+            query_text.to_string(),
+            epsilon.to_bits(),
+            delta.to_bits(),
+            backend_tag(backend),
+        );
+        if let Some(plan) = self.plans.lock().expect("plan cache lock").get(&key) {
+            return Ok(Arc::clone(plan));
+        }
+        let query = parse_query(query_text).map_err(|e| ServeError::Query(e.to_string()))?;
+        let engine: Engine = EngineBuilder::new()
+            .accuracy(epsilon, delta)
+            .threads(self.config.threads)
+            .backend(backend)
+            .build()
+            .map_err(|e| ServeError::Count(e.to_string()))?;
+        let prepared = engine
+            .prepare(&query)
+            .map_err(|e| ServeError::Count(e.to_string()))?;
+        let prepared = Arc::new(prepared);
+        let mut cache = self.plans.lock().expect("plan cache lock");
+        let entry = cache.entry(key).or_insert(prepared);
+        Ok(Arc::clone(entry))
+    }
+
+    /// Handle one request line, returning the response line (always valid
+    /// JSON; failures become `{"id":…,"error":…}` responses).
+    pub fn handle_line(&self, line: &str) -> String {
+        let (id, result) = match parse(line) {
+            Err(e) => (Value::Null, Err(ServeError::Request(e.to_string()))),
+            Ok(req) => {
+                let id = req.get("id").cloned().unwrap_or(Value::Null);
+                (id.clone(), self.handle(&req))
+            }
+        };
+        match result {
+            Ok(mut members) => {
+                members.insert(0, ("id".to_string(), id));
+                Value::Obj(members).render()
+            }
+            Err(e) => Value::Obj(vec![
+                ("id".to_string(), id),
+                ("error".to_string(), Value::Str(e.to_string())),
+            ])
+            .render(),
+        }
+    }
+
+    /// Handle a parsed request, returning the response members (without
+    /// the echoed `id`, which [`Server::handle_line`] prepends).
+    fn handle(&self, req: &Value) -> Result<Vec<(String, Value)>, ServeError> {
+        let query_text = req
+            .get("query")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ServeError::Request("missing string member `query`".into()))?;
+        let epsilon = member_f64(req, "epsilon", self.config.epsilon)?;
+        let delta = member_f64(req, "delta", self.config.delta)?;
+        // Seeds are accepted as JSON numbers only up to 2⁵³ (the exact-f64
+        // range); larger u64 seeds must be sent as decimal strings, never
+        // silently rounded — reproducibility is the whole contract.
+        let seed = match req.get("seed") {
+            None => self.config.seed,
+            Some(Value::Str(raw)) => raw
+                .parse::<u64>()
+                .map_err(|_| ServeError::Request("`seed` string must be a decimal u64".into()))?,
+            Some(v) => v.as_u64().ok_or_else(|| {
+                ServeError::Request(
+                    "`seed` must be a non-negative integer below 2^53 (use a decimal \
+                     string for larger seeds)"
+                        .into(),
+                )
+            })?,
+        };
+        let shards =
+            match req.get("shards") {
+                None => self.config.shards,
+                Some(v) => v.as_u64().filter(|&s| s >= 1).ok_or_else(|| {
+                    ServeError::Request("`shards` must be a positive integer".into())
+                })? as usize,
+            };
+        let backend = match req.get("method") {
+            None => Backend::Auto,
+            Some(v) => parse_backend(
+                v.as_str()
+                    .ok_or_else(|| ServeError::Request("`method` must be a string".into()))?,
+            )?,
+        };
+        let dbs = load_request_databases(req)?;
+
+        let prepared = self.plan_for(query_text, epsilon, delta, backend)?;
+        let runtime = Runtime::new(self.config.threads);
+        let reports = count_sharded(&prepared, &dbs, seed, shards, runtime)
+            .map_err(|e| ServeError::Count(e.to_string()))?;
+
+        // Only deterministic fields go on the wire: estimates (value +
+        // exact bits), the guarantee, and the per-item derived seed.
+        // Telemetry (wall times, scheduling-dependent hom-call counts)
+        // stays out so responses are byte-identical across shard layouts
+        // and runs — the shard-equivalence tests depend on it.
+        let results: Vec<Value> = reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| render_result(i, split_seed(seed, i as u64), r))
+            .collect();
+        Ok(vec![
+            ("shards".to_string(), Value::Num(shards as f64)),
+            (
+                "class".to_string(),
+                Value::Str(format!("{:?}", prepared.class())),
+            ),
+            (
+                "method".to_string(),
+                Value::Str(prepared.method().to_string()),
+            ),
+            ("results".to_string(), Value::Arr(results)),
+        ])
+    }
+
+    /// The request loop: read newline-delimited JSON requests, write one
+    /// JSON response line per request. Blank lines are skipped; the loop
+    /// ends at EOF. Responses are flushed per line so interactive clients
+    /// see them immediately.
+    pub fn serve_lines<R: BufRead, W: Write>(
+        &self,
+        reader: R,
+        writer: &mut W,
+    ) -> Result<usize, ServeError> {
+        let mut served = 0usize;
+        for line in reader.lines() {
+            let line = line.map_err(|e| ServeError::Io(e.to_string()))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = self.handle_line(&line);
+            writeln!(writer, "{response}").map_err(|e| ServeError::Io(e.to_string()))?;
+            writer.flush().map_err(|e| ServeError::Io(e.to_string()))?;
+            served += 1;
+        }
+        Ok(served)
+    }
+}
+
+/// Evaluate `dbs` through `shards` simulated shards: shard `s` owns the
+/// items `i ≡ s (mod shards)`, every item `i` is evaluated under the
+/// derived seed `split_seed(seed, i)`, and partial results are merged in
+/// shard-index order back into item order.
+///
+/// **Equivalence guarantee:** the returned estimates are bit-identical for
+/// every shard count (including `1`, the unsharded single-node run) and
+/// every pool width, because item `i`'s estimate depends only on the plan,
+/// `dbs[i]` and `split_seed(seed, i)` — never on which shard computed it.
+/// On a failure the error of the first failing item (by index) is
+/// returned, matching `PreparedQuery::count_batch`.
+pub fn count_sharded(
+    prepared: &PreparedQuery,
+    dbs: &[Structure],
+    seed: u64,
+    shards: usize,
+    runtime: Runtime,
+) -> Result<Vec<EstimateReport>, CoreError> {
+    let k = shards.max(1);
+    let n = dbs.len();
+    // Round-robin shard ownership: shard s evaluates items s, s+k, s+2k, …
+    let assignments: Vec<Vec<usize>> = (0..k).map(|s| (s..n).step_by(k).collect()).collect();
+    let partials: Vec<Vec<(usize, Result<EstimateReport, CoreError>)>> =
+        runtime.par_map(&assignments, |_, items| {
+            items
+                .iter()
+                .map(|&i| {
+                    (
+                        i,
+                        prepared.count_with_seed(&dbs[i], split_seed(seed, i as u64)),
+                    )
+                })
+                .collect()
+        });
+    // Merge in shard-index order: iterate shards 0..k, placing each partial
+    // at its global item index. The merge is a pure reshuffle — estimates
+    // were fixed per item above — so shard layout cannot change any byte.
+    let mut merged: Vec<Option<Result<EstimateReport, CoreError>>> = (0..n).map(|_| None).collect();
+    for shard in partials {
+        for (i, r) in shard {
+            merged[i] = Some(r);
+        }
+    }
+    merged
+        .into_iter()
+        .map(|r| r.expect("every item owned by exactly one shard"))
+        .collect()
+}
+
+fn render_result(item: usize, item_seed: u64, report: &EstimateReport) -> Value {
+    Value::Obj(vec![
+        ("item".to_string(), Value::Num(item as f64)),
+        ("estimate".to_string(), Value::Num(report.estimate)),
+        (
+            "estimate_bits".to_string(),
+            Value::Str(format!("{:016x}", report.estimate.to_bits())),
+        ),
+        ("exact".to_string(), Value::Bool(report.exact)),
+        ("epsilon".to_string(), Value::Num(report.epsilon)),
+        ("delta".to_string(), Value::Num(report.delta)),
+        (
+            "item_seed".to_string(),
+            Value::Str(format!("{item_seed:016x}")),
+        ),
+    ])
+}
+
+fn member_f64(req: &Value, key: &str, default: f64) -> Result<f64, ServeError> {
+    match req.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| ServeError::Request(format!("`{key}` must be a number"))),
+    }
+}
+
+fn backend_tag(backend: Backend) -> u8 {
+    match backend {
+        Backend::Auto => 0,
+        Backend::Fpras => 1,
+        Backend::Fptras => 2,
+        Backend::Exact => 3,
+    }
+}
+
+fn parse_backend(raw: &str) -> Result<Backend, ServeError> {
+    match raw {
+        "auto" => Ok(Backend::Auto),
+        "fpras" => Ok(Backend::Fpras),
+        "fptras" => Ok(Backend::Fptras),
+        "exact" => Ok(Backend::Exact),
+        other => Err(ServeError::Request(format!(
+            "unknown method `{other}` (expected auto | fpras | fptras | exact)"
+        ))),
+    }
+}
+
+/// Load the request's databases: inline facts texts (`"dbs"`) and/or facts
+/// files (`"db_files"`), in that order.
+fn load_request_databases(req: &Value) -> Result<Vec<Structure>, ServeError> {
+    let mut dbs = Vec::new();
+    if let Some(items) = req.get("dbs") {
+        let items = items
+            .as_arr()
+            .ok_or_else(|| ServeError::Request("`dbs` must be an array of facts texts".into()))?;
+        for (i, item) in items.iter().enumerate() {
+            let text = item.as_str().ok_or_else(|| {
+                ServeError::Request(format!("`dbs[{i}]` must be a facts-file string"))
+            })?;
+            dbs.push(
+                parse_facts(text).map_err(|e| ServeError::Database(format!("dbs[{i}]: {e}")))?,
+            );
+        }
+    }
+    if let Some(items) = req.get("db_files") {
+        let items = items
+            .as_arr()
+            .ok_or_else(|| ServeError::Request("`db_files` must be an array of paths".into()))?;
+        for item in items {
+            let path = item
+                .as_str()
+                .ok_or_else(|| ServeError::Request("`db_files` entries must be strings".into()))?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ServeError::Database(format!("cannot read `{path}`: {e}")))?;
+            dbs.push(parse_facts(&text).map_err(|e| ServeError::Database(format!("{path}: {e}")))?);
+        }
+    }
+    if dbs.is_empty() {
+        return Err(ServeError::Request(
+            "provide at least one database via `dbs` (inline facts) or `db_files` (paths)".into(),
+        ));
+    }
+    Ok(dbs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FACTS: &str =
+        "universe 6\nrelation E 2\nE 0 1\nE 0 2\nE 1 2\nE 2 3\nE 3 4\nE 3 5\nE 5 0\n";
+    const FACTS2: &str = "universe 4\nrelation E 2\nE 0 1\nE 0 2\nE 3 1\nE 3 2\n";
+    const DCQ: &str = "ans(x) :- E(x, y), E(x, z), y != z";
+
+    fn request(shards: usize) -> String {
+        Value::Obj(vec![
+            ("id".into(), Value::Num(1.0)),
+            ("query".into(), Value::Str(DCQ.into())),
+            (
+                "dbs".into(),
+                Value::Arr(vec![
+                    Value::Str(FACTS.into()),
+                    Value::Str(FACTS2.into()),
+                    Value::Str(FACTS.into()),
+                ]),
+            ),
+            ("seed".into(), Value::Num(7.0)),
+            ("shards".into(), Value::Num(shards as f64)),
+        ])
+        .render()
+    }
+
+    #[test]
+    fn responses_are_bytes_equal_across_shard_counts() {
+        let server = Server::new(ServerConfig::default());
+        let unsharded = server.handle_line(&request(1));
+        assert!(unsharded.contains("\"estimate\""), "{unsharded}");
+        for shards in [2usize, 4] {
+            let sharded = server.handle_line(&request(shards));
+            // normalise the echoed shard count, then demand byte equality
+            let a = unsharded.replace("\"shards\":1", "\"shards\":N");
+            let b = sharded.replace(&format!("\"shards\":{shards}"), "\"shards\":N");
+            assert_eq!(a, b, "sharding changed a result byte");
+        }
+    }
+
+    #[test]
+    fn plan_cache_is_shared_across_requests() {
+        let server = Server::new(ServerConfig::default());
+        assert_eq!(server.cached_plans(), 0);
+        server.handle_line(&request(1));
+        assert_eq!(server.cached_plans(), 1);
+        server.handle_line(&request(4)); // same query/accuracy: cache hit
+        assert_eq!(server.cached_plans(), 1);
+    }
+
+    #[test]
+    fn malformed_requests_become_error_responses() {
+        let server = Server::new(ServerConfig::default());
+        for (bad, needle) in [
+            ("{nope", "json error"),
+            ("{}", "missing string member `query`"),
+            (r#"{"query": 5}"#, "missing string member `query`"),
+            (r#"{"query": "ans(x) :- E(x, y)"}"#, "at least one database"),
+            (
+                r#"{"query": "ans(x) :-", "dbs": ["universe 1\n"]}"#,
+                "query error",
+            ),
+            (
+                r#"{"query": "ans(x) :- E(x, y)", "dbs": ["nonsense"]}"#,
+                "database error",
+            ),
+            (
+                r#"{"query": "ans(x) :- E(x, y)", "dbs": ["universe 1\nrelation E 2\n"], "shards": 0}"#,
+                "`shards` must be a positive integer",
+            ),
+        ] {
+            let out = server.handle_line(bad);
+            assert!(out.contains("\"error\""), "{bad} -> {out}");
+            assert!(out.contains(needle), "{bad} -> {out}");
+        }
+    }
+
+    #[test]
+    fn serve_lines_round_trips_requests() {
+        let server = Server::new(ServerConfig::default());
+        let input = format!("{}\n\n{}\n", request(2), request(4));
+        let mut out = Vec::new();
+        let served = server
+            .serve_lines(std::io::BufReader::new(input.as_bytes()), &mut out)
+            .unwrap();
+        assert_eq!(served, 2);
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(parse(line).is_ok(), "response is not valid JSON: {line}");
+            assert!(line.starts_with("{\"id\":1,"), "{line}");
+        }
+    }
+
+    #[test]
+    fn large_seeds_are_rejected_as_numbers_and_accepted_as_strings() {
+        let server = Server::new(ServerConfig::default());
+        let req = |seed: &str| {
+            format!(
+                r#"{{"id": 1, "query": "{DCQ}", "dbs": ["universe 3\nrelation E 2\nE 0 1\nE 0 2\n"], "seed": {seed}}}"#
+            )
+        };
+        // 2^53 + 1 is not exactly representable as f64: must error, never
+        // silently evaluate under a rounded seed
+        let out = server.handle_line(&req("9007199254740993"));
+        assert!(out.contains("\"error\""), "{out}");
+        assert!(out.contains("2^53"), "{out}");
+        // the same seed as a decimal string is accepted
+        let out = server.handle_line(&req("\"9007199254740993\""));
+        assert!(out.contains("\"estimate\""), "{out}");
+        // and a string seed in the exact range matches the number form
+        let a = server.handle_line(&req("12345"));
+        let b = server.handle_line(&req("\"12345\""));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exact_method_reports_exact_results() {
+        let server = Server::new(ServerConfig::default());
+        let req = Value::Obj(vec![
+            ("id".into(), Value::Str("e".into())),
+            ("query".into(), Value::Str(DCQ.into())),
+            ("dbs".into(), Value::Arr(vec![Value::Str(FACTS2.into())])),
+            ("method".into(), Value::Str("exact".into())),
+        ])
+        .render();
+        let out = server.handle_line(&req);
+        // elements 0 and 3 each have two distinct out-neighbours
+        assert!(out.contains("\"estimate\":2,"), "{out}");
+        assert!(out.contains("\"exact\":true"), "{out}");
+    }
+}

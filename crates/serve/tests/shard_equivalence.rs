@@ -1,0 +1,131 @@
+//! The serve-shard equivalence matrix: counting sharded 2-way and 4-way
+//! through `cqc-serve` must return results byte-equal to the unsharded
+//! engine, for a fixed seed, across all three query classes of Figure 1.
+//!
+//! Two layers are pinned:
+//! 1. [`count_sharded`] itself — the per-item `EstimateReport`s carry the
+//!    same estimate bits and guarantee fields for every shard count, and
+//!    shards = 1 equals a plain serial loop over
+//!    `PreparedQuery::count_with_seed`;
+//! 2. the full server — rendered JSON responses (which serialise exactly
+//!    the deterministic fields) are byte-identical across shard counts.
+
+use cqc_core::Engine;
+use cqc_data::Structure;
+use cqc_runtime::{split_seed, Runtime};
+use cqc_serve::{count_sharded, Server, ServerConfig};
+use cqc_workloads::{erdos_renyi, footnote4_star_query, graph_database, path_query, star_query};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn snapshot(n: usize, avg_deg: f64, seed: u64) -> Structure {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = erdos_renyi(n, avg_deg / n as f64, &mut rng);
+    graph_database(&g, "E", false)
+}
+
+fn snapshots() -> Vec<Structure> {
+    (0..5)
+        .map(|i| snapshot(9 + i, 2.5, 0xD1CE + i as u64))
+        .collect()
+}
+
+#[test]
+fn sharded_counts_equal_the_unsharded_engine_bit_for_bit() {
+    let engine = Engine::builder()
+        .accuracy(0.25, 0.05)
+        .seed(17)
+        .build()
+        .unwrap();
+    let dbs = snapshots();
+    let runtime = Runtime::new(4);
+    for query in [
+        footnote4_star_query(2, false).query, // CQ → FPRAS
+        star_query(2, true).query,            // DCQ → FPTRAS
+        path_query(2, false, true).query,     // ECQ → FPTRAS
+    ] {
+        let prepared = engine.prepare(&query).unwrap();
+        // the unsharded single-node reference: a serial loop over the
+        // per-item derived seeds
+        let reference: Vec<_> = dbs
+            .iter()
+            .enumerate()
+            .map(|(i, db)| {
+                prepared
+                    .count_with_seed(db, split_seed(17, i as u64))
+                    .unwrap()
+            })
+            .collect();
+        for shards in [1usize, 2, 4] {
+            let sharded = count_sharded(&prepared, &dbs, 17, shards, runtime).unwrap();
+            assert_eq!(sharded.len(), reference.len());
+            for (i, (s, r)) in sharded.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    s.estimate.to_bits(),
+                    r.estimate.to_bits(),
+                    "item {i} diverged at {shards} shards ({} vs {})",
+                    s.estimate,
+                    r.estimate
+                );
+                assert_eq!(s.exact, r.exact, "item {i} at {shards} shards");
+                assert_eq!(s.epsilon, r.epsilon, "item {i} at {shards} shards");
+                assert_eq!(s.delta, r.delta, "item {i} at {shards} shards");
+            }
+        }
+    }
+}
+
+#[test]
+fn count_with_engine_seed_is_bit_identical_to_count() {
+    // the primitive the shard layer rests on: plans are seed-independent
+    // and count_with_seed(engine seed) is exactly count()
+    let engine = Engine::builder()
+        .accuracy(0.3, 0.1)
+        .seed(23)
+        .build()
+        .unwrap();
+    let dbs = snapshots();
+    for query in [
+        footnote4_star_query(2, false).query,
+        star_query(2, true).query,
+    ] {
+        let prepared = engine.prepare(&query).unwrap();
+        for db in &dbs {
+            let a = prepared.count(db).unwrap();
+            let b = prepared.count_with_seed(db, 23).unwrap();
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+            // and a different seed reuses the plan but may move the estimate
+            let c = prepared.count_with_seed(db, 24).unwrap();
+            assert_eq!(a.exact, c.exact);
+        }
+    }
+}
+
+#[test]
+fn server_responses_are_byte_identical_across_shard_layouts() {
+    let server = Server::new(ServerConfig::default());
+    let dbs_json: Vec<String> = snapshots().iter().map(cqc_data::write_facts).collect();
+    let request = |shards: usize| {
+        let dbs = dbs_json
+            .iter()
+            .map(|t| format!("\"{}\"", t.replace('\n', "\\n")))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            r#"{{"id": "m", "query": "ans(x) :- E(x, y), E(x, z), y != z", "dbs": [{dbs}], "seed": 31, "shards": {shards}}}"#
+        )
+    };
+    let reference = server.handle_line(&request(1));
+    assert!(
+        reference.contains("\"estimate_bits\""),
+        "unexpected response: {reference}"
+    );
+    for shards in [2usize, 4] {
+        let sharded = server.handle_line(&request(shards));
+        assert_eq!(
+            reference.replace("\"shards\":1", "\"shards\":N"),
+            sharded.replace(&format!("\"shards\":{shards}"), "\"shards\":N"),
+            "shard layout leaked into the response bytes"
+        );
+    }
+}

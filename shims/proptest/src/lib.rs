@@ -403,7 +403,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         pub(crate) elem: S,
         pub(crate) size: SizeRange,

@@ -16,9 +16,11 @@
 //! * [`core`] — the paper's algorithms behind the [`prelude::Engine`] /
 //!   [`prelude::PreparedQuery`] API (FPTRAS, FPRAS, sampling, unions,
 //!   locally injective homomorphisms, the Observation 10 construction),
-//! * [`runtime`] — the deterministic parallel runtime (std-only thread
-//!   pool, seed-splitting; estimates are bit-identical for any thread
-//!   count),
+//! * [`runtime`] — the deterministic parallel runtime (std-only persistent
+//!   worker pool, seed-splitting; estimates are bit-identical for any
+//!   thread count and pool width),
+//! * [`serve`] — the sharded serving front end (JSON request loop; sharded
+//!   responses are byte-identical to single-node runs),
 //! * [`workloads`] — generators used by the examples and benchmarks.
 //!
 //! ## Quick start: plan once, count many
@@ -75,6 +77,7 @@ pub use cqc_hom as hom;
 pub use cqc_hypergraph as hypergraph;
 pub use cqc_query as query;
 pub use cqc_runtime as runtime;
+pub use cqc_serve as serve;
 pub use cqc_workloads as workloads;
 
 /// The most commonly used items in one import.
@@ -88,5 +91,7 @@ pub mod prelude {
     };
     pub use cqc_data::{Database, Structure, StructureBuilder, Val};
     pub use cqc_query::{parse_query, Query, QueryBuilder, QueryClass};
+    pub use cqc_runtime::pool::{resolve_pool_workers, Pool};
     pub use cqc_runtime::{resolve_threads, split_seed, split_seed2, Runtime};
+    pub use cqc_serve::{count_sharded, Server, ServerConfig};
 }

@@ -155,6 +155,145 @@ fn star_query_scaling_smoke_test() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Golden-file CLI tests: the full stdout of `cqc count` / `cqc sample` /
+// `cqc serve` is pinned against files under tests/golden/, so any output
+// drift — estimates, dispatch lines, the `threads=` amortised summary, the
+// serve response format — fails loudly. Wall-clock numbers are the only
+// nondeterministic part and are normalised to `<T>`. Regenerate with
+// `UPDATE_GOLDEN=1 cargo test --test end_to_end`.
+// ---------------------------------------------------------------------------
+
+/// Replace every `<float> ms` occurrence with `<T> ms` (wall times are the
+/// only nondeterministic bytes in the pinned outputs).
+fn normalize_times(out: &str) -> String {
+    let mut text = String::with_capacity(out.len());
+    let mut rest = out;
+    while let Some(pos) = rest.find(" ms") {
+        let (before, after) = rest.split_at(pos);
+        let num_start = before
+            .rfind(|c: char| !(c.is_ascii_digit() || c == '.'))
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        if num_start < before.len() && before[num_start..].contains(|c: char| c.is_ascii_digit()) {
+            text.push_str(&before[..num_start]);
+            text.push_str("<T>");
+        } else {
+            text.push_str(before);
+        }
+        text.push_str(" ms");
+        rest = &after[3..];
+    }
+    text.push_str(rest);
+    text
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = format!("tests/golden/{name}");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path} ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        actual, expected,
+        "`{name}` drifted from its golden file; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+fn run_cli(args: &[&str]) -> String {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    cqc_cli::run(&argv).expect("cli run succeeds")
+}
+
+#[test]
+fn golden_count_single_database() {
+    let out = run_cli(&[
+        "count",
+        "--db",
+        "tests/data/friends.facts",
+        "--query",
+        "ans(x) :- E(x, y), E(x, z), y != z",
+        "--epsilon",
+        "0.2",
+        "--seed",
+        "7",
+        "--threads",
+        "2",
+    ]);
+    check_golden("count_friends.txt", &normalize_times(&out));
+}
+
+#[test]
+fn golden_count_amortised_multi_db_pins_threads_summary() {
+    let out = run_cli(&[
+        "count",
+        "--db",
+        "tests/data/friends.facts",
+        "tests/data/friends2.facts",
+        "--query",
+        "ans(x) :- E(x, y), E(x, z), y != z",
+        "--repeat",
+        "3",
+        "--seed",
+        "9",
+        "--threads",
+        "2",
+    ]);
+    let normalized = normalize_times(&out);
+    // the amortised summary (with its scrapeable threads= field) must
+    // survive normalisation verbatim apart from the wall times
+    assert!(
+        normalized.contains("plan reused, threads=2"),
+        "{normalized}"
+    );
+    assert!(
+        normalized.contains("6 run(s) in <T> ms total"),
+        "{normalized}"
+    );
+    check_golden("count_amortised.txt", &normalized);
+}
+
+#[test]
+fn golden_sample_output_is_fully_deterministic() {
+    let out = run_cli(&[
+        "sample",
+        "--db",
+        "tests/data/friends.facts",
+        "--query",
+        "ans(x) :- E(x, y), E(x, z), y != z",
+        "--count",
+        "6",
+        "--seed",
+        "3",
+        "--threads",
+        "2",
+    ]);
+    // sampling output carries no wall times: pin it byte-for-byte
+    check_golden("sample_friends.txt", &out);
+}
+
+#[test]
+fn golden_serve_response_lines() {
+    let requests = "tests/data/serve_requests.jsonl";
+    let out = run_cli(&["serve", "--requests", requests, "--shards", "2"]);
+    check_golden("serve_responses.txt", &out);
+}
+
+#[test]
+fn normalize_times_only_touches_wall_times() {
+    let s = "planned in  : 0.123 ms\nestimate    : 2\nevaluated   : 6 run(s) in 1.5 ms total (0.25 ms/run, plan reused, threads=2)\n";
+    let n = normalize_times(s);
+    assert_eq!(
+        n,
+        "planned in  : <T> ms\nestimate    : 2\nevaluated   : 6 run(s) in <T> ms total (<T> ms/run, plan reused, threads=2)\n"
+    );
+    // idempotent and stable on time-free text
+    assert_eq!(normalize_times(&n), n);
+    assert_eq!(normalize_times("estimate : 2\n"), "estimate : 2\n");
+}
+
 #[test]
 fn naive_monte_carlo_baseline_runs() {
     let db = small_random_db(20, 3.0, 11);

@@ -45,6 +45,92 @@ fn engine_with_threads(seed: u64, threads: usize) -> Engine {
         .unwrap()
 }
 
+/// The pool matrix: estimates must be bit-identical across persistent
+/// worker pools of width 1, 2 and 8 — and identical to the serial path —
+/// for all three query classes of Figure 1. The pool (like the thread
+/// count) may only change scheduling, never results: every RNG stream is
+/// keyed by `(seed, work-item index)` and every estimate-feeding reduction
+/// folds in index order. `COUNTING_POOL_WORKERS` applies the same widths
+/// process-wide (CI runs a `COUNTING_POOL_WORKERS=1` leg); this in-process
+/// matrix uses explicit pools so one run covers all three widths.
+#[test]
+fn pool_width_matrix_is_bit_identical_to_the_serial_path() {
+    let dbs = [snapshot(11, 2.5, 0xA11CE), snapshot(13, 3.0, 0xB0B)];
+    let pools: Vec<&'static Pool> = [1usize, 2, 8]
+        .iter()
+        .map(|&w| &*Box::leak(Box::new(Pool::new(w))))
+        .collect();
+    for (class, q) in workload_queries() {
+        // the serial reference: one thread, no pool participation at all
+        let serial: Vec<u64> = {
+            let prepared = engine_with_threads(0xC0FFEE, 1).prepare(&q).unwrap();
+            dbs.iter()
+                .map(|db| prepared.count(db).unwrap().estimate.to_bits())
+                .collect()
+        };
+        for &pool in &pools {
+            let engine = Engine::builder()
+                .accuracy(0.25, 0.05)
+                .seed(0xC0FFEE)
+                .threads(8)
+                .worker_pool(pool)
+                .build()
+                .unwrap();
+            let prepared = engine.prepare(&q).unwrap();
+            for (db, &expect) in dbs.iter().zip(&serial) {
+                let r = prepared.count(db).unwrap();
+                assert_eq!(
+                    r.estimate.to_bits(),
+                    expect,
+                    "{class:?}: pool width {} diverged from the serial path ({} vs {})",
+                    pool.width(),
+                    r.estimate,
+                    f64::from_bits(expect)
+                );
+            }
+            // batch evaluation must agree too (same contract, batch path)
+            let batch = prepared.count_batch(&dbs).unwrap();
+            for (r, &expect) in batch.iter().zip(&serial) {
+                assert_eq!(
+                    r.estimate.to_bits(),
+                    expect,
+                    "{class:?}: count_batch on pool width {} diverged",
+                    pool.width()
+                );
+            }
+        }
+    }
+}
+
+/// Sampling through the pool matrix: the drawn answers (values and order)
+/// must match the serial path for every pool width.
+#[test]
+fn pool_width_matrix_sampling_matches_serial() {
+    let db = snapshot(12, 3.0, 0xFACADE);
+    for (_, q) in workload_queries() {
+        let reference = engine_with_threads(99, 1)
+            .prepare(&q)
+            .unwrap()
+            .sample(&db, 5)
+            .unwrap();
+        for width in [1usize, 2, 8] {
+            let pool: &'static Pool = Box::leak(Box::new(Pool::new(width)));
+            let samples = Engine::builder()
+                .accuracy(0.25, 0.05)
+                .seed(99)
+                .threads(8)
+                .worker_pool(pool)
+                .build()
+                .unwrap()
+                .prepare(&q)
+                .unwrap()
+                .sample(&db, 5)
+                .unwrap();
+            assert_eq!(samples, reference, "pool width {width}");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
