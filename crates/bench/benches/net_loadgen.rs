@@ -1,0 +1,53 @@
+//! Serving-layer round trips over loopback TCP: the per-request cost of
+//! the network front end (HTTP parse + serve dispatch + response write),
+//! measured with the deterministic load generator against a self-hosted
+//! server.
+//!
+//! Three axes:
+//! * `http_roundtrip`   — closed-loop `POST /count` on one connection;
+//! * `ndjson_roundtrip` — the raw sniffed NDJSON protocol, same mix;
+//! * `http_4conns`      — four concurrent closed-loop connections (the
+//!   throughput configuration of `BENCH_serve.json`).
+//!
+//! The mix uses `method=exact` so the numbers isolate the serving and wire
+//! overhead rather than the approximation engines.
+
+use cqc_net::loadgen::{run_against, LoadgenOptions, Protocol};
+use cqc_net::{NetConfig, RunningServer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn options(protocol: Protocol, connections: usize) -> LoadgenOptions {
+    LoadgenOptions {
+        requests: 32,
+        connections,
+        seed: 0xBE9C4,
+        shards: None,
+        method: Some("exact".to_string()),
+        accuracy: None,
+        protocol,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let server = RunningServer::bind("127.0.0.1:0", NetConfig::default()).expect("bind");
+    let addr = server.addr();
+    let mut group = c.benchmark_group("net_loadgen");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("http_roundtrip", |b| {
+        b.iter(|| run_against(addr, &options(Protocol::Http, 1)).expect("run"));
+    });
+    group.bench_function("ndjson_roundtrip", |b| {
+        b.iter(|| run_against(addr, &options(Protocol::Ndjson, 1)).expect("run"));
+    });
+    group.bench_function("http_4conns", |b| {
+        b.iter(|| run_against(addr, &options(Protocol::Http, 4)).expect("run"));
+    });
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -23,6 +23,7 @@ pub mod args;
 pub mod classify;
 pub mod count;
 pub mod generate;
+pub mod loadgen;
 pub mod sample;
 pub mod serve;
 
@@ -73,7 +74,11 @@ COMMANDS:
     sample     Draw approximately uniform answers (Section 6)
     serve      Answer newline-delimited JSON count requests, sharding each
                request's databases across the persistent worker pool —
-               responses are byte-identical for every shard count
+               responses are byte-identical for every shard count; with
+               --listen, serve HTTP/1.1 + raw NDJSON over TCP
+    loadgen    Drive the TCP front end with a seeded, deterministic request
+               mix (closed loop); report throughput and latency percentiles
+               and write BENCH_serve.json
     classify   Report the query class and its width measures (Figure 1 column)
     generate   Generate a workload database and write it as a facts file
     help       Show this message
@@ -102,7 +107,31 @@ SERVE OPTIONS:
     --requests PATH       newline-delimited JSON request file (default: stdin)
     --shards K            simulated shards per request (default 1); responses
                           are byte-identical for every K (seed splitting)
+    --listen ADDR         serve over TCP instead (HTTP/1.1 POST /count,
+                          POST /stream, GET /healthz, GET /metrics — plus raw
+                          NDJSON sniffed on the same port); stdin is the
+                          signal pipe: any line triggers graceful shutdown
+                          (EOF alone is ignored so detached servers keep
+                          running)
+    --max-requests N      with --listen: shut down after N count requests
+    --addr-file PATH      with --listen: write the bound address to PATH
+                          (useful with `--listen 127.0.0.1:0`)
+    --plan-cache N        LRU capacity of the prepared-plan cache (default 64)
     --quiet               omit the trailing served/plans summary line
+
+LOADGEN OPTIONS:
+    --requests N          size of the deterministic request mix (default 100)
+    --connections C       concurrent closed-loop connections (default 4)
+    --protocol P          http | ndjson                      (default http)
+    --shards K            add a `shards` member to every request
+    --method M            add a `method` member to every request
+    --epsilon E --delta D override the mix's per-request accuracy defaults
+    --connect ADDR        drive a running server instead of self-hosting
+    --bench-out PATH      machine-readable report (default BENCH_serve.json)
+    --transcript PATH     write the id-ordered response transcript; two runs
+                          with one seed are byte-identical whatever the
+                          concurrency, pool width, shard count or protocol
+    --quiet               omit the human-readable summary
 
 GENERATE OPTIONS:
     --family F            erdos-renyi | grid | regular | ternary
@@ -129,6 +158,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "exact" => count::run_exact(&args)?,
         "sample" => sample::run_sample(&args)?,
         "serve" => serve::run_serve(&args)?,
+        "loadgen" => loadgen::run_loadgen(&args)?,
         "classify" => classify::run_classify(&args)?,
         "generate" => generate::run_generate(&args)?,
         "help" | "--help" | "-h" => USAGE.to_string(),

@@ -1,0 +1,255 @@
+//! The `loadgen` command: a deterministic closed-loop load generator for
+//! the TCP serving front end (see `cqc-net`).
+//!
+//! By default the command self-hosts a server on an ephemeral loopback
+//! port, drives it with the seeded request mix of `cqc_workloads::mix`,
+//! shuts it down gracefully, and reports throughput plus latency
+//! percentiles, writing the machine-readable report to `BENCH_serve.json`.
+//! `--connect ADDR` drives an already-running server instead.
+//!
+//! The per-run transcript (response lines in request order) is the
+//! determinism witness: two runs with the same `--seed` produce
+//! byte-identical transcripts whatever `--connections`, `--workers`,
+//! `--shards` or `--protocol` say. `--transcript PATH` saves it for
+//! comparison; CI diffs two runs on every push.
+
+use crate::common::approx_config;
+use crate::{Args, CliError};
+use cqc_net::loadgen::{bench_json, run_against, transcript_fingerprint, LoadgenOptions, Protocol};
+use cqc_net::{NetConfig, RunningServer};
+use cqc_serve::ServerConfig;
+use std::net::ToSocketAddrs;
+
+/// Run `cqc loadgen`.
+pub fn run_loadgen(args: &Args) -> Result<String, CliError> {
+    let cfg = approx_config(args)?;
+    let requests: usize = args.get_or("requests", 100)?;
+    if requests == 0 {
+        return Err(CliError::Usage("`--requests` must be at least 1".into()));
+    }
+    let connections: usize = args.get_or("connections", 4)?;
+    if connections == 0 {
+        return Err(CliError::Usage("`--connections` must be at least 1".into()));
+    }
+    let protocol = match args.value_of("protocol") {
+        None => Protocol::Http,
+        Some(raw) => Protocol::parse(raw).ok_or_else(|| {
+            CliError::Usage(format!("unknown protocol `{raw}` (expected http | ndjson)"))
+        })?,
+    };
+    let shards: Option<usize> =
+        match args.value_of("shards") {
+            None => None,
+            Some(raw) => Some(raw.parse().map_err(|e| {
+                CliError::Usage(format!("invalid value `{raw}` for `--shards`: {e}"))
+            })?),
+        };
+    if shards == Some(0) {
+        return Err(CliError::Usage("`--shards` must be at least 1".into()));
+    }
+    let method = args.value_of("method").map(str::to_string);
+    // The mix carries its own per-request accuracy defaults; explicit
+    // `--epsilon`/`--delta` override them for every request (passing the
+    // validated values through `approx_config`).
+    let accuracy = if args.value_of("epsilon").is_some() || args.value_of("delta").is_some() {
+        Some((cfg.epsilon, cfg.delta))
+    } else {
+        None
+    };
+    let options = LoadgenOptions {
+        requests,
+        connections,
+        seed: cfg.seed,
+        shards,
+        method,
+        accuracy,
+        protocol,
+    };
+
+    // Self-host unless `--connect` points at a running server.
+    let (report, hosted) = match args.value_of("connect") {
+        Some(raw) => {
+            let addr = raw
+                .to_socket_addrs()
+                .map_err(|e| CliError::Usage(format!("cannot resolve `{raw}`: {e}")))?
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("`{raw}` resolves to no address")))?;
+            let report = run_against(addr, &options)
+                .map_err(|e| CliError::Io(format!("loadgen against {addr}: {e}")))?;
+            (report, None)
+        }
+        None => {
+            let server = RunningServer::bind(
+                "127.0.0.1:0",
+                NetConfig {
+                    serve: ServerConfig {
+                        threads: cfg.threads,
+                        epsilon: cfg.epsilon,
+                        delta: cfg.delta,
+                        ..ServerConfig::default()
+                    },
+                    max_requests: None,
+                    ..NetConfig::default()
+                },
+            )
+            .map_err(|e| CliError::Io(format!("cannot bind loopback server: {e}")))?;
+            let addr = server.addr();
+            let report = run_against(addr, &options)
+                .map_err(|e| CliError::Io(format!("loadgen against {addr}: {e}")))?;
+            let served = server.shutdown();
+            (report, Some((addr, served)))
+        }
+    };
+
+    let bench_path = args.get_or("bench-out", "BENCH_serve.json".to_string())?;
+    std::fs::write(&bench_path, format!("{}\n", bench_json(&report)))
+        .map_err(|e| CliError::Io(format!("cannot write `{bench_path}`: {e}")))?;
+    let transcript_path = args.value_of("transcript").map(str::to_string);
+    if let Some(path) = &transcript_path {
+        std::fs::write(path, &report.transcript)
+            .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
+    }
+
+    let mut text = String::new();
+    if !args.switch("quiet") {
+        match hosted {
+            Some((addr, served)) => text.push_str(&format!(
+                "server      : self-hosted on {addr}, served {served} request(s)\n"
+            )),
+            None => text.push_str("server      : external (--connect)\n"),
+        }
+        text.push_str(&format!(
+            "loadgen     : {requests} request(s), {connections} connection(s), protocol={}, seed={}, shards={}, method={}\n",
+            options.protocol.name(),
+            options.seed,
+            options
+                .shards
+                .map_or("request-default".to_string(), |s| s.to_string()),
+            options.method.as_deref().unwrap_or("auto"),
+        ));
+        text.push_str(&format!(
+            "throughput  : {:.1} req/s over {:.3} s\n",
+            report.throughput_rps,
+            report.wall.as_secs_f64()
+        ));
+        text.push_str(&format!(
+            "latency_ms  : p50={:.3} p95={:.3} p99={:.3}\n",
+            report.p50_ms, report.p95_ms, report.p99_ms
+        ));
+        text.push_str(&format!(
+            "responses   : {} error(s), {} byte(s), transcript fnv1a {:016x}\n",
+            report.errors,
+            report.bytes_received,
+            transcript_fingerprint(&report.transcript)
+        ));
+        text.push_str(&format!("bench       : wrote {bench_path}\n"));
+        if let Some(path) = &transcript_path {
+            text.push_str(&format!("transcript  : wrote {path}\n"));
+        }
+    }
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args_from;
+    use std::path::PathBuf;
+
+    fn temp(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("cqc-cli-loadgen-{}-{name}", std::process::id()));
+        path
+    }
+
+    #[test]
+    fn loadgen_self_hosts_and_writes_reports() {
+        let bench = temp("bench.json");
+        let transcript = temp("transcript.ndjson");
+        let out = run_loadgen(
+            &args_from([
+                "loadgen",
+                "--requests",
+                "6",
+                "--connections",
+                "2",
+                "--seed",
+                "11",
+                "--method",
+                "exact",
+                "--bench-out",
+                bench.to_str().unwrap(),
+                "--transcript",
+                transcript.to_str().unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("loadgen     : 6 request(s)"), "{out}");
+        assert!(out.contains("responses   : 0 error(s)"), "{out}");
+        let bench_text = std::fs::read_to_string(&bench).unwrap();
+        assert!(
+            cqc_serve::json::parse(bench_text.trim()).is_ok(),
+            "{bench_text}"
+        );
+        let lines = std::fs::read_to_string(&transcript).unwrap();
+        assert_eq!(lines.lines().count(), 6);
+        std::fs::remove_file(bench).ok();
+        std::fs::remove_file(transcript).ok();
+    }
+
+    #[test]
+    fn same_seed_same_transcript_different_concurrency() {
+        let runs: Vec<String> = [("1", "a"), ("3", "b")]
+            .into_iter()
+            .map(|(connections, tag)| {
+                let transcript = temp(&format!("det-{tag}.ndjson"));
+                let bench = temp(&format!("det-{tag}-bench.json"));
+                run_loadgen(
+                    &args_from([
+                        "loadgen",
+                        "--requests",
+                        "8",
+                        "--connections",
+                        connections,
+                        "--seed",
+                        "99",
+                        "--method",
+                        "exact",
+                        "--protocol",
+                        if tag == "a" { "http" } else { "ndjson" },
+                        "--bench-out",
+                        bench.to_str().unwrap(),
+                        "--transcript",
+                        transcript.to_str().unwrap(),
+                        "--quiet",
+                    ])
+                    .unwrap(),
+                )
+                .unwrap();
+                let text = std::fs::read_to_string(&transcript).unwrap();
+                std::fs::remove_file(&transcript).ok();
+                std::fs::remove_file(&bench).ok();
+                text
+            })
+            .collect();
+        assert_eq!(
+            runs[0], runs[1],
+            "transcripts drifted across connections/protocol"
+        );
+    }
+
+    #[test]
+    fn invalid_options_are_usage_errors() {
+        for bad in [
+            vec!["loadgen", "--requests", "0"],
+            vec!["loadgen", "--connections", "0"],
+            vec!["loadgen", "--protocol", "smoke-signals"],
+            vec!["loadgen", "--shards", "0"],
+            vec!["loadgen", "--connect", "not-an-address"],
+        ] {
+            let err = run_loadgen(&args_from(bad.clone()).unwrap()).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?} -> {err}");
+        }
+    }
+}

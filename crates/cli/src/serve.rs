@@ -15,6 +15,7 @@
 
 use crate::common::approx_config;
 use crate::{Args, CliError};
+use cqc_net::{NetConfig, RunningServer};
 use cqc_serve::{Server, ServerConfig};
 
 /// Run `cqc serve`.
@@ -24,13 +25,22 @@ pub fn run_serve(args: &Args) -> Result<String, CliError> {
     if shards == 0 {
         return Err(CliError::Usage("`--shards` must be at least 1".into()));
     }
-    let server = Server::new(ServerConfig {
+    let plan_cache: usize = args.get_or("plan-cache", 64)?;
+    if plan_cache == 0 {
+        return Err(CliError::Usage("`--plan-cache` must be at least 1".into()));
+    }
+    let server_config = ServerConfig {
         shards,
         threads: cfg.threads,
         epsilon: cfg.epsilon,
         delta: cfg.delta,
         seed: cfg.seed,
-    });
+        plan_cache_capacity: plan_cache,
+    };
+    if let Some(listen) = args.value_of("listen") {
+        return run_listen(args, listen, server_config);
+    }
+    let server = Server::new(server_config);
 
     let mut text;
     let served = match args.value_of("requests") {
@@ -62,6 +72,74 @@ pub fn run_serve(args: &Args) -> Result<String, CliError> {
         text.push_str(&format!(
             "served      : {served} request(s), {} cached plan(s), shards={shards}\n",
             server.cached_plans()
+        ));
+    }
+    Ok(text)
+}
+
+/// `cqc serve --listen ADDR`: the TCP front end (HTTP/1.1 + raw NDJSON on
+/// one port, see `cqc-net`). Blocks until a *line* arrives on stdin — the
+/// command's "signal pipe": interactive users press Enter, supervisors
+/// `echo stop > the-fifo` — or until `--max-requests` is reached; either
+/// way the shutdown is graceful (in-flight requests finish). Plain EOF is
+/// deliberately not a signal, so a detached server with stdin closed
+/// (`< /dev/null`) keeps running until killed.
+fn run_listen(args: &Args, listen: &str, server_config: ServerConfig) -> Result<String, CliError> {
+    let max_requests = match args.value_of("max-requests") {
+        None => None,
+        Some(raw) => {
+            let n: u64 = raw.parse().map_err(|e| {
+                CliError::Usage(format!("invalid value `{raw}` for `--max-requests`: {e}"))
+            })?;
+            if n == 0 {
+                return Err(CliError::Usage(
+                    "`--max-requests` must be at least 1".into(),
+                ));
+            }
+            Some(n)
+        }
+    };
+    let addr_file = args.value_of("addr-file").map(str::to_string);
+    let server = RunningServer::bind(
+        listen,
+        NetConfig {
+            serve: server_config,
+            max_requests,
+            ..NetConfig::default()
+        },
+    )
+    .map_err(|e| CliError::Io(format!("cannot listen on `{listen}`: {e}")))?;
+    let addr = server.addr();
+    if let Some(path) = addr_file {
+        std::fs::write(&path, format!("{addr}\n"))
+            .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
+    }
+    // The readiness line goes to stderr immediately (stdout carries the
+    // final report only after shutdown).
+    eprintln!("cqc serve: listening on {addr} (http + ndjson); send a line to stdin to shut down");
+    let handle = server.handle();
+    // The signal pipe: a detached reader signals graceful shutdown when a
+    // line arrives on stdin (`echo stop > the-fifo`). Plain EOF — a closed
+    // stdin, e.g. `< /dev/null` on a detached server — is deliberately
+    // *not* a signal, so daemonised servers run until killed or until
+    // `--max-requests` fires (in which case the process exits and takes
+    // this thread with it).
+    std::thread::Builder::new()
+        .name("cqc-serve-signal-pipe".into())
+        .spawn(move || {
+            let stdin = std::io::stdin();
+            let mut line = String::new();
+            match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+                Ok(0) | Err(_) => {} // EOF/unreadable: park, never signal
+                Ok(_) => handle.signal(),
+            }
+        })
+        .map_err(|e| CliError::Io(format!("cannot spawn the signal-pipe thread: {e}")))?;
+    let served = server.wait();
+    let mut text = String::new();
+    if !args.switch("quiet") {
+        text.push_str(&format!(
+            "served      : {served} request(s) on {addr} (http + ndjson)\n"
         ));
     }
     Ok(text)
@@ -147,6 +225,73 @@ E 5 0
     fn zero_shards_is_a_usage_error() {
         let err = run_serve(&args_from(["serve", "--shards", "0"]).unwrap()).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
+        let err = run_serve(&args_from(["serve", "--plan-cache", "0"]).unwrap()).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        let err = run_serve(
+            &args_from(["serve", "--listen", "127.0.0.1:0", "--max-requests", "0"]).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn listen_mode_serves_tcp_and_honours_max_requests() {
+        use std::io::{BufRead, BufReader, Write};
+
+        let addr_file = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("cqc-cli-serve-listen-{}.addr", std::process::id()));
+            p
+        };
+        std::fs::remove_file(&addr_file).ok();
+        let addr_file_arg = addr_file.to_str().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            run_serve(
+                &args_from([
+                    "serve",
+                    "--listen",
+                    "127.0.0.1:0",
+                    "--max-requests",
+                    "2",
+                    "--addr-file",
+                    &addr_file_arg,
+                ])
+                .unwrap(),
+            )
+            .unwrap()
+        });
+        // wait (bounded) for the readiness file, then drive the server
+        // over raw NDJSON; the deadline turns a wedged server thread into
+        // a test failure instead of a suite hang
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if text.trim().parse::<std::net::SocketAddr>().is_ok() {
+                    break text.trim().to_string();
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never wrote its addr file"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for id in [1u32, 2] {
+            let line = format!(
+                r#"{{"id": {id}, "query": "ans(x) :- E(x, y), E(x, z), y != z", "dbs": ["universe 4\nrelation E 2\nE 0 1\nE 0 2\nE 3 1\nE 3 2\n"], "seed": 7, "method": "exact"}}"#
+            );
+            stream.write_all(line.as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            assert!(response.contains("\"estimate\":2,"), "{response}");
+        }
+        // --max-requests 2 reached: the server shuts down by itself
+        let out = server.join().unwrap();
+        assert!(out.contains("served      : 2 request(s)"), "{out}");
+        std::fs::remove_file(&addr_file).ok();
     }
 
     #[test]

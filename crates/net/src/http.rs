@@ -1,0 +1,403 @@
+//! A minimal HTTP/1.1 layer: request parsing (request line, headers,
+//! `Content-Length` bodies) and response writing (fixed-length and chunked),
+//! built on `std::io` only.
+//!
+//! Scope is deliberately narrow — exactly what the serving front end needs:
+//! `GET`/`POST`, keep-alive, `Content-Length` request bodies (no request
+//! chunking, no trailers, no TLS). Hard limits bound what an unauthenticated
+//! peer can make the server buffer.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Upper bound on the request line and on each header line, in bytes.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Upper bound on the number of headers per request.
+pub const MAX_HEADERS: usize = 64;
+/// Upper bound on a request body, in bytes. Requests carry inline facts
+/// texts, so the bound is generous but still finite.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// An HTTP parsing/IO failure; rendered into a `400` (or a closed
+/// connection when the stream is already unusable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The peer closed the connection mid-request.
+    UnexpectedEof,
+    /// The request violates the grammar or a hard limit.
+    Malformed(String),
+    /// Reading from or writing to the socket failed.
+    Io(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::UnexpectedEof => write!(f, "connection closed mid-request"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::Io(m) => write!(f, "http io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A parsed HTTP request. Header names are lowercased on parse; values keep
+/// their bytes (trimmed of surrounding whitespace).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The method verb, uppercase as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target (path plus optional query string).
+    pub target: String,
+    /// The protocol version (`HTTP/1.1` or `HTTP/1.0`).
+    pub version: String,
+    /// `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Does the peer want the connection kept open after this exchange?
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        let connection = self
+            .header("connection")
+            .map(|v| v.to_ascii_lowercase())
+            .unwrap_or_default();
+        if self.version == "HTTP/1.0" {
+            connection == "keep-alive"
+        } else {
+            connection != "close"
+        }
+    }
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line, enforcing
+/// [`MAX_LINE_BYTES`]. `Ok(None)` means clean EOF before any byte.
+fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::UnexpectedEof);
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    return String::from_utf8(buf)
+                        .map(Some)
+                        .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()));
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE_BYTES {
+                    return Err(HttpError::Malformed(format!(
+                        "line exceeds {MAX_LINE_BYTES} bytes"
+                    )));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+    }
+}
+
+/// Read and parse one request, writing the interim `100 Continue` response
+/// to `writer` when the client asked for one (`Expect: 100-continue` —
+/// curl sends it for bodies over ~1 KiB and waits before transmitting the
+/// body, so not answering would stall every such request). `Ok(None)`
+/// signals a cleanly closed connection (EOF between requests — the normal
+/// end of keep-alive).
+pub fn read_request<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+) -> Result<Option<Request>, HttpError> {
+    let line = match read_line(reader)? {
+        None => return Ok(None),
+        Some(line) => line,
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => {
+            (m.to_string(), t.to_string(), v.to_string())
+        }
+        _ => return Err(HttpError::Malformed(format!("bad request line `{line}`"))),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?.ok_or(HttpError::UnexpectedEof)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() == MAX_HEADERS {
+            return Err(HttpError::Malformed(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut request = Request {
+        method,
+        target,
+        version,
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(raw) = request.header("transfer-encoding") {
+        return Err(HttpError::Malformed(format!(
+            "transfer-encoding `{raw}` not supported for request bodies (send Content-Length)"
+        )));
+    }
+    if let Some(raw) = request.header("expect") {
+        if !raw.eq_ignore_ascii_case("100-continue") {
+            return Err(HttpError::Malformed(format!(
+                "unsupported expectation `{raw}`"
+            )));
+        }
+        writer
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .and_then(|()| writer.flush())
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+    }
+    if let Some(raw) = request.header("content-length") {
+        let len: usize = raw
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length `{raw}`")))?;
+        if len > MAX_BODY_BYTES {
+            return Err(HttpError::Malformed(format!(
+                "body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            )));
+        }
+        let mut body = vec![0u8; len];
+        std::io::Read::read_exact(reader, &mut body).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                HttpError::UnexpectedEof
+            } else {
+                HttpError::Io(e.to_string())
+            }
+        })?;
+        request.body = body;
+    }
+    Ok(Some(request))
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Write a fixed-length response. The bytes on the wire are a pure function
+/// of the arguments — header order and formatting are fixed — so response
+/// determinism reduces to body determinism.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{}\r\n",
+        reason(status),
+        body.len(),
+        if close { "Connection: close\r\n" } else { "" },
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Write the head of a chunked response (the streaming NDJSON endpoint).
+pub fn write_chunked_head<W: Write>(
+    writer: &mut W,
+    content_type: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\n{}\r\n",
+        if close { "Connection: close\r\n" } else { "" },
+    )
+}
+
+/// Write one chunk and flush it, so a closed-loop client sees each
+/// response line as soon as it is computed.
+pub fn write_chunk<W: Write>(writer: &mut W, chunk: &[u8]) -> std::io::Result<()> {
+    if chunk.is_empty() {
+        return Ok(());
+    }
+    write!(writer, "{:x}\r\n", chunk.len())?;
+    writer.write_all(chunk)?;
+    writer.write_all(b"\r\n")?;
+    writer.flush()
+}
+
+/// Terminate a chunked response.
+pub fn finish_chunks<W: Write>(writer: &mut W) -> std::io::Result<()> {
+    writer.write_all(b"0\r\n\r\n")?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(text.as_bytes()), &mut Vec::new())
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse("POST /count HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbodyEXTRA")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/count");
+        assert_eq!(req.body, b"body");
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn connection_close_and_http10_defaults() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive());
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive());
+        let req = parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_a_clean_none() {
+        assert_eq!(parse("").unwrap().map(|r| r.method), None);
+    }
+
+    #[test]
+    fn expect_100_continue_gets_the_interim_response_before_the_body() {
+        let mut interim = Vec::new();
+        let req = read_request(
+            &mut BufReader::new(
+                "POST / HTTP/1.1\r\nExpect: 100-Continue\r\nContent-Length: 4\r\n\r\nbody"
+                    .as_bytes(),
+            ),
+            &mut interim,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.body, b"body");
+        assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+        // other expectations are rejected, and no interim bytes are sent
+        let mut interim = Vec::new();
+        let err = read_request(
+            &mut BufReader::new("POST / HTTP/1.1\r\nExpect: teapot\r\n\r\n".as_bytes()),
+            &mut interim,
+        )
+        .unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "{err}");
+        assert!(interim.is_empty());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "GET\r\n\r\n",
+            "GET / HTTP/2\r\n\r\n",
+            "GET / HTTP/1.1\r\nno-colon\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: zap\r\n\r\n",
+            "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            assert!(matches!(parse(bad), Err(HttpError::Malformed(_))), "{bad}");
+        }
+        // body larger than advertised input: unexpected EOF
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn oversized_inputs_are_bounded() {
+        let long = "A".repeat(MAX_LINE_BYTES + 2);
+        assert!(matches!(
+            parse(&format!("GET /{long} HTTP/1.1\r\n\r\n")),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(&format!(
+                "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn responses_render_deterministically() {
+        let mut a = Vec::new();
+        write_response(&mut a, 200, "application/json", b"{\"x\":1}", false).unwrap();
+        let text = String::from_utf8(a).unwrap();
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 7\r\n\r\n{\"x\":1}"
+        );
+        let mut b = Vec::new();
+        write_response(&mut b, 404, "text/plain", b"nope", true).unwrap();
+        assert!(String::from_utf8(b).unwrap().contains("Connection: close"));
+    }
+
+    #[test]
+    fn chunked_responses_render_correctly() {
+        let mut out = Vec::new();
+        write_chunked_head(&mut out, "application/x-ndjson", false).unwrap();
+        write_chunk(&mut out, b"{\"id\":0}\n").unwrap();
+        write_chunk(&mut out, b"").unwrap();
+        write_chunk(&mut out, b"{\"id\":1}\n").unwrap();
+        finish_chunks(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(!text.contains("Connection: close"));
+        assert!(text.ends_with("9\r\n{\"id\":0}\n\r\n9\r\n{\"id\":1}\n\r\n0\r\n\r\n"));
+        let mut closing = Vec::new();
+        write_chunked_head(&mut closing, "application/x-ndjson", true).unwrap();
+        assert!(String::from_utf8(closing)
+            .unwrap()
+            .contains("Connection: close\r\n"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # cqc-net — the std-only network front end
+//!
+//! Puts real traffic on the sharded counting server of `cqc-serve`: a
+//! threaded TCP accept loop that speaks **HTTP/1.1** (`POST /count`, a
+//! streaming-NDJSON `POST /stream`, `GET /healthz`, `GET /metrics`) and the
+//! **raw NDJSON** protocol of `cqc serve` on the same port (first-byte
+//! sniff), plus a deterministic closed-loop **load generator** that drives
+//! the server over loopback and reports throughput and latency
+//! percentiles.
+//!
+//! The workspace has no crates.io access, so everything here — HTTP
+//! parsing, metrics, the client — is built on `std::net` and `std::io`
+//! alone.
+//!
+//! The design constraint inherited from the rest of the workspace is
+//! **determinism over the wire**: response bodies are byte-identical
+//! regardless of connection interleaving, client concurrency, worker-pool
+//! width, or shard count, because every request carries its own seed and
+//! all merges are index-ordered. `tests/wire_determinism.rs` pins the
+//! matrix; `GET /metrics` exposes the observation side (latency, cache
+//! hit rates) that *is* allowed to vary.
+//!
+//! ```no_run
+//! use cqc_net::{NetConfig, RunningServer};
+//! use cqc_net::loadgen::{run_against, LoadgenOptions};
+//!
+//! let server = RunningServer::bind("127.0.0.1:0", NetConfig::default()).unwrap();
+//! let report = run_against(server.addr(), &LoadgenOptions::default()).unwrap();
+//! println!("{:.0} req/s, p99 {:.2} ms", report.throughput_rps, report.p99_ms);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+
+pub use loadgen::{bench_json, run_against, LoadReport, LoadgenOptions, Protocol};
+pub use metrics::Metrics;
+pub use server::{NetConfig, RunningServer, ShutdownHandle};

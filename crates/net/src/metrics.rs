@@ -1,0 +1,235 @@
+//! Serving metrics: relaxed atomic counters plus a fixed-bucket latency
+//! histogram, rendered in the Prometheus text exposition format by
+//! `GET /metrics`.
+//!
+//! Everything here is observation-only — counters are updated with relaxed
+//! ordering off the hot path and can never influence a response body, so
+//! the wire-determinism contract is untouched.
+
+use cqc_serve::StatsSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds of the latency histogram buckets, in nanoseconds
+/// (≈ log-spaced from 100 µs to 10 s, plus the implicit `+Inf`).
+pub const LATENCY_BUCKET_BOUNDS_NANOS: &[u64] = &[
+    100_000,        // 100 µs
+    316_000,        // 316 µs
+    1_000_000,      // 1 ms
+    3_160_000,      // 3.16 ms
+    10_000_000,     // 10 ms
+    31_600_000,     // 31.6 ms
+    100_000_000,    // 100 ms
+    316_000_000,    // 316 ms
+    1_000_000_000,  // 1 s
+    3_160_000_000,  // 3.16 s
+    10_000_000_000, // 10 s
+];
+
+/// A fixed-bucket cumulative histogram of request latencies.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>, // one per bound, plus +Inf
+    sum_nanos: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: (0..=LATENCY_BUCKET_BOUNDS_NANOS.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            sum_nanos: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn record(&self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        let slot = LATENCY_BUCKET_BOUNDS_NANOS
+            .iter()
+            .position(|&bound| nanos <= bound)
+            .unwrap_or(LATENCY_BUCKET_BOUNDS_NANOS.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Render the histogram in Prometheus text format under `name`.
+    fn render(&self, name: &str, out: &mut String) {
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, &bound) in LATENCY_BUCKET_BOUNDS_NANOS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                bound as f64 / 1e9
+            ));
+        }
+        cumulative += self.buckets[LATENCY_BUCKET_BOUNDS_NANOS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!(
+            "{name}_sum {}\n",
+            self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+        ));
+        out.push_str(&format!("{name}_count {cumulative}\n"));
+    }
+}
+
+/// The network layer's own counters (the serve-layer counters — requests,
+/// plan cache, work items — live in `cqc_serve::Server` and are merged in
+/// at render time).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// TCP connections accepted.
+    pub connections: AtomicU64,
+    /// HTTP requests parsed (any endpoint).
+    pub http_requests: AtomicU64,
+    /// Raw NDJSON lines served over sniffed TCP connections.
+    pub ndjson_lines: AtomicU64,
+    /// HTTP responses by coarse status class.
+    pub responses_2xx: AtomicU64,
+    /// 4xx responses (bad requests, unknown endpoints).
+    pub responses_4xx: AtomicU64,
+    /// Count-request handling latency (both protocols).
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Bump a status-class counter for an HTTP response.
+    pub fn observe_status(&self, status: u16) {
+        if (200..300).contains(&status) {
+            self.responses_2xx.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.responses_4xx.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Render every metric — net-layer counters, the merged serve-layer
+    /// snapshot, and the latency histogram — in Prometheus text format.
+    pub fn render_prometheus(&self, serve: &StatsSnapshot) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        counter(
+            "cqc_connections_total",
+            "TCP connections accepted",
+            self.connections.load(Ordering::Relaxed),
+        );
+        counter(
+            "cqc_http_requests_total",
+            "HTTP requests parsed",
+            self.http_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "cqc_ndjson_lines_total",
+            "raw NDJSON lines served over TCP",
+            self.ndjson_lines.load(Ordering::Relaxed),
+        );
+        counter(
+            "cqc_http_responses_2xx_total",
+            "HTTP responses with a 2xx status",
+            self.responses_2xx.load(Ordering::Relaxed),
+        );
+        counter(
+            "cqc_http_responses_4xx_total",
+            "HTTP responses with a 4xx status",
+            self.responses_4xx.load(Ordering::Relaxed),
+        );
+        counter(
+            "cqc_serve_requests_total",
+            "count requests handled by the serving core",
+            serve.requests,
+        );
+        counter(
+            "cqc_serve_request_errors_total",
+            "count requests answered with an error",
+            serve.errors,
+        );
+        counter(
+            "cqc_shard_work_items_total",
+            "work items (databases) evaluated across all requests",
+            serve.work_items,
+        );
+        counter(
+            "cqc_plan_cache_hits_total",
+            "requests served from the prepared-plan cache",
+            serve.plan_cache_hits,
+        );
+        counter(
+            "cqc_plan_cache_misses_total",
+            "requests that prepared a new plan",
+            serve.plan_cache_misses,
+        );
+        counter(
+            "cqc_plan_cache_evictions_total",
+            "plans evicted by the LRU capacity bound",
+            serve.plan_cache_evictions,
+        );
+        self.latency.render("cqc_request_latency_seconds", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(50)); // below first bound
+        h.record(Duration::from_millis(2)); // 3.16 ms bucket
+        h.record(Duration::from_secs(60)); // +Inf
+        assert_eq!(h.count(), 3);
+        let mut out = String::new();
+        h.render("lat", &mut out);
+        assert!(out.contains("lat_bucket{le=\"0.0001\"} 1\n"), "{out}");
+        assert!(out.contains("lat_bucket{le=\"0.00316\"} 2\n"), "{out}");
+        assert!(out.contains("lat_bucket{le=\"+Inf\"} 3\n"), "{out}");
+        assert!(out.contains("lat_count 3\n"), "{out}");
+    }
+
+    #[test]
+    fn prometheus_rendering_includes_serve_counters() {
+        let m = Metrics::default();
+        m.connections.fetch_add(2, Ordering::Relaxed);
+        m.observe_status(200);
+        m.observe_status(404);
+        let serve = StatsSnapshot {
+            requests: 7,
+            errors: 1,
+            work_items: 12,
+            plan_cache_hits: 5,
+            plan_cache_misses: 2,
+            plan_cache_evictions: 1,
+        };
+        let text = m.render_prometheus(&serve);
+        for needle in [
+            "cqc_connections_total 2",
+            "cqc_http_responses_2xx_total 1",
+            "cqc_http_responses_4xx_total 1",
+            "cqc_serve_requests_total 7",
+            "cqc_serve_request_errors_total 1",
+            "cqc_shard_work_items_total 12",
+            "cqc_plan_cache_hits_total 5",
+            "cqc_plan_cache_misses_total 2",
+            "cqc_plan_cache_evictions_total 1",
+            "# TYPE cqc_request_latency_seconds histogram",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+}

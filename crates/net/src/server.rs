@@ -1,0 +1,588 @@
+//! The network front end: a threaded TCP server that speaks HTTP/1.1 *and*
+//! raw newline-delimited JSON on one port, wrapping the sharded counting
+//! core of `cqc_serve::Server`.
+//!
+//! ## Protocol sniffing
+//!
+//! The first byte of a connection decides its protocol: `{` means the peer
+//! is speaking the raw NDJSON request protocol of `cqc serve` (one JSON
+//! request per line, one JSON response per line); anything else is parsed
+//! as HTTP/1.1. No HTTP method starts with `{`, so the sniff is exact.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Behaviour |
+//! |---|---|
+//! | `POST /count` | one serve-protocol JSON request in the body; JSON response (HTTP 400 for `error` responses, body identical to NDJSON mode) |
+//! | `POST /stream` | NDJSON request lines in the body; chunked NDJSON response, one chunk per response line |
+//! | `GET /healthz` | `{"status":"ok"}` |
+//! | `GET /metrics` | Prometheus text: request/plan-cache/shard counters + latency histogram |
+//!
+//! ## Determinism over TCP
+//!
+//! Response *bodies* are byte-identical regardless of connection
+//! interleaving, client concurrency, worker-pool width, or shard count:
+//! every request carries its own seed, work item `i` always runs under
+//! `split_seed(seed, i)`, and merges are index-ordered (see `cqc-serve`).
+//! The network layer adds nothing nondeterministic around the body — HTTP
+//! headers are a fixed function of the body — so transcript comparison is
+//! exact. `tests/wire_determinism.rs` pins the full matrix.
+//!
+//! ## Graceful shutdown
+//!
+//! [`ShutdownHandle::signal`] (or reaching `max_requests`) sets a flag and
+//! wakes the accept loop with a loopback connection. Connections finish
+//! their in-flight request, the accept thread joins every connection
+//! thread, and [`RunningServer::wait`]/[`RunningServer::shutdown`] return
+//! the total number of count requests served.
+
+use crate::http::{
+    finish_chunks, read_request, write_chunk, write_chunked_head, write_response, HttpError,
+};
+use crate::metrics::Metrics;
+use cqc_serve::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often idle connections and the wait loops poll the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Default cap on concurrent connections (see [`NetConfig::max_connections`]).
+pub const DEFAULT_MAX_CONNECTIONS: usize = 256;
+
+/// Default idle-read deadline (see [`NetConfig::idle_timeout`]).
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Configuration of the network front end.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Defaults for the wrapped serving core (accuracy, seed, shards,
+    /// plan-cache capacity).
+    pub serve: ServerConfig,
+    /// Stop accepting and shut down gracefully after this many count
+    /// requests (`None` = run until signalled). Smoke tests and the CLI's
+    /// `--max-requests` use this.
+    pub max_requests: Option<u64>,
+    /// Cap on concurrent connections (each costs an OS thread). Excess
+    /// connections are accepted and immediately closed — the TCP analogue
+    /// of a full listen backlog — so one peer cannot pin unbounded threads
+    /// and per-connection buffers. `0` means the default.
+    pub max_connections: usize,
+    /// Close a connection when no bytes arrive for this long — idle
+    /// keep-alive peers *and* slowloris-style stalled requests both
+    /// expire, so the [`NetConfig::max_connections`] slots they occupy are
+    /// recovered instead of being pinned until shutdown. Zero means the
+    /// default.
+    pub idle_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            serve: ServerConfig::default(),
+            max_requests: None,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
+        }
+    }
+}
+
+/// State shared by the accept loop, every connection thread, and the
+/// shutdown handle.
+struct Shared {
+    serve: Server,
+    metrics: Metrics,
+    stopping: AtomicBool,
+    served: AtomicU64,
+    max_requests: Option<u64>,
+    max_connections: usize,
+    active_connections: AtomicU64,
+    idle_timeout: Duration,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::Relaxed)
+    }
+
+    /// Set the stop flag and wake the accept loop.
+    fn signal(&self) {
+        self.stopping.store(true, Ordering::Relaxed);
+        // A loopback connection unblocks `accept`; errors are irrelevant
+        // (the listener may already be gone). Wildcard binds (0.0.0.0 /
+        // [::]) are not connectable addresses, so the wake-up targets the
+        // loopback of the same family with the bound port.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+    }
+
+    /// Count one served count-request; trigger shutdown at the limit.
+    fn count_served(&self) {
+        let served = self.served.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(max) = self.max_requests {
+            if served >= max {
+                self.signal();
+            }
+        }
+    }
+}
+
+/// A handle that triggers graceful shutdown from another thread (the CLI
+/// wires it to a line arriving on stdin — its "signal pipe" — and tests
+/// call it directly).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Begin graceful shutdown: stop accepting, let in-flight requests
+    /// finish, close idle keep-alive connections.
+    pub fn signal(&self) {
+        self.shared.signal();
+    }
+}
+
+/// A bound, running network server.
+pub struct RunningServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl RunningServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// the accept loop.
+    pub fn bind(addr: &str, config: NetConfig) -> std::io::Result<RunningServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            serve: Server::new(config.serve),
+            metrics: Metrics::default(),
+            stopping: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            max_requests: config.max_requests,
+            max_connections: if config.max_connections == 0 {
+                DEFAULT_MAX_CONNECTIONS
+            } else {
+                config.max_connections
+            },
+            active_connections: AtomicU64::new(0),
+            idle_timeout: if config.idle_timeout.is_zero() {
+                DEFAULT_IDLE_TIMEOUT
+            } else {
+                config.idle_timeout
+            },
+            addr: local,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("cqc-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(RunningServer {
+            addr: local,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A cloneable shutdown handle.
+    pub fn handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Count requests served so far.
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Number of prepared plans currently cached by the serving core.
+    pub fn cached_plans(&self) -> usize {
+        self.shared.serve.cached_plans()
+    }
+
+    /// Signal shutdown and wait for the accept loop and every connection
+    /// to finish. Returns the total count requests served.
+    pub fn shutdown(mut self) -> u64 {
+        self.shared.signal();
+        if let Some(handle) = self.accept.take() {
+            handle.join().expect("accept thread panicked");
+        }
+        self.served()
+    }
+
+    /// Wait until the server shuts down on its own (`max_requests`
+    /// reached, or another holder of the handle signalled). Returns the
+    /// total count requests served.
+    pub fn wait(mut self) -> u64 {
+        if let Some(handle) = self.accept.take() {
+            handle.join().expect("accept thread panicked");
+        }
+        self.served()
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            self.shared.signal();
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stopping() {
+                    break;
+                }
+                // Back off briefly: persistent accept errors (fd
+                // exhaustion under load, say) must not busy-spin a core —
+                // sleeping also gives connection threads a chance to
+                // finish and release descriptors.
+                std::thread::sleep(POLL_INTERVAL);
+                continue;
+            }
+        };
+        if shared.stopping() {
+            break; // the wake-up connection (or a raced late client)
+        }
+        // Concurrency cap: each connection costs an OS thread (plus up to
+        // one buffered request body), so excess connections are closed
+        // immediately — the TCP analogue of a full listen backlog.
+        if shared.active_connections.load(Ordering::Relaxed) >= shared.max_connections as u64 {
+            drop(stream);
+            continue;
+        }
+        shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        shared.active_connections.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("cqc-net-conn".into())
+            .spawn(move || {
+                // Decrements even if the handler panics, so a wedged
+                // counter can never starve the accept loop.
+                struct ActiveGuard<'a>(&'a Shared);
+                impl Drop for ActiveGuard<'_> {
+                    fn drop(&mut self) {
+                        self.0.active_connections.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                let _guard = ActiveGuard(&conn_shared);
+                let _ = handle_connection(stream, &conn_shared);
+            });
+        match spawned {
+            Ok(handle) => connections.push(handle),
+            Err(_) => {
+                // The spawn never ran, so the guard never will either.
+                shared.active_connections.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        // Reap finished connection threads so the vector stays bounded on
+        // long-running servers.
+        connections.retain(|h| !h.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// A `Read` adapter over the connection socket. The socket carries a
+/// permanent short read timeout ([`POLL_INTERVAL`]); every timeout
+/// re-checks the shutdown flag (and an idle deadline) and retries, so
+/// blocking reads are effectively "block until bytes, EOF, error,
+/// shutdown, or idle expiry". This is what makes graceful shutdown robust
+/// against *stalled* peers — a client that sends half a request and parks
+/// cannot pin its connection thread past the idle timeout, let alone
+/// forever — and what stops idle peers from permanently occupying
+/// [`NetConfig::max_connections`] slots.
+struct PollingStream<'a> {
+    stream: TcpStream,
+    shared: &'a Shared,
+    /// Reset after every successful read; a read that stays byte-less
+    /// past `shared.idle_timeout` fails with `TimedOut`.
+    last_activity: Instant,
+}
+
+impl std::io::Read for PollingStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            if self.shared.stopping() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "server shutting down",
+                ));
+            }
+            if self.last_activity.elapsed() > self.shared.idle_timeout {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "idle connection expired",
+                ));
+            }
+            match std::io::Read::read(&mut self.stream, buf) {
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                result => {
+                    if result.is_ok() {
+                        self.last_activity = Instant::now();
+                    }
+                    return result;
+                }
+            }
+        }
+    }
+}
+
+/// Peek the first byte of the connection to decide its protocol: `None`
+/// means the peer closed (or the server is stopping, or the peer sat idle
+/// past the deadline) before sending any.
+fn first_byte(reader: &mut BufReader<PollingStream<'_>>) -> std::io::Result<Option<u8>> {
+    if let Some(&byte) = reader.buffer().first() {
+        return Ok(Some(byte));
+    }
+    let mut byte = [0u8; 1];
+    loop {
+        let polling = reader.get_ref();
+        if polling.shared.stopping() {
+            return Ok(None);
+        }
+        if polling.last_activity.elapsed() > polling.shared.idle_timeout {
+            return Ok(None);
+        }
+        match polling.stream.peek(&mut byte) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(byte[0])),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let writer_stream = stream.try_clone()?;
+    let mut reader = BufReader::new(PollingStream {
+        stream,
+        shared,
+        last_activity: Instant::now(),
+    });
+    let mut writer = BufWriter::new(writer_stream);
+    match first_byte(&mut reader)? {
+        Some(b'{') => serve_ndjson(&mut reader, &mut writer, shared),
+        Some(_) => serve_http(&mut reader, &mut writer, shared),
+        None => Ok(()),
+    }
+}
+
+/// The raw NDJSON protocol: one request line in, one response line out,
+/// until EOF or shutdown. Lines are bounded like HTTP bodies
+/// ([`crate::http::MAX_BODY_BYTES`]): a peer streaming bytes with no
+/// newline gets an error response and a closed connection instead of an
+/// unbounded buffer.
+fn serve_ndjson(
+    reader: &mut BufReader<PollingStream<'_>>,
+    writer: &mut BufWriter<TcpStream>,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    const MAX_LINE: usize = crate::http::MAX_BODY_BYTES;
+    loop {
+        if shared.stopping() {
+            return Ok(());
+        }
+        let mut line = String::new();
+        if std::io::Read::take(&mut *reader, MAX_LINE as u64 + 1).read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        if line.len() > MAX_LINE && !line.ends_with('\n') {
+            // over-long line: no way to resync on this stream — answer
+            // with a protocol error and close
+            let body = error_body(&format!("request line exceeds {MAX_LINE} bytes"));
+            writer.write_all(body.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            return Ok(());
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.metrics.ndjson_lines.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let (response, _) = shared
+            .serve
+            .handle_line_classified(line.trim_end_matches('\n'));
+        shared.metrics.latency.record(start.elapsed());
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        shared.count_served();
+    }
+}
+
+/// The HTTP/1.1 protocol: parse requests, dispatch endpoints, keep-alive.
+fn serve_http(
+    reader: &mut BufReader<PollingStream<'_>>,
+    writer: &mut BufWriter<TcpStream>,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    loop {
+        if shared.stopping() {
+            return Ok(());
+        }
+        let request = match read_request(reader, writer) {
+            Ok(None) | Err(HttpError::UnexpectedEof) => return Ok(()),
+            Ok(Some(request)) => request,
+            Err(HttpError::Io(_)) => return Ok(()),
+            Err(HttpError::Malformed(m)) => {
+                shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+                let body = error_body(&m);
+                shared.metrics.observe_status(400);
+                write_response(writer, 400, "application/json", body.as_bytes(), true)?;
+                return Ok(());
+            }
+        };
+        shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+        let keep_alive = request.keep_alive() && !shared.stopping();
+        let close = !keep_alive;
+        let path = request.target.split('?').next().unwrap_or("");
+        match (request.method.as_str(), path) {
+            ("POST", "/count") => {
+                let (status, body) = match std::str::from_utf8(&request.body) {
+                    Err(_) => (400, error_body("request body is not UTF-8")),
+                    Ok(text) => {
+                        let start = Instant::now();
+                        let (body, is_error) = shared.serve.handle_line_classified(text.trim());
+                        shared.metrics.latency.record(start.elapsed());
+                        shared.count_served();
+                        (if is_error { 400 } else { 200 }, body)
+                    }
+                };
+                shared.metrics.observe_status(status);
+                write_response(writer, status, "application/json", body.as_bytes(), close)?;
+            }
+            ("POST", "/stream") => match std::str::from_utf8(&request.body) {
+                Err(_) => {
+                    let body = error_body("request body is not UTF-8");
+                    shared.metrics.observe_status(400);
+                    write_response(writer, 400, "application/json", body.as_bytes(), close)?;
+                }
+                Ok(text) if request.version == "HTTP/1.0" => {
+                    // HTTP/1.0 predates chunked encoding: buffer the
+                    // response lines and send them length-delimited.
+                    let mut body = String::new();
+                    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                        let start = Instant::now();
+                        let (response, _) = shared.serve.handle_line_classified(line);
+                        shared.metrics.latency.record(start.elapsed());
+                        shared.count_served();
+                        body.push_str(&response);
+                        body.push('\n');
+                    }
+                    shared.metrics.observe_status(200);
+                    write_response(writer, 200, "application/x-ndjson", body.as_bytes(), close)?;
+                }
+                Ok(text) => {
+                    shared.metrics.observe_status(200);
+                    write_chunked_head(writer, "application/x-ndjson", close)?;
+                    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                        let start = Instant::now();
+                        let (response, _) = shared.serve.handle_line_classified(line);
+                        shared.metrics.latency.record(start.elapsed());
+                        shared.count_served();
+                        write_chunk(writer, format!("{response}\n").as_bytes())?;
+                    }
+                    finish_chunks(writer)?;
+                }
+            },
+            ("GET", "/healthz") => {
+                shared.metrics.observe_status(200);
+                write_response(
+                    writer,
+                    200,
+                    "application/json",
+                    b"{\"status\":\"ok\"}",
+                    close,
+                )?;
+            }
+            ("GET", "/metrics") => {
+                let text = shared.metrics.render_prometheus(&shared.serve.stats());
+                shared.metrics.observe_status(200);
+                write_response(
+                    writer,
+                    200,
+                    "text/plain; version=0.0.4",
+                    text.as_bytes(),
+                    close,
+                )?;
+            }
+            (_, "/count" | "/stream" | "/healthz" | "/metrics") => {
+                let body = error_body(&format!("method {} not allowed for {path}", request.method));
+                shared.metrics.observe_status(405);
+                write_response(writer, 405, "application/json", body.as_bytes(), close)?;
+            }
+            _ => {
+                let body = error_body(&format!("no such endpoint `{path}`"));
+                shared.metrics.observe_status(404);
+                write_response(writer, 404, "application/json", body.as_bytes(), close)?;
+            }
+        }
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+/// A serve-protocol-shaped error body for transport-level failures.
+fn error_body(message: &str) -> String {
+    cqc_serve::json::Value::Obj(vec![
+        ("id".to_string(), cqc_serve::json::Value::Null),
+        (
+            "error".to_string(),
+            cqc_serve::json::Value::Str(message.to_string()),
+        ),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_bodies_are_serve_shaped_json() {
+        let body = error_body("boom \"quoted\"");
+        assert_eq!(body, r#"{"id":null,"error":"boom \"quoted\""}"#);
+        assert!(cqc_serve::json::parse(&body).is_ok());
+    }
+}

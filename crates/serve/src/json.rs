@@ -91,8 +91,10 @@ impl Value {
             Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Value::Num(n) => {
                 if n.is_finite() {
-                    // integers render without a trailing ".0"
-                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                    // integers render without a trailing ".0"; −0.0 must not
+                    // take this path (`-0.0 as i64` is `0`, dropping the
+                    // sign bit the round-trip property requires)
+                    if n.fract() == 0.0 && n.abs() < 1e15 && !(*n == 0.0 && n.is_sign_negative()) {
                         out.push_str(&format!("{}", *n as i64));
                     } else {
                         out.push_str(&format!("{n}"));

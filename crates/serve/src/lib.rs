@@ -38,4 +38,7 @@
 pub mod json;
 pub mod server;
 
-pub use server::{count_sharded, ServeError, Server, ServerConfig};
+pub use server::{
+    count_sharded, ServeError, Server, ServerConfig, StatsSnapshot, MAX_REQUEST_WORKERS,
+    MAX_SHARDS_PER_ITEM,
+};

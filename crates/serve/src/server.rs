@@ -28,6 +28,7 @@ use cqc_runtime::{split_seed, Runtime};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Errors surfaced by the serving front end (rendered into `error`
@@ -76,6 +77,11 @@ pub struct ServerConfig {
     pub delta: f64,
     /// Default request seed.
     pub seed: u64,
+    /// Maximum number of prepared plans kept in the LRU cache (clamped to
+    /// at least 1). Plans are bounded-size but not small — a long-running
+    /// server facing many distinct (query, accuracy) keys must not grow
+    /// without limit. Evictions are counted in [`StatsSnapshot`].
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -86,7 +92,106 @@ impl Default for ServerConfig {
             epsilon: 0.25,
             delta: 0.05,
             seed: 0xC0FFEE,
+            plan_cache_capacity: 64,
         }
+    }
+}
+
+/// Per-request `workers` values above this are rejected as absurd: no
+/// deployment has tens of thousands of cores, and a typo'd huge width
+/// would otherwise ask the runtime for that many scoped threads.
+pub const MAX_REQUEST_WORKERS: u64 = 4096;
+
+/// A request may ask for at most this many shards **per work item** —
+/// beyond that every extra shard is guaranteed empty and the request is
+/// almost certainly malformed (e.g. `shards` confused with a size).
+pub const MAX_SHARDS_PER_ITEM: usize = 16;
+
+/// Monotonic serving counters, updated by [`Server::handle_line`] and the
+/// plan cache. All counters are relaxed atomics — they feed the `/metrics`
+/// endpoint of `cqc-net` and never influence results.
+#[derive(Debug, Default)]
+struct ServerCounters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    work_items: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+    plan_cache_evictions: AtomicU64,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Request lines handled (including ones answered with an error).
+    pub requests: u64,
+    /// Requests answered with an `error` response.
+    pub errors: u64,
+    /// Work items (databases) evaluated across all requests.
+    pub work_items: u64,
+    /// Requests whose plan was already cached.
+    pub plan_cache_hits: u64,
+    /// Requests that had to prepare a plan.
+    pub plan_cache_misses: u64,
+    /// Plans evicted by the LRU bound ([`ServerConfig::plan_cache_capacity`]).
+    pub plan_cache_evictions: u64,
+}
+
+/// The bounded LRU plan cache: a `BTreeMap` keyed by [`PlanKey`] with a
+/// logical-clock `last_used` stamp per entry. Capacity is small (default
+/// 64), so eviction scans for the stalest entry instead of maintaining an
+/// intrusive list.
+struct PlanCache {
+    entries: BTreeMap<PlanKey, (Arc<PreparedQuery>, u64)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        PlanCache {
+            entries: BTreeMap::new(),
+            tick: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Look up a plan, refreshing its recency stamp.
+    fn get(&mut self, key: &PlanKey) -> Option<Arc<PreparedQuery>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(plan, used)| {
+            *used = tick;
+            Arc::clone(plan)
+        })
+    }
+
+    /// Insert a freshly prepared plan (a racing earlier insert wins and is
+    /// returned instead), then evict least-recently-used entries down to
+    /// capacity. Returns the canonical plan and the number of evictions.
+    fn insert(&mut self, key: PlanKey, plan: Arc<PreparedQuery>) -> (Arc<PreparedQuery>, u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        let canonical = {
+            let entry = self
+                .entries
+                .entry(key)
+                .and_modify(|(_, used)| *used = tick)
+                .or_insert((plan, tick));
+            Arc::clone(&entry.0)
+        };
+        let mut evicted = 0u64;
+        while self.entries.len() > self.capacity {
+            let stalest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+                .expect("cache over capacity is non-empty");
+            self.entries.remove(&stalest);
+            evicted += 1;
+        }
+        (canonical, evicted)
     }
 }
 
@@ -101,15 +206,18 @@ type PlanKey = (String, u64, u64, u8);
 /// across simulated shards on the persistent worker pool.
 pub struct Server {
     config: ServerConfig,
-    plans: Mutex<BTreeMap<PlanKey, Arc<PreparedQuery>>>,
+    plans: Mutex<PlanCache>,
+    counters: ServerCounters,
 }
 
 impl Server {
     /// A server with the given defaults.
     pub fn new(config: ServerConfig) -> Self {
+        let cache = PlanCache::new(config.plan_cache_capacity);
         Server {
             config,
-            plans: Mutex::new(BTreeMap::new()),
+            plans: Mutex::new(cache),
+            counters: ServerCounters::default(),
         }
     }
 
@@ -120,7 +228,20 @@ impl Server {
 
     /// Number of distinct prepared plans currently cached.
     pub fn cached_plans(&self) -> usize {
-        self.plans.lock().expect("plan cache lock").len()
+        self.plans.lock().expect("plan cache lock").entries.len()
+    }
+
+    /// A point-in-time copy of the serving counters (requests, errors,
+    /// work items, plan-cache hits/misses/evictions).
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            work_items: self.counters.work_items.load(Ordering::Relaxed),
+            plan_cache_hits: self.counters.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.counters.plan_cache_misses.load(Ordering::Relaxed),
+            plan_cache_evictions: self.counters.plan_cache_evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// Fetch or build the prepared plan for a (query, accuracy, backend)
@@ -144,8 +265,14 @@ impl Server {
             backend_tag(backend),
         );
         if let Some(plan) = self.plans.lock().expect("plan cache lock").get(&key) {
-            return Ok(Arc::clone(plan));
+            self.counters
+                .plan_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(plan);
         }
+        self.counters
+            .plan_cache_misses
+            .fetch_add(1, Ordering::Relaxed);
         let query = parse_query(query_text).map_err(|e| ServeError::Query(e.to_string()))?;
         let engine: Engine = EngineBuilder::new()
             .accuracy(epsilon, delta)
@@ -156,15 +283,30 @@ impl Server {
         let prepared = engine
             .prepare(&query)
             .map_err(|e| ServeError::Count(e.to_string()))?;
-        let prepared = Arc::new(prepared);
-        let mut cache = self.plans.lock().expect("plan cache lock");
-        let entry = cache.entry(key).or_insert(prepared);
-        Ok(Arc::clone(entry))
+        let (canonical, evicted) = self
+            .plans
+            .lock()
+            .expect("plan cache lock")
+            .insert(key, Arc::new(prepared));
+        if evicted > 0 {
+            self.counters
+                .plan_cache_evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
+        Ok(canonical)
     }
 
     /// Handle one request line, returning the response line (always valid
     /// JSON; failures become `{"id":…,"error":…}` responses).
     pub fn handle_line(&self, line: &str) -> String {
+        self.handle_line_classified(line).0
+    }
+
+    /// Like [`Server::handle_line`], additionally reporting whether the
+    /// response is an `error` response. The network front end maps errors
+    /// to an HTTP `400` while keeping the body bytes identical.
+    pub fn handle_line_classified(&self, line: &str) -> (String, bool) {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let (id, result) = match parse(line) {
             Err(e) => (Value::Null, Err(ServeError::Request(e.to_string()))),
             Ok(req) => {
@@ -175,13 +317,17 @@ impl Server {
         match result {
             Ok(mut members) => {
                 members.insert(0, ("id".to_string(), id));
-                Value::Obj(members).render()
+                (Value::Obj(members).render(), false)
             }
-            Err(e) => Value::Obj(vec![
-                ("id".to_string(), id),
-                ("error".to_string(), Value::Str(e.to_string())),
-            ])
-            .render(),
+            Err(e) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let body = Value::Obj(vec![
+                    ("id".to_string(), id),
+                    ("error".to_string(), Value::Str(e.to_string())),
+                ])
+                .render();
+                (body, true)
+            }
         }
     }
 
@@ -210,13 +356,30 @@ impl Server {
                 )
             })?,
         };
-        let shards =
-            match req.get("shards") {
-                None => self.config.shards,
-                Some(v) => v.as_u64().filter(|&s| s >= 1).ok_or_else(|| {
+        let (shards, shards_explicit) = match req.get("shards") {
+            None => (self.config.shards, false),
+            Some(v) => (
+                v.as_u64().filter(|&s| s >= 1).ok_or_else(|| {
                     ServeError::Request("`shards` must be a positive integer".into())
                 })? as usize,
-            };
+                true,
+            ),
+        };
+        // Optional per-request worker width for the inner evaluations.
+        // Width never changes results, but `0` would mean "auto" by
+        // accident and absurd widths would ask for that many threads, so
+        // both are rejected up front.
+        let workers = match req.get("workers") {
+            None => self.config.threads,
+            Some(v) => v
+                .as_u64()
+                .filter(|&w| (1..=MAX_REQUEST_WORKERS).contains(&w))
+                .ok_or_else(|| {
+                    ServeError::Request(format!(
+                        "`workers` must be a positive integer at most {MAX_REQUEST_WORKERS}"
+                    ))
+                })? as usize,
+        };
         let backend = match req.get("method") {
             None => Backend::Auto,
             Some(v) => parse_backend(
@@ -225,9 +388,27 @@ impl Server {
             )?,
         };
         let dbs = load_request_databases(req)?;
+        // Beyond MAX_SHARDS_PER_ITEM × items every additional shard is
+        // provably empty; a *request* asking for that is a malformed
+        // client and gets a structured error. A high server-side default
+        // (`--shards K` with a small request) is operator configuration,
+        // not a client bug: it is applied as-is — extra shards are empty
+        // and the response bytes are unchanged by the equivalence
+        // contract.
+        let max_shards = dbs.len().saturating_mul(MAX_SHARDS_PER_ITEM);
+        if shards_explicit && shards > max_shards {
+            return Err(ServeError::Request(format!(
+                "`shards` = {shards} is out of range for {} work item(s) \
+                 (at most {MAX_SHARDS_PER_ITEM} shards per item, i.e. {max_shards})",
+                dbs.len()
+            )));
+        }
+        self.counters
+            .work_items
+            .fetch_add(dbs.len() as u64, Ordering::Relaxed);
 
         let prepared = self.plan_for(query_text, epsilon, delta, backend)?;
-        let runtime = Runtime::new(self.config.threads);
+        let runtime = Runtime::new(workers);
         let reports = count_sharded(&prepared, &dbs, seed, shards, runtime)
             .map_err(|e| ServeError::Count(e.to_string()))?;
 
@@ -529,6 +710,103 @@ mod tests {
         let a = server.handle_line(&req("12345"));
         let b = server.handle_line(&req("\"12345\""));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used_beyond_capacity() {
+        let server = Server::new(ServerConfig {
+            plan_cache_capacity: 2,
+            ..ServerConfig::default()
+        });
+        let req = |query: &str| {
+            Value::Obj(vec![
+                ("query".into(), Value::Str(query.into())),
+                ("dbs".into(), Value::Arr(vec![Value::Str(FACTS2.into())])),
+                ("method".into(), Value::Str("exact".into())),
+            ])
+            .render()
+        };
+        let (a, b, c) = (
+            "ans(x) :- E(x, y)",
+            "ans(y) :- E(x, y)",
+            "ans(x, y) :- E(x, y)",
+        );
+        server.handle_line(&req(a)); // cache: {a}
+        server.handle_line(&req(b)); // cache: {a, b}
+        server.handle_line(&req(a)); // refresh a; b is now stalest
+        server.handle_line(&req(c)); // evicts b
+        assert_eq!(server.cached_plans(), 2);
+        let stats = server.stats();
+        assert_eq!(stats.plan_cache_evictions, 1);
+        assert_eq!(stats.plan_cache_misses, 3);
+        assert_eq!(stats.plan_cache_hits, 1);
+        // a survived the eviction (b was least recently used), so a fourth
+        // request for it is a hit…
+        server.handle_line(&req(a));
+        assert_eq!(server.stats().plan_cache_hits, 2);
+        // …while b was evicted and must be prepared again
+        server.handle_line(&req(b));
+        assert_eq!(server.stats().plan_cache_misses, 4);
+    }
+
+    #[test]
+    fn stats_count_requests_errors_and_work_items() {
+        let server = Server::new(ServerConfig::default());
+        server.handle_line(&request(2)); // 3 work items
+        server.handle_line("{not json");
+        let stats = server.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.work_items, 3);
+    }
+
+    #[test]
+    fn absurd_shard_counts_are_rejected() {
+        let server = Server::new(ServerConfig::default());
+        // 3 work items allow at most 48 shards; 49 is rejected…
+        let mut req = request(3 * MAX_SHARDS_PER_ITEM + 1);
+        let out = server.handle_line(&req);
+        assert!(out.contains("\"error\""), "{out}");
+        assert!(out.contains("out of range for 3 work item(s)"), "{out}");
+        // …while exactly 48 (most shards empty) still answers normally
+        req = request(3 * MAX_SHARDS_PER_ITEM);
+        let out = server.handle_line(&req);
+        assert!(out.contains("\"estimate\""), "{out}");
+        // a high server-side default is operator configuration, not a
+        // malformed client: requests without a `shards` member still work
+        let configured = Server::new(ServerConfig {
+            shards: 100,
+            ..ServerConfig::default()
+        });
+        let line = Value::Obj(vec![
+            ("query".into(), Value::Str(DCQ.into())),
+            ("dbs".into(), Value::Arr(vec![Value::Str(FACTS2.into())])),
+            ("method".into(), Value::Str("exact".into())),
+        ])
+        .render();
+        let out = configured.handle_line(&line);
+        assert!(out.contains("\"estimate\""), "{out}");
+        assert!(out.contains("\"shards\":100"), "{out}");
+    }
+
+    #[test]
+    fn request_workers_are_validated_and_never_change_bytes() {
+        let server = Server::new(ServerConfig::default());
+        let req = |workers: &str| {
+            format!(
+                r#"{{"id": 1, "query": "{DCQ}", "dbs": ["{}"], "seed": 3, "workers": {workers}}}"#,
+                "universe 4\\nrelation E 2\\nE 0 1\\nE 0 2\\nE 3 1\\nE 3 2\\n"
+            )
+        };
+        for bad in ["0", "-1", "1.5", "\"four\"", "4097"] {
+            let out = server.handle_line(&req(bad));
+            assert!(out.contains("\"error\""), "{bad} -> {out}");
+            assert!(out.contains("`workers` must be"), "{bad} -> {out}");
+        }
+        let narrow = server.handle_line(&req("1"));
+        let wide = server.handle_line(&req("8"));
+        assert!(narrow.contains("\"estimate\""), "{narrow}");
+        assert_eq!(narrow, wide, "worker width changed a response byte");
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Property tests for the serving layer's hand-rolled JSON module: the
+//! parser must never panic on arbitrary input (it fronts a network socket
+//! in `cqc-net`), and render → parse must be the identity on every value
+//! the server can produce — strings with escapes, bit-exact finite
+//! numbers, and arbitrarily nested trees.
+
+use cqc_serve::json::{parse, Value};
+use proptest::prelude::*;
+
+/// Arbitrary Unicode strings, biased towards the characters the escape
+/// logic has to handle: quotes, backslashes, control characters, newlines,
+/// and non-ASCII scalars.
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (32u32..127).prop_map(|c| char::from_u32(c).unwrap()),
+            2 => prop_oneof![
+                Just('"'),
+                Just('\\'),
+                Just('\n'),
+                Just('\r'),
+                Just('\t'),
+                Just('\u{0}'),
+                Just('\u{1f}'),
+            ],
+            1 => any::<u32>().prop_map(|c| char::from_u32(c % 0x11_0000).unwrap_or('\u{FFFD}')),
+        ],
+        0..24,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Arbitrary finite `f64`s via their bit patterns (covers subnormals,
+/// negative zero, and exact integers alongside run-of-the-mill values).
+fn arb_finite_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|bits| {
+        let x = f64::from_bits(bits);
+        if x.is_finite() {
+            x
+        } else {
+            f64::from_bits(bits & !(0x7FF0_0000_0000_0000))
+        }
+    })
+}
+
+/// Arbitrary JSON value trees of bounded depth and width.
+fn arb_value(depth: u32) -> BoxedStrategy<Value> {
+    let scalar = prop_oneof![
+        1 => Just(Value::Null),
+        1 => any::<bool>().prop_map(Value::Bool),
+        3 => arb_finite_f64().prop_map(Value::Num),
+        3 => arb_string().prop_map(Value::Str),
+    ]
+    .boxed();
+    if depth == 0 {
+        return scalar;
+    }
+    let inner = arb_value(depth - 1);
+    let arr = proptest::collection::vec(arb_value(depth - 1), 0..4).prop_map(Value::Arr);
+    let obj = proptest::collection::vec((arb_string(), inner), 0..4).prop_map(Value::Obj);
+    prop_oneof![2 => scalar, 1 => arr.boxed(), 1 => obj.boxed()].boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Feeding arbitrary bytes (lossily decoded, as a socket reader would)
+    /// to the parser returns `Ok` or `Err` — it never panics.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse(&text);
+    }
+
+    /// Mutating one byte of a valid document must not panic either —
+    /// this walks the parser into "almost JSON" territory (truncated
+    /// escapes, dangling commas, cut-off literals).
+    #[test]
+    fn parser_never_panics_on_corrupted_documents(
+        v in arb_value(2),
+        pos in any::<usize>(),
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = v.render().into_bytes();
+        if !bytes.is_empty() {
+            let i = pos % bytes.len();
+            bytes[i] = byte;
+        }
+        let _ = parse(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// Truncating a valid document at any byte must not panic.
+    #[test]
+    fn parser_never_panics_on_truncated_documents(v in arb_value(2), cut in any::<usize>()) {
+        let text = v.render();
+        let cut = cut % (text.len() + 1);
+        let prefix = String::from_utf8_lossy(&text.as_bytes()[..cut]).into_owned();
+        let _ = parse(&prefix);
+    }
+
+    /// String escaping round-trips every Unicode scalar exactly.
+    #[test]
+    fn string_escapes_round_trip(s in arb_string()) {
+        let rendered = Value::Str(s.clone()).render();
+        let back = parse(&rendered).expect("rendered string parses");
+        prop_assert_eq!(back, Value::Str(s));
+    }
+
+    /// Finite numbers round-trip bit-exactly (the response renderer relies
+    /// on this for `estimate`; `estimate_bits` is belt-and-braces).
+    #[test]
+    fn finite_numbers_round_trip_bit_exactly(x in arb_finite_f64()) {
+        let rendered = Value::Num(x).render();
+        let back = parse(&rendered).expect("rendered number parses").as_f64().expect("number");
+        prop_assert_eq!(back.to_bits(), x.to_bits(), "{}", rendered);
+    }
+
+    /// Whole rendered trees parse back to the identical tree, and the
+    /// renderer is deterministic (two renders, same bytes).
+    #[test]
+    fn value_trees_round_trip(v in arb_value(3)) {
+        let rendered = v.render();
+        prop_assert_eq!(&rendered, &v.render(), "rendering is deterministic");
+        let back = parse(&rendered).expect("rendered value parses");
+        prop_assert_eq!(back, v);
+    }
+}

@@ -10,9 +10,11 @@
 #![warn(missing_docs)]
 
 pub mod graphs;
+pub mod mix;
 pub mod queries;
 
 pub use graphs::{erdos_renyi, graph_database, grid_graph, random_regularish, GraphSpec};
+pub use mix::{request_mix, request_spec, RequestSpec, MIX_QUERIES};
 pub use queries::{
     clique_query, footnote4_star_query, hyperchain_query, path_query, star_query, QuerySpec,
 };

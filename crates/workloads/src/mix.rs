@@ -1,0 +1,144 @@
+//! Deterministic serving request mixes for the network load generator.
+//!
+//! A *mix* is a pure function of `(mix seed, request count)`: request `i`
+//! derives its own RNG stream from `split_seed(mix_seed, i)` and uses it to
+//! pick a query from a small curated family, synthesize 1–3 small graph
+//! databases (the request's work items), and fix the per-request counting
+//! seed. Because nothing depends on wall time or scheduling, two load
+//! generators with the same seed produce byte-identical request lines —
+//! and, by the serving layer's determinism contract, receive byte-identical
+//! responses, regardless of connection count or server configuration.
+
+use crate::graphs::{erdos_renyi, graph_database, grid_graph};
+use cqc_data::write_facts;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 finaliser, mirroring `cqc_runtime::split_seed` (duplicated
+/// here so the workload crate stays free of a runtime dependency; the
+/// constant layout is pinned by a test against first principles).
+fn split_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The curated query family of the serving mix: one representative per
+/// class of Figure 1 (CQ → FPRAS, DCQ/ECQ → FPTRAS) plus a trivially cheap
+/// single-atom query, all over one binary relation `E`. Small on purpose —
+/// a handful of distinct texts keeps the server's plan cache warm, which
+/// is what a production request stream looks like.
+pub const MIX_QUERIES: &[(&str, &str)] = &[
+    ("edge", "ans(x, y) :- E(x, y)"),
+    ("walk2-cq", "ans(x, y) :- E(x, z), E(z, y)"),
+    ("two-friends-dcq", "ans(x) :- E(x, y), E(x, z), y != z"),
+    ("one-way-ecq", "ans(x, y) :- E(x, y), !E(y, x)"),
+];
+
+/// One synthesized request: everything the load generator needs to render
+/// a serve-protocol JSON line, in plain data form.
+#[derive(Debug, Clone)]
+pub struct RequestSpec {
+    /// Global request index; doubles as the request `id` on the wire.
+    pub index: u64,
+    /// Name of the query family member (reporting only).
+    pub query_name: &'static str,
+    /// The query in textual syntax.
+    pub query: &'static str,
+    /// Inline facts texts — the request's work items.
+    pub dbs: Vec<String>,
+    /// The per-request counting seed.
+    pub seed: u64,
+    /// Relative error `ε` for this request.
+    pub epsilon: f64,
+    /// Failure probability `δ` for this request.
+    pub delta: f64,
+}
+
+/// Synthesize the deterministic request mix: `n` requests derived from
+/// `mix_seed`. Request `i` is a pure function of `split_seed(mix_seed, i)`
+/// — the mix is identical however many load-generator connections replay
+/// it, which is what makes transcript byte-comparison meaningful.
+pub fn request_mix(mix_seed: u64, n: usize) -> Vec<RequestSpec> {
+    (0..n as u64).map(|i| request_spec(mix_seed, i)).collect()
+}
+
+/// Synthesize request `index` of the mix (see [`request_mix`]).
+pub fn request_spec(mix_seed: u64, index: u64) -> RequestSpec {
+    let stream = split_seed(mix_seed, index);
+    let mut rng = StdRng::seed_from_u64(stream);
+    let (query_name, query) = MIX_QUERIES[rng.gen_range(0..MIX_QUERIES.len())];
+    let items = rng.gen_range(1..=3usize);
+    let dbs = (0..items)
+        .map(|_| {
+            // small instances: the mix measures the serving layer, not the
+            // counting engines, so work items stay cheap and bounded
+            if rng.gen::<f64>() < 0.25 {
+                let rows = rng.gen_range(2..=3usize);
+                let cols = rng.gen_range(2..=4usize);
+                write_facts(&graph_database(&grid_graph(rows, cols), "E", false))
+            } else {
+                let n = rng.gen_range(6..=12usize);
+                let avg_deg = 1.5 + rng.gen::<f64>() * 1.5;
+                let g = erdos_renyi(n, avg_deg / n as f64, &mut rng);
+                write_facts(&graph_database(&g, "E", false))
+            }
+        })
+        .collect();
+    RequestSpec {
+        index,
+        query_name,
+        query,
+        dbs,
+        seed: split_seed(stream, 1),
+        epsilon: 0.4,
+        delta: 0.2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_seed_matches_the_runtime_scheme() {
+        // pinned against the real cqc_runtime::split_seed (dev-dependency
+        // only, so the library build stays runtime-free): any drift in
+        // either copy fails here
+        for (s, i) in [(0u64, 0u64), (7, 3), (u64::MAX, 1 << 40), (42, 9999)] {
+            assert_eq!(split_seed(s, i), cqc_runtime::split_seed(s, i));
+        }
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_independent_of_length() {
+        let a = request_mix(0xFEED, 20);
+        let b = request_mix(0xFEED, 20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.query, y.query);
+            assert_eq!(x.dbs, y.dbs);
+            assert_eq!(x.seed, y.seed);
+        }
+        // request i does not depend on how many requests surround it
+        let longer = request_mix(0xFEED, 40);
+        assert_eq!(a[7].dbs, longer[7].dbs);
+        assert_eq!(a[7].seed, longer[7].seed);
+        // and a different seed gives a different mix
+        let other = request_mix(0xBEEF, 20);
+        assert!(a.iter().zip(&other).any(|(x, y)| x.dbs != y.dbs));
+    }
+
+    #[test]
+    fn mix_requests_are_wellformed_and_small() {
+        for spec in request_mix(42, 50) {
+            assert!((1..=3).contains(&spec.dbs.len()));
+            assert!(MIX_QUERIES.iter().any(|(_, q)| *q == spec.query));
+            for facts in &spec.dbs {
+                let db = cqc_data::parse_facts(facts).expect("mix facts parse back");
+                assert!((4..=16).contains(&db.universe_size()));
+            }
+        }
+    }
+}
