@@ -1,0 +1,991 @@
+//! The audit engine: file walking, per-file rule scanning, waiver
+//! matching, and the golden `unsafe` inventory.
+//!
+//! The engine is deliberately a *token-level* analysis (see
+//! [`crate::lexer`]): it has no type information, so `hash-iter` tracks
+//! `HashMap`/`HashSet` bindings by their declarations and propagates the
+//! taint through `let` chains within a file. That heuristic is precise on
+//! this codebase (every finding is pinned by tests) and errs on the side
+//! of flagging — a false positive is silenced with a reviewed waiver, which
+//! is exactly the audit trail we want.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules::{parse_waiver, Rule, Waiver, WaiverParse};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// One diagnostic produced by the engine.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Path relative to the audited root, with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A waiver that silenced at least one violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AppliedWaiver {
+    /// Path relative to the audited root.
+    pub file: String,
+    /// 1-based line of the waived violation.
+    pub line: u32,
+    /// The waived rule.
+    pub rule: Rule,
+    /// The reason given in the waiver comment.
+    pub reason: String,
+}
+
+/// An entry of the `unsafe` inventory: a file and how many `unsafe`
+/// keyword tokens it contains (in non-test code).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct UnsafeSite {
+    /// Path relative to the audited root.
+    pub file: String,
+    /// Number of `unsafe` keyword occurrences.
+    pub regions: usize,
+}
+
+/// The complete result of one audit run.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Unwaived violations, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Violations that were silenced by a waiver, with the reasons.
+    pub waived: Vec<AppliedWaiver>,
+    /// Every `unsafe` region found, sorted by file.
+    pub unsafe_inventory: Vec<UnsafeSite>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl AuditReport {
+    /// Whether the tree is clean (no unwaived violations).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Crates whose computations feed estimates: `hash-iter` and `wall-clock`
+/// apply here. (`core` is estimate-path too; its telemetry wall-clock
+/// reads are waiver-only by policy.) The facade crate (`src/`) re-exports
+/// the same machinery and is held to the same bar.
+const ESTIMATE_PATH_CRATES: [&str; 8] = [
+    "automata",
+    "core",
+    "cqcount",
+    "data",
+    "dlm",
+    "hom",
+    "hypergraph",
+    "query",
+];
+
+/// Crates allowed to spawn raw threads: the deterministic pool lives in
+/// `runtime`, and `net` owns the accept loop + loadgen connections.
+const RAW_SPAWN_EXEMPT: [&str; 2] = ["net", "runtime"];
+
+/// Files making up the serve request path: panics here turn one bad
+/// request into a dead worker or connection, so `unwrap`/`expect`/`panic!`
+/// are waiver-only (init-time code).
+const SERVE_PATH_FILES: [&str; 3] = [
+    "crates/net/src/server.rs",
+    "crates/serve/src/lib.rs",
+    "crates/serve/src/server.rs",
+];
+
+/// Where the golden `unsafe` inventory lives, relative to the root.
+pub const UNSAFE_INVENTORY_PATH: &str = "tests/golden/unsafe_inventory.txt";
+
+/// Run the audit over the workspace at `root`.
+///
+/// Scans `src/` (the facade) and every `crates/*/src/` tree; `tests/`,
+/// `benches/`, `examples/`, `shims/` and `target/` are out of scope, as
+/// are inline `#[cfg(test)]` modules.
+pub fn audit(root: &Path) -> std::io::Result<AuditReport> {
+    let mut report = AuditReport::default();
+    let mut all_violations: Vec<Violation> = Vec::new();
+
+    for (path, crate_name) in collect_files(root)? {
+        let src = std::fs::read_to_string(&path)?;
+        let rel = relative_path(root, &path);
+        report.files_scanned += 1;
+        scan_file(&rel, &crate_name, &src, &mut all_violations, &mut report);
+    }
+
+    check_unsafe_inventory(root, &report.unsafe_inventory, &mut all_violations);
+
+    all_violations.sort();
+    all_violations.dedup();
+    report.violations = all_violations;
+    report.waived.sort();
+    report.unsafe_inventory.sort();
+    Ok(report)
+}
+
+/// Audit a single in-memory file (used by the engine's own tests).
+pub fn audit_source(rel_path: &str, crate_name: &str, src: &str) -> AuditReport {
+    let mut report = AuditReport::default();
+    let mut violations = Vec::new();
+    report.files_scanned = 1;
+    scan_file(rel_path, crate_name, src, &mut violations, &mut report);
+    violations.sort();
+    violations.dedup();
+    report.violations = violations;
+    report.waived.sort();
+    report.unsafe_inventory.sort();
+    report
+}
+
+/// The tainted-identifier set for a source text (exposed for the engine's
+/// own tests — the taint heuristic is pinned there).
+#[doc(hidden)]
+pub fn debug_tainted(src: &str) -> Vec<String> {
+    let lexed = lex(src);
+    let tokens = strip_test_modules(lexed.tokens);
+    tainted_idents(&tokens).into_iter().collect()
+}
+
+fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+/// Collect the `.rs` files in scope, with the crate each belongs to.
+/// Sorted by path so every run (and the report) is deterministic.
+fn collect_files(root: &Path) -> std::io::Result<Vec<(PathBuf, String)>> {
+    let mut files = Vec::new();
+    let facade = root.join("src");
+    if facade.is_dir() {
+        walk_rs(&facade, &mut files, "cqcount")?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for krate in entries {
+            let src = krate.join("src");
+            if !src.is_dir() {
+                continue;
+            }
+            let name = krate
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            walk_rs(&src, &mut files, &name)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<(PathBuf, String)>, crate_name: &str) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, out, crate_name)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((path.clone(), crate_name.to_string()));
+        }
+    }
+    Ok(())
+}
+
+/// Scan one file: apply every applicable rule, collect waivers, and match
+/// them. Waived violations land in `report.waived`; unwaived ones are
+/// appended to `violations` (along with waiver-hygiene findings).
+fn scan_file(
+    rel: &str,
+    crate_name: &str,
+    src: &str,
+    violations: &mut Vec<Violation>,
+    report: &mut AuditReport,
+) {
+    let lexed = lex(src);
+    let tokens = strip_test_modules(lexed.tokens);
+
+    // Waivers (and malformed waiver attempts).
+    let mut waivers: Vec<(Waiver, bool)> = Vec::new(); // (waiver, used)
+    let mut raw: Vec<Violation> = Vec::new();
+    for comment in &lexed.comments {
+        match parse_waiver(comment) {
+            WaiverParse::NotAWaiver => {}
+            WaiverParse::Ok(w) => waivers.push((w, false)),
+            WaiverParse::Malformed(msg) => raw.push(Violation {
+                file: rel.to_string(),
+                line: comment.line,
+                rule: Rule::Waiver,
+                message: msg,
+            }),
+        }
+    }
+
+    let is_estimate_path = ESTIMATE_PATH_CRATES.contains(&crate_name);
+    let is_serve_path = SERVE_PATH_FILES.contains(&rel);
+
+    if is_estimate_path {
+        rule_hash_iter(rel, &tokens, &mut raw);
+        rule_wall_clock(rel, &tokens, &mut raw);
+    }
+    rule_ambient_rng(rel, &tokens, &mut raw);
+    if !RAW_SPAWN_EXEMPT.contains(&crate_name) {
+        rule_raw_spawn(rel, &tokens, &mut raw);
+    }
+    if is_serve_path {
+        rule_serve_panic(rel, &tokens, &mut raw);
+    }
+    rule_unsafe(rel, crate_name, &tokens, &mut raw, report);
+
+    // Match violations against waivers: a waiver at line L covers lines L
+    // and L+1 for the rules it names.
+    for v in raw {
+        let mut waived = false;
+        for (w, used) in waivers.iter_mut() {
+            if w.rules.contains(&v.rule) && (w.line == v.line || w.line + 1 == v.line) {
+                *used = true;
+                waived = true;
+                report.waived.push(AppliedWaiver {
+                    file: v.file.clone(),
+                    line: v.line,
+                    rule: v.rule,
+                    reason: w.reason.clone(),
+                });
+                break;
+            }
+        }
+        if !waived {
+            violations.push(v);
+        }
+    }
+
+    // Stale waivers are violations too: they claim a hazard that no longer
+    // exists, so they must be removed (or the detector just regressed).
+    for (w, used) in waivers {
+        if !used {
+            violations.push(Violation {
+                file: rel.to_string(),
+                line: w.line,
+                rule: Rule::Waiver,
+                message: format!(
+                    "waiver for `{}` silences nothing — remove it",
+                    w.rules
+                        .iter()
+                        .map(|r| r.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cfg(test) stripping
+// ---------------------------------------------------------------------------
+
+/// Remove the token ranges of inline `#[cfg(test)] mod … { … }` items.
+/// Integration tests live under `tests/` (never walked); this removes the
+/// unit-test modules so test-only code is out of audit scope.
+fn strip_test_modules(tokens: Vec<Tok>) -> Vec<Tok> {
+    let mut keep = vec![true; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some((attr_end, is_cfg_test)) = parse_attribute(&tokens, i) {
+            if is_cfg_test {
+                // Skip over any further attributes to the item they gate.
+                let mut j = attr_end;
+                while let Some((next_end, _)) = parse_attribute(&tokens, j) {
+                    j = next_end;
+                }
+                if let Some(body_end) = test_mod_body_end(&tokens, j) {
+                    for k in keep.iter_mut().take(body_end).skip(i) {
+                        *k = false;
+                    }
+                    i = body_end;
+                    continue;
+                }
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    tokens
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(t, k)| k.then_some(t))
+        .collect()
+}
+
+/// If `tokens[i]` starts an attribute `#[…]` (not the inner `#![…]` form),
+/// return `(index just past it, attribute contains cfg(test))`.
+fn parse_attribute(tokens: &[Tok], i: usize) -> Option<(usize, bool)> {
+    if tokens.get(i)?.text != "#" || tokens.get(i + 1)?.text != "[" {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((j + 1, saw_cfg && saw_test && !saw_not));
+                }
+            }
+            "cfg" => saw_cfg = true,
+            "test" => saw_test = true,
+            "not" => saw_not = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// If `tokens[i..]` is `(pub)? mod name { … }`, return the index just past
+/// the closing brace.
+fn test_mod_body_end(tokens: &[Tok], mut i: usize) -> Option<usize> {
+    if tokens.get(i)?.text == "pub" {
+        i += 1;
+        // possible pub(crate)
+        if tokens.get(i)?.text == "(" {
+            while tokens.get(i)?.text != ")" {
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+    if tokens.get(i)?.text != "mod" {
+        return None;
+    }
+    i += 1; // mod name
+    i += 1; // expect `{` (a `mod name;` declaration has no body to strip)
+    if tokens.get(i)?.text != "{" {
+        return None;
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Rule: hash-iter
+// ---------------------------------------------------------------------------
+
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const ITER_METHODS: [&str; 8] = [
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+];
+
+fn is_hash_type(text: &str) -> bool {
+    HASH_TYPES.contains(&text)
+}
+
+/// Identifiers bound (or propagated) to a `HashMap`/`HashSet` value.
+///
+/// Three sources of taint, run to a fixpoint:
+/// - `name : <type mentioning HashMap/HashSet or a tainted ALIAS>` (lets,
+///   fields, params). Only *type-looking* (capitalised) identifiers count
+///   here, so a struct-literal field init `root: new_id[..]` mentioning a
+///   tainted lowercase variable does not taint the field name.
+/// - `type Alias = <type mentioning HashMap/HashSet>;`,
+/// - `let name = <tainted-base receiver chain>;` — the chain's *base*
+///   identifier must be tainted (`let t = tables[c].as_ref()…`); a
+///   tainted ident merely passed as an argument does not propagate.
+fn tainted_idents(tokens: &[Tok]) -> BTreeSet<String> {
+    let mut tainted: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let before = tainted.len();
+        let mut i = 0;
+        while i < tokens.len() {
+            // `name : … HashMap …` up to a depth-0 terminator.
+            if tokens[i].kind == TokKind::Ident
+                && tokens.get(i + 1).is_some_and(|t| t.text == ":")
+                && type_annotation_is_hashy(tokens, i + 2, &tainted)
+            {
+                tainted.insert(tokens[i].text.clone());
+            }
+            // `type Alias = … HashMap …;` taints the alias name, so
+            // annotations written against the alias are caught too.
+            if tokens[i].text == "type" {
+                if let (Some(name), Some(eq)) = (tokens.get(i + 1), tokens.get(i + 2)) {
+                    if name.kind == TokKind::Ident && eq.text == "=" {
+                        if let Some(end) = expr_end(tokens, i + 3) {
+                            let hashy = tokens[i + 3..end].iter().any(|t| {
+                                t.kind == TokKind::Ident
+                                    && (is_hash_type(&t.text) || is_tainted_type(&t.text, &tainted))
+                            });
+                            if hashy {
+                                tainted.insert(name.text.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            // `let (mut)? name = <base>…;` where the receiver base is
+            // tainted (or a hash type, e.g. `HashMap::new()`).
+            if tokens[i].text == "let" {
+                let mut j = i + 1;
+                if tokens.get(j).is_some_and(|t| t.text == "mut") {
+                    j += 1;
+                }
+                if let (Some(name), Some(eq)) = (tokens.get(j), tokens.get(j + 1)) {
+                    if name.kind == TokKind::Ident && eq.text == "=" {
+                        let mut k = j + 2;
+                        while tokens
+                            .get(k)
+                            .is_some_and(|t| matches!(t.text.as_str(), "&" | "mut" | "*" | "("))
+                        {
+                            k += 1;
+                        }
+                        if tokens.get(k).is_some_and(|t| {
+                            t.kind == TokKind::Ident
+                                && (is_hash_type(&t.text) || tainted.contains(&t.text))
+                        }) {
+                            tainted.insert(name.text.clone());
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        if tainted.len() == before {
+            return tainted;
+        }
+    }
+}
+
+/// Whether `text` is a tainted *type-looking* identifier (capitalised —
+/// `ExtensionTable`, `PositionIndex`), as opposed to a tainted variable.
+fn is_tainted_type(text: &str, tainted: &BTreeSet<String>) -> bool {
+    text.starts_with(|c: char| c.is_ascii_uppercase()) && tainted.contains(text)
+}
+
+/// Whether the type annotation starting at `tokens[i]` mentions a hash
+/// container (or a tainted alias) before its depth-0 terminator.
+fn type_annotation_is_hashy(tokens: &[Tok], mut i: usize, tainted: &BTreeSet<String>) -> bool {
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.text.as_str() {
+            "<" => angle += 1,
+            ">" => {
+                if angle == 0 {
+                    return false; // comparison, not a generic
+                }
+                angle -= 1;
+            }
+            "(" | "[" => paren += 1,
+            ")" | "]" => {
+                if paren == 0 {
+                    return false;
+                }
+                paren -= 1;
+            }
+            "=" | ";" | "{" => {
+                if angle == 0 && paren == 0 {
+                    return false;
+                }
+            }
+            "," => {
+                if angle == 0 && paren == 0 {
+                    return false;
+                }
+            }
+            _ => {
+                if t.kind == TokKind::Ident
+                    && (is_hash_type(&t.text) || is_tainted_type(&t.text, tainted))
+                {
+                    return true;
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// The end (exclusive) of the expression starting at `tokens[i]`: the
+/// first `;` at brace/paren/bracket depth 0.
+fn expr_end(tokens: &[Tok], mut i: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            ";" if depth == 0 => return Some(i),
+            _ => {}
+        }
+        if depth < 0 {
+            return Some(i);
+        }
+        i += 1;
+    }
+    Some(tokens.len())
+}
+
+fn rule_hash_iter(rel: &str, tokens: &[Tok], out: &mut Vec<Violation>) {
+    let tainted = tainted_idents(tokens);
+
+    // `.iter()` / `.keys()` / … whose receiver chain mentions a tainted
+    // identifier (or a hash type directly).
+    let mut i = 1;
+    while i + 1 < tokens.len() {
+        if tokens[i].text == "."
+            && tokens[i + 1].kind == TokKind::Ident
+            && ITER_METHODS.contains(&tokens[i + 1].text.as_str())
+            && tokens.get(i + 2).is_some_and(|t| t.text == "(")
+        {
+            if let Some(name) = receiver_mentions(tokens, i, &tainted) {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: tokens[i + 1].line,
+                    rule: Rule::HashIter,
+                    message: format!(
+                        "`.{}()` on `HashMap`/`HashSet`-typed `{}` — hash iteration order is \
+                         nondeterministic",
+                        tokens[i + 1].text,
+                        name
+                    ),
+                });
+            }
+        }
+        i += 1;
+    }
+
+    // `for pat in <expr> {` where the expression mentions a tainted
+    // identifier in receiver position (not behind a further `.method`).
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text == "for" {
+            if let Some(in_pos) = tokens[i..]
+                .iter()
+                .position(|t| t.text == "in")
+                .map(|p| p + i)
+            {
+                let mut j = in_pos + 1;
+                let mut depth = 0i32;
+                while j < tokens.len() {
+                    let t = &tokens[j];
+                    match t.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => break,
+                        _ => {}
+                    }
+                    let hashy = t.kind == TokKind::Ident
+                        && (is_hash_type(&t.text) || tainted.contains(&t.text));
+                    // A tainted ident immediately followed by `.` is a
+                    // method call on the map (`.len()`, `.get()` …); only
+                    // `.iter()`-style calls matter and the scan above
+                    // catches those. Everything else (`&map`, `map[k]`,
+                    // bare `map`) iterates the container itself.
+                    if hashy && tokens.get(j + 1).is_some_and(|n| n.text != ".") {
+                        out.push(Violation {
+                            file: rel.to_string(),
+                            line: tokens[i].line,
+                            rule: Rule::HashIter,
+                            message: format!(
+                                "`for` loop over `HashMap`/`HashSet`-typed `{}` — hash iteration \
+                                 order is nondeterministic",
+                                t.text
+                            ),
+                        });
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Walk the receiver chain backwards from the `.` at `tokens[dot]`;
+/// return the first tainted identifier (or hash type name) mentioned.
+fn receiver_mentions(tokens: &[Tok], dot: usize, tainted: &BTreeSet<String>) -> Option<String> {
+    let mut i = dot;
+    let mut depth = 0i32;
+    while i > 0 {
+        i -= 1;
+        let t = &tokens[i];
+        match t.text.as_str() {
+            ")" | "]" => depth += 1,
+            "(" | "[" => {
+                if depth == 0 {
+                    return None; // start of an enclosing call — chain ends
+                }
+                depth -= 1;
+            }
+            "." | "::" | "?" | "&" => {}
+            // keywords end the receiver chain (`for x in map.iter()` must
+            // not walk past `in` into the loop pattern)
+            "in" | "let" | "return" | "if" | "else" | "match" | "while" | "for" | "loop"
+            | "move" | "mut" | "await" => {
+                if depth == 0 {
+                    return None;
+                }
+            }
+            _ => {
+                if depth == 0 {
+                    if t.kind == TokKind::Ident {
+                        if is_hash_type(&t.text) || tainted.contains(&t.text) {
+                            return Some(t.text.clone());
+                        }
+                        // identifiers inside the chain (field/method names)
+                        // are fine to step over
+                    } else if t.kind == TokKind::Punct {
+                        return None; // `;`, `{`, `=` … — chain ends
+                    }
+                } else if t.kind == TokKind::Ident
+                    && (is_hash_type(&t.text) || tainted.contains(&t.text))
+                {
+                    // tainted ident inside an index/call argument, e.g.
+                    // `tables[children[0]]` — still the receiver
+                    return Some(t.text.clone());
+                }
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Rule: ambient-rng
+// ---------------------------------------------------------------------------
+
+fn rule_ambient_rng(rel: &str, tokens: &[Tok], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "thread_rng" | "from_entropy" | "RandomState" => true,
+            "random" => i >= 2 && tokens[i - 1].text == "::" && tokens[i - 2].text == "rand",
+            _ => false,
+        };
+        if flagged {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: t.line,
+                rule: Rule::AmbientRng,
+                message: format!(
+                    "ambient randomness `{}` — all RNG must derive from \
+                     `cqc_runtime::split_seed`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: wall-clock
+// ---------------------------------------------------------------------------
+
+fn rule_wall_clock(rel: &str, tokens: &[Tok], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "SystemTime" => true,
+            "Instant" => {
+                tokens.get(i + 1).is_some_and(|a| a.text == "::")
+                    && tokens.get(i + 2).is_some_and(|b| b.text == "now")
+            }
+            _ => false,
+        };
+        if flagged {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: t.line,
+                rule: Rule::WallClock,
+                message: format!(
+                    "wall-clock read `{}` in an estimate-path crate — timing must never \
+                     influence results",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-spawn
+// ---------------------------------------------------------------------------
+
+fn rule_raw_spawn(rel: &str, tokens: &[Tok], out: &mut Vec<Violation>) {
+    for i in 0..tokens.len() {
+        if tokens[i].text == "thread"
+            && tokens.get(i + 1).is_some_and(|t| t.text == "::")
+            && tokens
+                .get(i + 2)
+                .is_some_and(|t| t.text == "spawn" || t.text == "scope")
+        {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: tokens[i].line,
+                rule: Rule::RawSpawn,
+                message: format!(
+                    "raw `thread::{}` outside `runtime`/`net` — parallelism must go through \
+                     the worker pool",
+                    tokens[i + 2].text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: serve-panic
+// ---------------------------------------------------------------------------
+
+fn rule_serve_panic(rel: &str, tokens: &[Tok], out: &mut Vec<Violation>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "unwrap" | "expect" => {
+                i >= 1
+                    && tokens[i - 1].text == "."
+                    && tokens.get(i + 1).is_some_and(|n| n.text == "(")
+            }
+            "panic" | "unreachable" => tokens.get(i + 1).is_some_and(|n| n.text == "!"),
+            _ => false,
+        };
+        if flagged {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: t.line,
+                rule: Rule::ServePanic,
+                message: format!(
+                    "`{}` on the serve request path — one bad request must not kill a \
+                     worker or connection",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unsafe-code (root attributes, allowances, inventory)
+// ---------------------------------------------------------------------------
+
+fn rule_unsafe(
+    rel: &str,
+    crate_name: &str,
+    tokens: &[Tok],
+    out: &mut Vec<Violation>,
+    report: &mut AuditReport,
+) {
+    // Crate roots must pin their unsafe policy.
+    let is_root = rel == "src/lib.rs" || rel == format!("crates/{crate_name}/src/lib.rs");
+    if is_root {
+        let has_forbid = has_inner_attr(tokens, "forbid");
+        let has_deny = has_inner_attr(tokens, "deny");
+        if crate_name == "runtime" {
+            if !has_deny && !has_forbid {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: 1,
+                    rule: Rule::UnsafeCode,
+                    message: "crate root must carry `#![deny(unsafe_code)]`".to_string(),
+                });
+            }
+        } else if !has_forbid {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: 1,
+                rule: Rule::UnsafeCode,
+                message: "crate root must carry `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
+    }
+
+    // `#[allow(unsafe_code)]` escapes are only legitimate inside `runtime`
+    // (the pool's lifetime erasure).
+    if crate_name != "runtime" {
+        for i in 0..tokens.len() {
+            if tokens[i].text == "allow"
+                && tokens.get(i + 1).is_some_and(|t| t.text == "(")
+                && tokens.get(i + 2).is_some_and(|t| t.text == "unsafe_code")
+            {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: tokens[i].line,
+                    rule: Rule::UnsafeCode,
+                    message: "`allow(unsafe_code)` outside `runtime` — unsafe stays contained \
+                              in the pool"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    // Inventory: count `unsafe` keyword tokens.
+    let regions = tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && t.text == "unsafe")
+        .count();
+    if regions > 0 {
+        report.unsafe_inventory.push(UnsafeSite {
+            file: rel.to_string(),
+            regions,
+        });
+    }
+}
+
+/// Whether the token stream contains `#![<which>(unsafe_code)]`.
+fn has_inner_attr(tokens: &[Tok], which: &str) -> bool {
+    tokens.windows(7).any(|w| {
+        w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && w[3].text == which
+            && w[4].text == "("
+            && w[5].text == "unsafe_code"
+            && w[6].text == ")"
+    })
+}
+
+/// Compare the collected inventory against the golden file at
+/// [`UNSAFE_INVENTORY_PATH`]. Any drift — a new `unsafe` region, a count
+/// change, or a stale entry — is a violation; deliberate changes are
+/// blessed with `UPDATE_GOLDEN=1 cargo test --test audit_clean`.
+fn check_unsafe_inventory(root: &Path, actual: &[UnsafeSite], out: &mut Vec<Violation>) {
+    let golden_path = root.join(UNSAFE_INVENTORY_PATH);
+    let golden_text = match std::fs::read_to_string(&golden_path) {
+        Ok(t) => t,
+        Err(_) => {
+            out.push(Violation {
+                file: UNSAFE_INVENTORY_PATH.to_string(),
+                line: 1,
+                rule: Rule::UnsafeCode,
+                message: "golden unsafe inventory is missing — bless it with \
+                          `UPDATE_GOLDEN=1 cargo test --test audit_clean`"
+                    .to_string(),
+            });
+            return;
+        }
+    };
+    let golden = parse_unsafe_inventory(&golden_text);
+    let actual_map: BTreeMap<&str, usize> = actual
+        .iter()
+        .map(|s| (s.file.as_str(), s.regions))
+        .collect();
+    for site in actual {
+        match golden.get(site.file.as_str()) {
+            Some(&n) if n == site.regions => {}
+            Some(&n) => out.push(Violation {
+                file: site.file.clone(),
+                line: 1,
+                rule: Rule::UnsafeCode,
+                message: format!(
+                    "{} `unsafe` region(s), golden inventory says {n} — a new unsafe region \
+                     cannot appear silently (bless deliberate changes with UPDATE_GOLDEN=1)",
+                    site.regions
+                ),
+            }),
+            None => out.push(Violation {
+                file: site.file.clone(),
+                line: 1,
+                rule: Rule::UnsafeCode,
+                message: format!(
+                    "{} `unsafe` region(s) in a file the golden inventory does not list \
+                     (bless deliberate changes with UPDATE_GOLDEN=1)",
+                    site.regions
+                ),
+            }),
+        }
+    }
+    for (file, _) in golden {
+        if !actual_map.contains_key(file.as_str()) {
+            out.push(Violation {
+                file,
+                line: 1,
+                rule: Rule::UnsafeCode,
+                message: "listed in the golden unsafe inventory but contains no `unsafe` — \
+                          re-bless with UPDATE_GOLDEN=1"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Parse the golden inventory format: one `path unsafe_regions=N` per
+/// line, `#` comments and blank lines ignored.
+pub fn parse_unsafe_inventory(text: &str) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((path, rest)) = line.split_once(' ') {
+            if let Some(n) = rest.trim().strip_prefix("unsafe_regions=") {
+                if let Ok(n) = n.trim().parse::<usize>() {
+                    map.insert(path.to_string(), n);
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Render the inventory in the golden-file format.
+pub fn render_unsafe_inventory(sites: &[UnsafeSite]) -> String {
+    let mut out = String::from(
+        "# Golden inventory of `unsafe` regions (cqc-audit).\n\
+         # A second unsafe region cannot appear without re-blessing this file:\n\
+         # UPDATE_GOLDEN=1 cargo test --test audit_clean\n",
+    );
+    for site in sites {
+        out.push_str(&format!("{} unsafe_regions={}\n", site.file, site.regions));
+    }
+    out
+}

@@ -1,0 +1,384 @@
+//! A small Rust lexer sufficient for token-level static analysis.
+//!
+//! The workspace has no crates.io access, so there is no `syn` and no
+//! `clippy` here; instead this module tokenises Rust source *correctly
+//! enough* that rule scanning over the token stream can never be fooled by
+//! token text appearing inside literals or comments. Concretely it strips:
+//!
+//! - line comments (`//`, `///`, `//!`) — kept aside for waiver parsing,
+//! - block comments (`/* … */`), **including nesting**, which Rust allows,
+//! - string literals (`"…"` with escapes) and byte strings (`b"…"`),
+//! - raw strings (`r"…"`, `r#"…"#`, … any number of hashes, plus `br…`),
+//! - char literals (`'a'`, `'\n'`, `'\''`) while still lexing lifetimes
+//!   (`'static`) as ordinary tokens,
+//! - numeric literals.
+//!
+//! Everything that survives is an [`Tok`] with a 1-based line number, so a
+//! rule match can be reported as `file:line`. Identifiers keep their text;
+//! punctuation is one token per character except `::`, which is glued into
+//! a single token because every path-based rule pattern needs it.
+
+/// What kind of token a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `for`, `unsafe`, `r#type`, …).
+    Ident,
+    /// A punctuation token: one character, except the glued `::`.
+    Punct,
+    /// A literal (string/char/number). The text is replaced by a
+    /// placeholder so rule scans can never match literal *content*.
+    Literal,
+}
+
+/// A single token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (placeholder `"<lit>"` for literals).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+/// A comment (line or block) with the 1-based line on which it starts.
+///
+/// The text excludes the comment markers themselves (`//`, `/*`, `*/`).
+/// Waiver comments (`// cqc-audit: allow(rule) — reason`) are recovered
+/// from these by [`crate::rules::parse_waiver`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line on which the comment starts.
+    pub line: u32,
+    /// Comment body without the `//` / `/* */` markers.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Code tokens in source order (literal contents already blanked).
+    pub tokens: Vec<Tok>,
+    /// Comments in source order (for waiver parsing).
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenise `src`. Never panics: malformed input (an unterminated string,
+/// say) simply ends the current token at end-of-file, which is the right
+/// behaviour for an auditor that must keep scanning whatever it is fed.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_line {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump_line!(c);
+            i += 1;
+            continue;
+        }
+
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start_line = line;
+            i += 2;
+            let mut text = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text,
+            });
+            continue;
+        }
+
+        // Block comment, with nesting.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start_line = line;
+            i += 2;
+            let mut depth = 1usize;
+            let mut text = String::new();
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    i += 2;
+                } else {
+                    bump_line!(chars[i]);
+                    text.push(chars[i]);
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text,
+            });
+            continue;
+        }
+
+        // Raw strings / raw identifiers / byte strings, all starting with
+        // an ident-looking prefix: r"…", r#"…"#, br#"…"#, b"…", b'…', and
+        // the raw identifier r#ident.
+        if is_ident_start(c) {
+            // Possible literal prefixes.
+            let (is_r, after_prefix) = match c {
+                'r' => (true, i + 1),
+                'b' if chars.get(i + 1) == Some(&'r') => (true, i + 2),
+                'b' => (false, i + 1),
+                _ => (false, i + 1),
+            };
+            if (c == 'r' || c == 'b') && after_prefix <= chars.len() {
+                // Count hashes after the prefix.
+                let mut j = after_prefix;
+                let mut hashes = 0usize;
+                while is_r && chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if is_r && hashes > 0 && chars.get(j).is_some_and(|&ch| is_ident_start(ch)) {
+                    // Raw identifier r#type — lex the ident, keep its text.
+                    let start_line = line;
+                    let mut text = String::new();
+                    while j < chars.len() && is_ident_continue(chars[j]) {
+                        text.push(chars[j]);
+                        j += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Ident,
+                        text,
+                        line: start_line,
+                    });
+                    i = j;
+                    continue;
+                }
+                if chars.get(j) == Some(&'"') && (is_r || hashes == 0) {
+                    if is_r {
+                        // Raw (byte) string: runs to `"` followed by
+                        // `hashes` hash marks; no escapes.
+                        j += 1;
+                        let start_line = line;
+                        loop {
+                            if j >= chars.len() {
+                                break;
+                            }
+                            if chars[j] == '"' {
+                                let mut k = j + 1;
+                                let mut seen = 0usize;
+                                while seen < hashes && chars.get(k) == Some(&'#') {
+                                    seen += 1;
+                                    k += 1;
+                                }
+                                if seen == hashes {
+                                    j = k;
+                                    break;
+                                }
+                            }
+                            bump_line!(chars[j]);
+                            j += 1;
+                        }
+                        out.tokens.push(Tok {
+                            kind: TokKind::Literal,
+                            text: "<lit>".to_string(),
+                            line: start_line,
+                        });
+                        i = j;
+                        continue;
+                    } else {
+                        // b"…" — fall through to the cooked-string lexer
+                        // below by positioning on the quote.
+                        let start_line = line;
+                        i = lex_cooked_string(&chars, j, &mut line);
+                        out.tokens.push(Tok {
+                            kind: TokKind::Literal,
+                            text: "<lit>".to_string(),
+                            line: start_line,
+                        });
+                        continue;
+                    }
+                }
+                if !is_r && c == 'b' && chars.get(j) == Some(&'\'') {
+                    // Byte char b'x'.
+                    let start_line = line;
+                    i = lex_char_literal(&chars, j, &mut line);
+                    out.tokens.push(Tok {
+                        kind: TokKind::Literal,
+                        text: "<lit>".to_string(),
+                        line: start_line,
+                    });
+                    continue;
+                }
+            }
+            // Ordinary identifier / keyword.
+            let start_line = line;
+            let mut text = String::new();
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Cooked string literal.
+        if c == '"' {
+            let start_line = line;
+            i = lex_cooked_string(&chars, i, &mut line);
+            out.tokens.push(Tok {
+                kind: TokKind::Literal,
+                text: "<lit>".to_string(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime. After a quote: `\` means char literal;
+        // a single char followed by a closing quote means char literal;
+        // otherwise it is a lifetime (`'static`) — consume the identifier
+        // with no closing quote.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let is_char_lit = match next {
+                Some('\\') => true,
+                Some(_) => chars.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char_lit {
+                let start_line = line;
+                i = lex_char_literal(&chars, i, &mut line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "<lit>".to_string(),
+                    line: start_line,
+                });
+            } else {
+                // Lifetime: skip the quote and the identifier.
+                let start_line = line;
+                let mut text = String::from("'");
+                i += 1;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    text.push(chars[i]);
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line: start_line,
+                });
+            }
+            continue;
+        }
+
+        // Numeric literal: digits plus any alphanumeric suffix (`0xFF`,
+        // `1_000u64`, `1.5e-3`). A `.` is consumed only when followed by a
+        // digit, so ranges (`0..n`) stay punctuation.
+        if c.is_ascii_digit() {
+            let start_line = line;
+            while i < chars.len() {
+                let d = chars[i];
+                let part_of_number = d.is_ascii_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit()));
+                if part_of_number {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Literal,
+                text: "<lit>".to_string(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Punctuation. Glue `::` into one token; everything else is single.
+        if c == ':' && chars.get(i + 1) == Some(&':') {
+            out.tokens.push(Tok {
+                kind: TokKind::Punct,
+                text: "::".to_string(),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        out.tokens.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+
+    out
+}
+
+/// Consume a cooked string starting at the opening quote at `chars[start]`;
+/// returns the index just past the closing quote (or end of input).
+fn lex_cooked_string(chars: &[char], start: usize, line: &mut u32) -> usize {
+    let mut i = start + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2, // skip the escaped character, whatever it is
+            '"' => return i + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Consume a char (or byte-char) literal starting at the opening quote at
+/// `chars[start]`; returns the index just past the closing quote.
+fn lex_char_literal(chars: &[char], start: usize, line: &mut u32) -> usize {
+    let mut i = start + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}

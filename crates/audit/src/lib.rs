@@ -1,0 +1,42 @@
+//! # cqc-audit — determinism & unsafety static analysis for this workspace
+//!
+//! The repository's value proposition is *bit-identical estimates* across
+//! 1/2/N threads, shard counts, and wire protocols. Test matrices
+//! (`tests/parallel_determinism.rs`, `crates/net/tests/wire_determinism.rs`)
+//! observe the *consequences* of that contract; this crate enforces its
+//! *preconditions* at the source level, so a regression is visible before
+//! it ships rather than after it flakes.
+//!
+//! It is std-only (the workspace has no crates.io access, hence no
+//! `syn`/`clippy`): a small hand-written [`lexer`] strips comments
+//! (including nested block comments), string/char/raw-string literals and
+//! numbers, and the [`engine`] token-scans what is left against six
+//! [`rules`]:
+//!
+//! | rule | what it catches |
+//! |------|-----------------|
+//! | `hash-iter` | iteration over `HashMap`/`HashSet` in estimate-path crates |
+//! | `ambient-rng` | `thread_rng`, `rand::random`, `RandomState`, `from_entropy` |
+//! | `wall-clock` | `Instant::now` / `SystemTime` in pure-computation crates |
+//! | `unsafe-code` | missing `forbid(unsafe_code)` roots, un-blessed `unsafe` regions |
+//! | `serve-panic` | `unwrap`/`expect`/`panic!` on the serve request path |
+//! | `raw-spawn` | `thread::spawn`/`scope` outside `runtime` and `net` |
+//!
+//! A finding is silenced only by an in-source waiver carrying a written
+//! reason (`// cqc-audit: allow(rule) — reason`); stale waivers are
+//! themselves violations. The audit runs three ways: `cqc audit` (exit
+//! codes 0 clean / 1 violations / 2 usage), the workspace test
+//! `tests/audit_clean.rs` (so plain `cargo test` gates it), and a CI leg
+//! that uploads `AUDIT_report.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use engine::{audit, audit_source, AuditReport, UnsafeSite, Violation, UNSAFE_INVENTORY_PATH};
+pub use report::{render_json, render_text};
+pub use rules::{Rule, ALL_RULES};

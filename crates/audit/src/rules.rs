@@ -1,0 +1,172 @@
+//! The rule catalogue and the waiver-comment grammar.
+//!
+//! Each rule enforces one clause of the workspace's determinism / safety
+//! contract (see `docs/ARCHITECTURE.md`, "Static analysis"). A violation
+//! can be waived at the site with a comment:
+//!
+//! ```text
+//! // cqc-audit: allow(hash-iter) — summed into a u128, order cannot escape
+//! ```
+//!
+//! The waiver must name the rule(s) it silences and must carry a non-empty
+//! reason after an `—`/`--`/`-` separator; it covers violations on its own
+//! line (trailing comment) and on the line immediately below (comment
+//! above the offending statement). A waiver that silences nothing is
+//! itself reported, so stale waivers cannot accumulate.
+
+use crate::lexer::Comment;
+use std::fmt;
+
+/// The audited rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Iteration over `HashMap`/`HashSet` in an estimate-path crate:
+    /// hash-iteration order is nondeterministic and may reach estimates
+    /// or output ordering.
+    HashIter,
+    /// Ambient randomness (`thread_rng`, `rand::random`, `RandomState`,
+    /// `from_entropy`): all RNG must derive from `cqc_runtime::split_seed`.
+    AmbientRng,
+    /// Wall-clock reads (`Instant::now`, `SystemTime`) in pure-computation
+    /// crates; waiver-only telemetry in `core`.
+    WallClock,
+    /// `unsafe` containment: crate roots must carry
+    /// `forbid`/`deny(unsafe_code)` and the golden inventory of `unsafe`
+    /// regions must not grow.
+    UnsafeCode,
+    /// `unwrap()`/`expect()`/`panic!` on the serve request path.
+    ServePanic,
+    /// Raw `thread::spawn` / `thread::scope` outside `runtime` and `net`:
+    /// parallelism must go through the worker pool so width bounds and
+    /// determinism hold.
+    RawSpawn,
+    /// Problems with waivers themselves: unknown rule name, missing
+    /// reason, or a waiver that silences nothing.
+    Waiver,
+}
+
+/// Every rule, in the order they are reported in.
+pub const ALL_RULES: [Rule; 7] = [
+    Rule::HashIter,
+    Rule::AmbientRng,
+    Rule::WallClock,
+    Rule::UnsafeCode,
+    Rule::ServePanic,
+    Rule::RawSpawn,
+    Rule::Waiver,
+];
+
+impl Rule {
+    /// The kebab-case name used in diagnostics and waiver comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashIter => "hash-iter",
+            Rule::AmbientRng => "ambient-rng",
+            Rule::WallClock => "wall-clock",
+            Rule::UnsafeCode => "unsafe-code",
+            Rule::ServePanic => "serve-panic",
+            Rule::RawSpawn => "raw-spawn",
+            Rule::Waiver => "waiver",
+        }
+    }
+
+    /// Parse a rule name as written in a waiver comment.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A parsed waiver comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line of the comment. The waiver covers violations on this
+    /// line and on `line + 1`.
+    pub line: u32,
+    /// The rules this waiver silences.
+    pub rules: Vec<Rule>,
+    /// The mandatory free-text justification.
+    pub reason: String,
+}
+
+/// The outcome of looking at one comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaiverParse {
+    /// Not a waiver comment at all.
+    NotAWaiver,
+    /// A well-formed waiver.
+    Ok(Waiver),
+    /// Something that starts like a waiver but is malformed; the string
+    /// says what is wrong (reported as a `waiver` rule violation).
+    Malformed(String),
+}
+
+/// The marker that introduces a waiver comment.
+pub const WAIVER_MARKER: &str = "cqc-audit:";
+
+/// Parse one comment. Waivers look like
+/// `cqc-audit: allow(rule-a, rule-b) — reason text`.
+pub fn parse_waiver(comment: &Comment) -> WaiverParse {
+    let text = comment.text.trim();
+    // Doc comments produce leading `/` or `!` in the captured text
+    // (`/// x` lexes as a line comment with text `/ x`); strip them so a
+    // waiver marker is recognised regardless of comment flavour.
+    let text = text.trim_start_matches(['/', '!']).trim_start();
+    let Some(rest) = text.strip_prefix(WAIVER_MARKER) else {
+        return WaiverParse::NotAWaiver;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return WaiverParse::Malformed(format!(
+            "waiver must use `{WAIVER_MARKER} allow(rule) — reason`"
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return WaiverParse::Malformed("waiver is missing `(` after `allow`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return WaiverParse::Malformed("waiver is missing `)` after the rule list".to_string());
+    };
+    let (rule_list, after) = rest.split_at(close);
+    let mut rules = Vec::new();
+    for name in rule_list.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            continue;
+        }
+        match Rule::from_name(name) {
+            Some(r) => rules.push(r),
+            None => {
+                return WaiverParse::Malformed(format!("waiver names unknown rule `{name}`"));
+            }
+        }
+    }
+    if rules.is_empty() {
+        return WaiverParse::Malformed("waiver allows no rules".to_string());
+    }
+    // Reason: everything after the `)`, once an `—` / `--` / `-` separator
+    // is stripped. The separator is required — it keeps the rule list
+    // visually distinct from the justification.
+    let after = after[1..].trim_start();
+    let reason = ["\u{2014}", "--", "-"]
+        .iter()
+        .find_map(|sep| after.strip_prefix(sep))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return WaiverParse::Malformed(
+            "waiver has no reason (expected `— <why this is sound>`)".to_string(),
+        );
+    }
+    WaiverParse::Ok(Waiver {
+        line: comment.line,
+        rules,
+        reason: reason.to_string(),
+    })
+}

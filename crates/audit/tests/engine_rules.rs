@@ -1,0 +1,451 @@
+//! The detector pins: every rule must fire on a seeded violation with the
+//! right `file:line`, stay silent where it does not apply, and honour
+//! waivers, `#[cfg(test)]` exclusion, and the golden `unsafe` inventory.
+
+use cqc_audit::rules::Rule;
+use cqc_audit::{audit, audit_source, Violation};
+use std::path::PathBuf;
+
+fn hits(violations: &[Violation], rule: Rule) -> Vec<&Violation> {
+    violations.iter().filter(|v| v.rule == rule).collect()
+}
+
+// ---- hash-iter --------------------------------------------------------
+
+#[test]
+fn hash_iter_fires_on_for_loop_with_correct_line() {
+    let src = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> u32 {
+    let mut acc = 0;
+    for (_k, v) in m {
+        acc += v;
+    }
+    acc
+}
+";
+    let report = audit_source("crates/data/src/bad.rs", "data", src);
+    let found = hits(&report.violations, Rule::HashIter);
+    assert_eq!(found.len(), 1, "{:?}", report.violations);
+    assert_eq!(found[0].file, "crates/data/src/bad.rs");
+    assert_eq!(found[0].line, 4);
+}
+
+#[test]
+fn hash_iter_fires_on_iter_methods() {
+    let src = "\
+use std::collections::HashSet;
+fn f(s: &HashSet<u32>) -> Vec<u32> {
+    s.iter().copied().collect()
+}
+";
+    let report = audit_source("crates/query/src/bad.rs", "query", src);
+    let found = hits(&report.violations, Rule::HashIter);
+    assert_eq!(found.len(), 1, "{:?}", report.violations);
+    assert_eq!(found[0].line, 3);
+}
+
+#[test]
+fn hash_iter_tracks_let_chains() {
+    let src = "\
+use std::collections::HashMap;
+fn f(tables: &[Option<HashMap<u32, u32>>]) -> u32 {
+    let t = tables[0].as_ref().unwrap();
+    t.values().sum()
+}
+";
+    let report = audit_source("crates/hom/src/bad.rs", "hom", src);
+    let found = hits(&report.violations, Rule::HashIter);
+    assert_eq!(found.len(), 1, "{:?}", report.violations);
+    assert_eq!(found[0].line, 4);
+}
+
+#[test]
+fn hash_iter_ignores_sorted_maps_and_lookups() {
+    let src = "\
+use std::collections::{BTreeMap, HashMap};
+fn f(b: &BTreeMap<u32, u32>, h: &HashMap<u32, u32>) -> u32 {
+    let hit = h.get(&1).copied().unwrap_or(0);
+    b.values().sum::<u32>() + hit
+}
+";
+    let report = audit_source("crates/data/src/ok.rs", "data", src);
+    assert!(hits(&report.violations, Rule::HashIter).is_empty());
+}
+
+#[test]
+fn hash_iter_does_not_apply_outside_estimate_path() {
+    let src = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> u32 {
+    m.values().sum()
+}
+";
+    let report = audit_source("crates/cli/src/anything.rs", "cli", src);
+    assert!(hits(&report.violations, Rule::HashIter).is_empty());
+}
+
+// ---- ambient-rng ------------------------------------------------------
+
+#[test]
+fn ambient_rng_fires_everywhere() {
+    let src = "\
+fn f() -> u64 {
+    let mut rng = rand::thread_rng();
+    rand::random()
+}
+";
+    let report = audit_source("crates/cli/src/bad.rs", "cli", src);
+    let found = hits(&report.violations, Rule::AmbientRng);
+    assert_eq!(found.len(), 2, "{:?}", report.violations);
+    assert_eq!(found[0].line, 2);
+    assert_eq!(found[1].line, 3);
+}
+
+#[test]
+fn seeded_rng_is_fine() {
+    let src = "\
+fn f(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.next_u64()
+}
+";
+    let report = audit_source("crates/core/src/ok.rs", "core", src);
+    assert!(hits(&report.violations, Rule::AmbientRng).is_empty());
+}
+
+// ---- wall-clock -------------------------------------------------------
+
+#[test]
+fn wall_clock_fires_in_estimate_path() {
+    let src = "\
+use std::time::Instant;
+fn f() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+";
+    let report = audit_source("crates/dlm/src/bad.rs", "dlm", src);
+    let found = hits(&report.violations, Rule::WallClock);
+    assert_eq!(found.len(), 1, "{:?}", report.violations);
+    assert_eq!(found[0].line, 3);
+}
+
+#[test]
+fn wall_clock_is_allowed_outside_estimate_path() {
+    let src = "\
+use std::time::Instant;
+fn f() -> std::time::Duration {
+    Instant::now().elapsed()
+}
+";
+    let report = audit_source("crates/net/src/timing.rs", "net", src);
+    assert!(hits(&report.violations, Rule::WallClock).is_empty());
+}
+
+// ---- raw-spawn --------------------------------------------------------
+
+#[test]
+fn raw_spawn_fires_outside_runtime_and_net() {
+    let src = "\
+fn f() {
+    std::thread::spawn(|| {});
+}
+";
+    let report = audit_source("crates/data/src/bad.rs", "data", src);
+    let found = hits(&report.violations, Rule::RawSpawn);
+    assert_eq!(found.len(), 1, "{:?}", report.violations);
+    assert_eq!(found[0].line, 2);
+}
+
+#[test]
+fn raw_spawn_is_exempt_in_runtime_and_net() {
+    let src = "\
+fn f() {
+    std::thread::spawn(|| {});
+}
+";
+    for krate in ["runtime", "net"] {
+        let rel = format!("crates/{krate}/src/ok.rs");
+        let report = audit_source(&rel, krate, src);
+        assert!(hits(&report.violations, Rule::RawSpawn).is_empty());
+    }
+}
+
+// ---- serve-panic ------------------------------------------------------
+
+#[test]
+fn serve_panic_fires_on_the_serve_path_with_correct_line() {
+    let src = "\
+fn handle(line: &str) -> String {
+    let n: u64 = line.trim().parse().unwrap();
+    format!(\"{n}\")
+}
+";
+    let report = audit_source("crates/net/src/server.rs", "net", src);
+    let found = hits(&report.violations, Rule::ServePanic);
+    assert_eq!(found.len(), 1, "{:?}", report.violations);
+    assert_eq!(found[0].file, "crates/net/src/server.rs");
+    assert_eq!(found[0].line, 2);
+    assert!(found[0].message.contains("unwrap"));
+}
+
+#[test]
+fn serve_panic_catches_panic_macros() {
+    let src = "\
+fn handle() {
+    panic!(\"boom\");
+}
+";
+    let report = audit_source("crates/serve/src/server.rs", "serve", src);
+    let found = hits(&report.violations, Rule::ServePanic);
+    assert_eq!(found.len(), 1, "{:?}", report.violations);
+    assert_eq!(found[0].line, 2);
+}
+
+#[test]
+fn unwrap_is_fine_off_the_serve_path() {
+    let src = "\
+fn f(line: &str) -> u64 {
+    line.trim().parse().unwrap()
+}
+";
+    let report = audit_source("crates/net/src/loadgen.rs", "net", src);
+    assert!(hits(&report.violations, Rule::ServePanic).is_empty());
+}
+
+// ---- cfg(test) exclusion ---------------------------------------------
+
+#[test]
+fn test_modules_are_out_of_scope() {
+    let src = "\
+fn production() {}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (_k, _v) in &m {}
+        let _ = std::time::Instant::now();
+    }
+}
+";
+    let report = audit_source("crates/data/src/ok.rs", "data", src);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn cfg_not_test_is_not_stripped() {
+    let src = "\
+#[cfg(not(test))]
+mod production {
+    use std::collections::HashMap;
+    pub fn f(m: &HashMap<u32, u32>) -> u32 {
+        m.values().sum()
+    }
+}
+";
+    let report = audit_source("crates/data/src/bad.rs", "data", src);
+    assert_eq!(hits(&report.violations, Rule::HashIter).len(), 1);
+}
+
+// ---- waivers ----------------------------------------------------------
+
+#[test]
+fn waiver_on_previous_line_silences_and_is_recorded() {
+    let src = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> u32 {
+    let mut acc = 0;
+    // cqc-audit: allow(hash-iter) — commutative sum
+    for (_k, v) in m {
+        acc += v;
+    }
+    acc
+}
+";
+    let report = audit_source("crates/data/src/waived.rs", "data", src);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.waived.len(), 1);
+    assert_eq!(report.waived[0].line, 5);
+    assert_eq!(report.waived[0].reason, "commutative sum");
+}
+
+#[test]
+fn waiver_does_not_reach_past_the_next_line() {
+    let src = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> u32 {
+    // cqc-audit: allow(hash-iter) — too far away
+    let mut acc = 0;
+    for (_k, v) in m {
+        acc += v;
+    }
+    acc
+}
+";
+    let report = audit_source("crates/data/src/bad.rs", "data", src);
+    // The violation survives, and the waiver itself is flagged as stale.
+    assert_eq!(hits(&report.violations, Rule::HashIter).len(), 1);
+    assert_eq!(hits(&report.violations, Rule::Waiver).len(), 1);
+}
+
+#[test]
+fn waiver_without_reason_is_a_violation() {
+    let src = "\
+fn f() {
+    // cqc-audit: allow(hash-iter)
+}
+";
+    let report = audit_source("crates/data/src/bad.rs", "data", src);
+    let found = hits(&report.violations, Rule::Waiver);
+    assert_eq!(found.len(), 1, "{:?}", report.violations);
+    assert_eq!(found[0].line, 2);
+}
+
+#[test]
+fn waiver_only_silences_the_named_rule() {
+    let src = "\
+fn handle(line: &str) -> u64 {
+    // cqc-audit: allow(hash-iter) — wrong rule
+    line.trim().parse().unwrap()
+}
+";
+    let report = audit_source("crates/net/src/server.rs", "net", src);
+    assert_eq!(hits(&report.violations, Rule::ServePanic).len(), 1);
+    assert_eq!(hits(&report.violations, Rule::Waiver).len(), 1);
+}
+
+// ---- unsafe containment (temp-tree, full `audit()` walk) -------------
+
+/// Lay out a minimal workspace under a unique temp dir.
+fn scratch_tree(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("cqc-audit-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    for (rel, contents) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, contents).unwrap();
+    }
+    root
+}
+
+const RUNTIME_ROOT: &str = "#![deny(unsafe_code)]\npub mod pool;\n";
+
+#[test]
+fn a_second_unsafe_region_is_caught_by_the_inventory() {
+    let pool_two_regions = "\
+#![allow(unsafe_code)]
+pub fn a() {
+    unsafe { std::ptr::null::<u8>().read_volatile() };
+}
+pub fn b() {
+    unsafe { std::ptr::null::<u8>().read_volatile() };
+}
+";
+    let root = scratch_tree(
+        "second-unsafe",
+        &[
+            ("crates/runtime/src/lib.rs", RUNTIME_ROOT),
+            ("crates/runtime/src/pool.rs", pool_two_regions),
+            (
+                "tests/golden/unsafe_inventory.txt",
+                "crates/runtime/src/pool.rs unsafe_regions=1\n",
+            ),
+        ],
+    );
+    let report = audit(&root).unwrap();
+    let found = hits(&report.violations, Rule::UnsafeCode);
+    assert_eq!(found.len(), 1, "{:?}", report.violations);
+    assert_eq!(found[0].file, "crates/runtime/src/pool.rs");
+    assert!(found[0].message.contains("golden inventory says 1"));
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn unsafe_outside_the_inventory_is_caught() {
+    let root = scratch_tree(
+        "stray-unsafe",
+        &[
+            ("crates/runtime/src/lib.rs", RUNTIME_ROOT),
+            (
+                "crates/runtime/src/pool.rs",
+                "#![allow(unsafe_code)]\npub fn a() {\n    unsafe { std::ptr::null::<u8>().read_volatile() };\n}\n",
+            ),
+            (
+                "crates/data/src/lib.rs",
+                "#![forbid(unsafe_code)]\npub fn f() {\n    unsafe { std::ptr::null::<u8>().read_volatile() };\n}\n",
+            ),
+            (
+                "tests/golden/unsafe_inventory.txt",
+                "crates/runtime/src/pool.rs unsafe_regions=1\n",
+            ),
+        ],
+    );
+    let report = audit(&root).unwrap();
+    let found = hits(&report.violations, Rule::UnsafeCode);
+    assert_eq!(found.len(), 1, "{:?}", report.violations);
+    assert_eq!(found[0].file, "crates/data/src/lib.rs");
+    assert!(found[0].message.contains("golden inventory does not list"));
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn missing_root_attribute_is_a_violation() {
+    let root = scratch_tree(
+        "no-forbid",
+        &[
+            ("crates/data/src/lib.rs", "pub fn f() {}\n"),
+            ("tests/golden/unsafe_inventory.txt", "\n"),
+        ],
+    );
+    let report = audit(&root).unwrap();
+    let found = hits(&report.violations, Rule::UnsafeCode);
+    assert_eq!(found.len(), 1, "{:?}", report.violations);
+    assert_eq!(found[0].file, "crates/data/src/lib.rs");
+    assert!(found[0].message.contains("forbid(unsafe_code)"));
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn allow_unsafe_outside_runtime_is_a_violation() {
+    let root = scratch_tree(
+        "allow-escape",
+        &[
+            (
+                "crates/data/src/lib.rs",
+                "#![forbid(unsafe_code)]\npub mod esc;\n",
+            ),
+            (
+                "crates/data/src/esc.rs",
+                "#![allow(unsafe_code)]\npub fn f() {}\n",
+            ),
+            ("tests/golden/unsafe_inventory.txt", "\n"),
+        ],
+    );
+    let report = audit(&root).unwrap();
+    let found = hits(&report.violations, Rule::UnsafeCode);
+    assert_eq!(found.len(), 1, "{:?}", report.violations);
+    assert_eq!(found[0].file, "crates/data/src/esc.rs");
+    assert_eq!(found[0].line, 1);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn clean_scratch_tree_is_clean() {
+    let root = scratch_tree(
+        "clean",
+        &[
+            (
+                "crates/data/src/lib.rs",
+                "#![forbid(unsafe_code)]\npub fn f(b: &std::collections::BTreeMap<u32, u32>) -> u32 {\n    b.values().sum()\n}\n",
+            ),
+            ("tests/golden/unsafe_inventory.txt", "\n"),
+        ],
+    );
+    let report = audit(&root).unwrap();
+    assert!(report.is_clean(), "{:?}", report.violations);
+    assert_eq!(report.files_scanned, 1);
+    std::fs::remove_dir_all(&root).unwrap();
+}

@@ -1,0 +1,162 @@
+//! Lexer fixtures: the rule scans must never fire on text that lives
+//! inside comments, strings, or char literals, and the waiver grammar
+//! must round-trip through the comment stream.
+
+use cqc_audit::lexer::{lex, TokKind};
+use cqc_audit::rules::{parse_waiver, Rule, WaiverParse};
+use cqc_audit::{audit_source, ALL_RULES};
+
+/// Identifier texts of the lexed token stream.
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn nested_block_comments_are_stripped() {
+    let src = "/* outer /* unsafe HashMap */ still comment */ fn ok() {}\n";
+    let ids = idents(src);
+    assert_eq!(ids, ["fn", "ok"]);
+}
+
+#[test]
+fn block_comment_spanning_lines_keeps_line_numbers() {
+    let src = "/* line1\nline2\nline3 */\nfn after() {}\n";
+    let lexed = lex(src);
+    let f = lexed.tokens.iter().find(|t| t.text == "fn").unwrap();
+    assert_eq!(f.line, 4);
+}
+
+#[test]
+fn raw_strings_hide_their_contents() {
+    // A raw string containing would-be violations: the scanner must see a
+    // single literal token, not `unsafe` / `HashMap` identifiers.
+    let src = r####"fn f() -> &'static str { r#"unsafe { HashMap::new() } thread_rng()"# }"####;
+    let ids = idents(src);
+    assert!(!ids.contains(&"unsafe".to_string()), "ids = {ids:?}");
+    assert!(!ids.contains(&"HashMap".to_string()), "ids = {ids:?}");
+    // And no rule fires on it, in any crate.
+    let report = audit_source("crates/data/src/x.rs", "data", src);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn cooked_strings_with_comment_markers_are_literals() {
+    // `//` inside a string is not a comment: the `fn after` must survive,
+    // and no waiver comment must be parsed out of the string.
+    let src =
+        "fn f() -> &'static str { \"// cqc-audit: allow(hash-iter) — nope\" }\nfn after() {}\n";
+    let lexed = lex(src);
+    assert!(lexed.comments.is_empty(), "{:?}", lexed.comments);
+    let ids = idents(src);
+    assert!(ids.contains(&"after".to_string()));
+}
+
+#[test]
+fn escaped_quotes_do_not_end_strings() {
+    let src = "fn f() -> String { format!(\"a \\\" unsafe b\") }\n";
+    let ids = idents(src);
+    assert!(!ids.contains(&"unsafe".to_string()), "ids = {ids:?}");
+}
+
+#[test]
+fn char_literals_and_lifetimes_are_distinguished() {
+    let src = "fn f<'a>(x: &'a str) -> char { let c = 'x'; let q = '\\''; c }\n";
+    let lexed = lex(src);
+    // Lifetime names survive as tokens; char literal contents never do.
+    let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+    assert!(texts.contains(&"'a"), "lifetime ident lost: {texts:?}");
+    let lits = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Literal)
+        .count();
+    assert!(lits >= 2, "expected the two char literals: {texts:?}");
+}
+
+#[test]
+fn range_punctuation_is_not_a_float() {
+    // `0..n` must lex as number, punct, ident — not swallow the dots.
+    let src = "fn f(n: usize) { for i in 0..n { let _ = i; } }\n";
+    let ids = idents(src);
+    assert!(ids.contains(&"n".to_string()));
+}
+
+#[test]
+fn line_comments_are_captured_with_lines() {
+    let src = "fn a() {}\n// first\nfn b() {}\n// second\n";
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 2);
+    assert_eq!(lexed.comments[0].line, 2);
+    assert_eq!(lexed.comments[1].line, 4);
+}
+
+// ---- waiver grammar ---------------------------------------------------
+
+fn parse(text: &str) -> WaiverParse {
+    let lexed = lex(&format!("{text}\nfn f() {{}}\n"));
+    assert_eq!(lexed.comments.len(), 1, "fixture must be one comment");
+    parse_waiver(&lexed.comments[0])
+}
+
+#[test]
+fn waiver_with_em_dash_reason_parses() {
+    match parse("// cqc-audit: allow(hash-iter) — commutative fold") {
+        WaiverParse::Ok(w) => {
+            assert_eq!(w.rules, vec![Rule::HashIter]);
+            assert_eq!(w.reason, "commutative fold");
+        }
+        other => panic!("expected Ok, got {other:?}"),
+    }
+}
+
+#[test]
+fn waiver_with_ascii_separator_parses() {
+    match parse("// cqc-audit: allow(wall-clock, serve-panic) -- init-time only") {
+        WaiverParse::Ok(w) => {
+            assert_eq!(w.rules, vec![Rule::WallClock, Rule::ServePanic]);
+            assert_eq!(w.reason, "init-time only");
+        }
+        other => panic!("expected Ok, got {other:?}"),
+    }
+}
+
+#[test]
+fn waiver_without_reason_is_malformed() {
+    assert!(matches!(
+        parse("// cqc-audit: allow(hash-iter)"),
+        WaiverParse::Malformed(_)
+    ));
+    assert!(matches!(
+        parse("// cqc-audit: allow(hash-iter) — "),
+        WaiverParse::Malformed(_)
+    ));
+}
+
+#[test]
+fn waiver_with_unknown_rule_is_malformed() {
+    assert!(matches!(
+        parse("// cqc-audit: allow(no-such-rule) — because"),
+        WaiverParse::Malformed(_)
+    ));
+}
+
+#[test]
+fn ordinary_comments_are_not_waivers() {
+    assert!(matches!(
+        parse("// a perfectly ordinary comment"),
+        WaiverParse::NotAWaiver
+    ));
+}
+
+#[test]
+fn rule_names_round_trip() {
+    for rule in ALL_RULES {
+        assert_eq!(Rule::from_name(rule.name()), Some(rule));
+    }
+    assert_eq!(Rule::from_name("no-such-rule"), None);
+}

@@ -71,6 +71,7 @@ pub fn count_labelings_fixed_shape(a: &TreeAutomaton, shape: &TreeShape) -> u128
             }
             1 => {
                 let child_table = tables[children[0]].as_ref().expect("postorder");
+                // cqc-audit: allow(hash-iter) — every visit only does a commutative u128 `+=` into `table`; the final table is order-independent
                 for (child_set, &count) in child_table {
                     let child: BTreeSet<usize> = child_set.iter().copied().collect();
                     for label in 0..a.num_labels() {
@@ -89,8 +90,10 @@ pub fn count_labelings_fixed_shape(a: &TreeAutomaton, shape: &TreeShape) -> u128
             _ => {
                 let left_table = tables[children[0]].as_ref().expect("postorder").clone();
                 let right_table = tables[children[1]].as_ref().expect("postorder").clone();
+                // cqc-audit: allow(hash-iter) — every visit only does a commutative u128 `+=` into `table`; the final table is order-independent
                 for (lset, &lc) in &left_table {
                     let left: BTreeSet<usize> = lset.iter().copied().collect();
+                    // cqc-audit: allow(hash-iter) — every visit only does a commutative u128 `+=` into `table`; the final table is order-independent
                     for (rset, &rc) in &right_table {
                         let right: BTreeSet<usize> = rset.iter().copied().collect();
                         for label in 0..a.num_labels() {
@@ -115,6 +118,7 @@ pub fn count_labelings_fixed_shape(a: &TreeAutomaton, shape: &TreeShape) -> u128
     tables[shape.root()]
         .as_ref()
         .expect("root processed")
+        // cqc-audit: allow(hash-iter) — u128 sum of the surviving counts; addition is commutative, so hash order cannot change the total
         .iter()
         .filter(|(set, _)| set.binary_search(&a.initial()).is_ok())
         .map(|(_, &c)| c)

@@ -1,0 +1,81 @@
+//! `cqc audit` — run the determinism & unsafety static-analysis pass.
+//!
+//! ```text
+//! cqc audit                         # human-readable diagnostics, exit 0/1
+//! cqc audit --format json           # machine-readable report on stdout
+//! cqc audit --format json --out AUDIT_report.json
+//! cqc audit --root path/to/workspace
+//! ```
+//!
+//! Exit codes: 0 — clean; 1 — unwaived violations (the rendered
+//! diagnostics are still printed); 2 — usage errors. The report is
+//! written to `--out` in every case, so CI can upload the artifact even
+//! from a failing run.
+
+use crate::{Args, CliError};
+use std::path::PathBuf;
+
+/// Run `cqc audit`. On a clean tree the rendered report is returned as
+/// the command output; violations are surfaced as [`CliError::Audit`] so
+/// the binary can exit 1 (distinct from usage errors, which exit 2).
+pub fn run_audit(args: &Args) -> Result<String, CliError> {
+    let root = match args.value_of("root") {
+        Some(r) => PathBuf::from(r),
+        None => find_workspace_root()?,
+    };
+    let format = args.value_of("format").unwrap_or("text").to_string();
+    if format != "text" && format != "json" {
+        return Err(CliError::Usage(format!(
+            "--format must be `text` or `json`, got `{format}`"
+        )));
+    }
+    let out_path = args.value_of("out").map(str::to_string);
+    args.reject_unknown()?;
+
+    if !root.join("Cargo.toml").is_file() {
+        return Err(CliError::Usage(format!(
+            "audit root `{}` has no Cargo.toml — point --root at the workspace root",
+            root.display()
+        )));
+    }
+
+    let report = cqc_audit::audit(&root)
+        .map_err(|e| CliError::Io(format!("audit walk over `{}`: {e}", root.display())))?;
+
+    let rendered = match format.as_str() {
+        "json" => cqc_audit::render_json(&report),
+        _ => cqc_audit::render_text(&report),
+    };
+    if let Some(path) = out_path {
+        // Always write the JSON artifact, whatever the stdout format: the
+        // CI leg uploads it from failing runs too.
+        std::fs::write(&path, cqc_audit::render_json(&report))
+            .map_err(|e| CliError::Io(format!("writing `{path}`: {e}")))?;
+    }
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        Err(CliError::Audit(rendered))
+    }
+}
+
+/// Ascend from the current directory to the nearest directory whose
+/// `Cargo.toml` declares a `[workspace]`.
+fn find_workspace_root() -> Result<PathBuf, CliError> {
+    let mut dir = std::env::current_dir()
+        .map_err(|e| CliError::Io(format!("cannot determine current directory: {e}")))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).unwrap_or_default();
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(CliError::Usage(
+                "no workspace root found above the current directory; pass --root".to_string(),
+            ));
+        }
+    }
+}

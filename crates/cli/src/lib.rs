@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod audit;
 pub mod classify;
 pub mod count;
 pub mod generate;
@@ -44,6 +45,9 @@ pub enum CliError {
     Facts(String),
     /// The counting algorithm rejected the instance.
     Count(String),
+    /// `cqc audit` found unwaived violations; the payload is the rendered
+    /// report. Mapped to exit code 1 (usage errors exit 2).
+    Audit(String),
 }
 
 impl fmt::Display for CliError {
@@ -54,6 +58,7 @@ impl fmt::Display for CliError {
             CliError::Io(m) => write!(f, "io error: {m}"),
             CliError::Facts(m) => write!(f, "facts file error: {m}"),
             CliError::Count(m) => write!(f, "counting error: {m}"),
+            CliError::Audit(report) => write!(f, "audit failed:\n{report}"),
         }
     }
 }
@@ -81,6 +86,8 @@ COMMANDS:
                and write BENCH_serve.json
     classify   Report the query class and its width measures (Figure 1 column)
     generate   Generate a workload database and write it as a facts file
+    audit      Run the determinism & unsafety static-analysis pass over the
+               workspace sources (exit 0 clean / 1 violations / 2 usage)
     help       Show this message
 
 COMMON OPTIONS:
@@ -133,6 +140,13 @@ LOADGEN OPTIONS:
                           concurrency, pool width, shard count or protocol
     --quiet               omit the human-readable summary
 
+AUDIT OPTIONS:
+    --root DIR            workspace to audit (default: ascend from the current
+                          directory to the nearest [workspace] Cargo.toml)
+    --format F            text | json                        (default text)
+    --out PATH            also write the JSON report (AUDIT_report.json in CI),
+                          even when the run fails
+
 GENERATE OPTIONS:
     --family F            erdos-renyi | grid | regular | ternary
     --n N                 number of vertices / universe size
@@ -161,6 +175,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "loadgen" => loadgen::run_loadgen(&args)?,
         "classify" => classify::run_classify(&args)?,
         "generate" => generate::run_generate(&args)?,
+        "audit" => audit::run_audit(&args)?,
         "help" | "--help" | "-h" => USAGE.to_string(),
         other => {
             return Err(CliError::Usage(format!(
@@ -170,6 +185,16 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     };
     args.reject_unknown()?;
     Ok(out)
+}
+
+/// The process exit code for a [`run`] result: 0 on success, 1 when the
+/// audit found violations, 2 for every other error (usage, io, …).
+pub fn exit_code<T>(result: &Result<T, CliError>) -> i32 {
+    match result {
+        Ok(_) => 0,
+        Err(CliError::Audit(_)) => 1,
+        Err(_) => 2,
+    }
 }
 
 /// Shared helpers used by the individual commands.

@@ -2,13 +2,17 @@
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match cqc_cli::run(&argv) {
+    let result = cqc_cli::run(&argv);
+    match &result {
         Ok(output) => print!("{output}"),
+        // Audit violations are findings, not usage errors: print the
+        // diagnostics themselves and exit 1 (scriptable, like a linter).
+        Err(cqc_cli::CliError::Audit(report)) => print!("{report}"),
         Err(err) => {
             eprintln!("error: {err}");
             eprintln!();
             eprintln!("{}", cqc_cli::USAGE);
-            std::process::exit(2);
         }
     }
+    std::process::exit(cqc_cli::exit_code(&result));
 }

@@ -225,6 +225,7 @@ impl Engine {
         // `Engine::new` / `Engine::from_config` skip the builder, so the
         // accuracy guard lives here too: planning is the first fallible step.
         self.config.validate()?;
+        // cqc-audit: allow(wall-clock) — telemetry only: wall times land in the report, never in an estimate or a branch
         let started = Instant::now();
         let class = query.class();
         // The decomposition candidate search parallelises too; the chosen
@@ -390,6 +391,7 @@ impl PreparedQuery {
             Plan::Fpras { count, .. } => fpras_count_with_plan(&self.query, count, db, config),
             Plan::Fptras(plan) => fptras_count_with_plan(&self.query, plan, db, config),
             Plan::Exact { .. } => {
+                // cqc-audit: allow(wall-clock) — telemetry only: wall times land in the report, never in an estimate or a branch
                 let started = Instant::now();
                 if !self.query.compatible_with(db.signature()) {
                     return Err(CoreError::incompatible_database(

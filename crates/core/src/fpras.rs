@@ -132,6 +132,7 @@ pub fn fpras_count_with_plan(
     config: &ApproxConfig,
 ) -> Result<EstimateReport, CoreError> {
     let runtime = config.runtime();
+    // cqc-audit: allow(wall-clock) — telemetry only: wall times land in the report, never in an estimate or a branch
     let start = Instant::now();
     if !query.compatible_with(db.signature()) {
         return Err(CoreError::incompatible_database(
@@ -151,6 +152,7 @@ pub fn fpras_count_with_plan(
     // sampling-based counter (Lemma 51 / ACJR) takes over, fanned out over
     // the runtime with per-(node, state) seed-split RNG streams — the
     // estimate is bit-identical for any thread count.
+    // cqc-audit: allow(wall-clock) — telemetry only: wall times land in the report, never in an estimate or a branch
     let count_start = Instant::now();
     let (estimate, exact) = if states <= config.fpras_exact_state_budget {
         (

@@ -156,6 +156,7 @@ pub fn fptras_count_with_scratch(
     runtime: Runtime,
     scratch: &mut EvalScratch,
 ) -> Result<EstimateReport, CoreError> {
+    // cqc-audit: allow(wall-clock) — telemetry only: wall times land in the report, never in an estimate or a branch
     let start = Instant::now();
     if !query.compatible_with(db.signature()) {
         return Err(CoreError::incompatible_database(
@@ -183,6 +184,7 @@ pub fn fptras_count_with_scratch(
     .with_runtime(runtime)
     .with_relaxed_colouring(relaxed);
 
+    // cqc-audit: allow(wall-clock) — telemetry only: wall times land in the report, never in an estimate or a branch
     let count_start = Instant::now();
     let dlm = DlmConfig::new(config.epsilon, config.delta);
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x9E37));

@@ -2,7 +2,7 @@
 
 use crate::{DataError, Relation, Result, Signature, SymbolId, Tuple, Val};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A relational structure `A` (equivalently, a database `D`):
@@ -157,8 +157,11 @@ impl Structure {
     /// The paper (Section 1.1) notes that singleton unary relations implement
     /// *constants* in queries; this is the device used by the self-reducible
     /// answer sampler of Section 6.
-    pub fn add_constant_relations(&mut self) -> Result<HashMap<Val, SymbolId>> {
-        let mut map = HashMap::new();
+    /// The mapping is a sorted `BTreeMap` so that callers may iterate it
+    /// without tying the iteration order (and hence anything downstream,
+    /// such as sampler branching) to hash state (cqc-audit `hash-iter`).
+    pub fn add_constant_relations(&mut self) -> Result<BTreeMap<Val, SymbolId>> {
+        let mut map = BTreeMap::new();
         for v in 0..self.universe_size as u32 {
             let name = format!("@const_{v}");
             let ids = self.extend_signature(&[(&name, 1)])?;
@@ -371,6 +374,22 @@ mod tests {
             assert_eq!(db.relation(*sym).len(), 1);
             assert!(db.holds(*sym, &[*v]));
         }
+    }
+
+    #[test]
+    fn constant_relations_iterate_in_value_order() {
+        // Regression for the cqc-audit `hash-iter` conversion: the map is
+        // sorted, so callers (the sampler's constant machinery) may iterate
+        // it without picking up hash state.
+        let mut db = graph_db(5, &[(0, 1)]);
+        let consts = db.add_constant_relations().unwrap();
+        let keys: Vec<Val> = consts.keys().copied().collect();
+        assert_eq!(keys, (0..5).map(Val).collect::<Vec<_>>());
+        // ids were assigned in the same ascending pass
+        let ids: Vec<_> = consts.values().map(|s| s.index()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub fn count_homomorphisms(a: &Structure, b: &Structure) -> u128 {
                 .map(|v| child_bag.iter().position(|x| x == v).unwrap())
                 .collect();
             let mut grouped: HashMap<Vec<Val>, u128> = HashMap::new();
+            // cqc-audit: allow(hash-iter) — every visit only does a commutative u128 `+=` into `grouped`; the final table is order-independent
             for (beta, count) in ext[c].as_ref().expect("child processed") {
                 let proj: Vec<Val> = child_pos.iter().map(|&p| beta[p]).collect();
                 *grouped.entry(proj).or_insert(0) += count;
@@ -73,6 +74,7 @@ pub fn count_homomorphisms(a: &Structure, b: &Structure) -> u128 {
         }
         for alpha in local {
             let mut product: u128 = 1;
+            // cqc-audit: allow(hash-iter) — analyzer over-approximation: `child_groups` is a Vec (deterministic order); only its `grouped` members are hash maps, and they are queried, never iterated
             for (bag_pos, grouped) in &child_groups {
                 let proj: Vec<Val> = bag_pos.iter().map(|&p| alpha[p]).collect();
                 match grouped.get(&proj) {
@@ -92,6 +94,7 @@ pub fn count_homomorphisms(a: &Structure, b: &Structure) -> u128 {
     ext[td.root()]
         .as_ref()
         .expect("root processed")
+        // cqc-audit: allow(hash-iter) — saturating u128 fold equals min(u128::MAX, Σ) in any order, so hash order cannot change the result
         .values()
         .fold(0u128, |acc, &v| acc.saturating_add(v))
 }

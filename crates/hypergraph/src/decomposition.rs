@@ -211,7 +211,10 @@ impl TreeDecomposition {
             r.dedup();
             r
         };
-        let new_id: std::collections::HashMap<usize, usize> =
+        // Sorted map: node renumbering must stay independent of hash
+        // order (cqc-audit `hash-iter` — decomposition shape reaches
+        // every oracle call and therefore every estimate).
+        let new_id: std::collections::BTreeMap<usize, usize> =
             reps.iter().enumerate().map(|(i, &r)| (r, i)).collect();
         let mut out = TreeDecomposition {
             bags: reps.iter().map(|&r| self.bags[r].clone()).collect(),
@@ -513,6 +516,28 @@ mod tests {
         let c = td.contract_equal_bags();
         assert_eq!(c.num_nodes(), 2);
         assert_eq!(c.width(), 1);
+    }
+
+    #[test]
+    fn contraction_renumbering_is_deterministic() {
+        // Regression for the cqc-audit `hash-iter` conversion: node
+        // renumbering walks a sorted map, so repeated contractions of one
+        // tree are structurally identical (node ids included) — whatever
+        // the process hash state.
+        let mut td = TreeDecomposition::with_root(set(&[0, 1]));
+        let mut prev = 0;
+        for i in 0..12usize {
+            let lo = i / 2;
+            prev = td.add_child(prev, set(&[lo, lo + 1]));
+        }
+        let c1 = td.contract_equal_bags();
+        let c2 = td.contract_equal_bags();
+        assert_eq!(c1, c2);
+        assert_eq!(c1.num_nodes(), 6);
+        // ids follow first-occurrence order of the representatives
+        for t in 1..c1.num_nodes() {
+            assert!(c1.parent(t).unwrap() < t);
+        }
     }
 
     #[test]

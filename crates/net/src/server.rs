@@ -224,6 +224,7 @@ impl RunningServer {
     pub fn shutdown(mut self) -> u64 {
         self.shared.signal();
         if let Some(handle) = self.accept.take() {
+            // cqc-audit: allow(serve-panic) — shutdown path, not request handling; re-raising an accept-loop panic is the only sound option
             handle.join().expect("accept thread panicked");
         }
         self.served()
@@ -234,6 +235,7 @@ impl RunningServer {
     /// total count requests served.
     pub fn wait(mut self) -> u64 {
         if let Some(handle) = self.accept.take() {
+            // cqc-audit: allow(serve-panic) — shutdown path, not request handling; re-raising an accept-loop panic is the only sound option
             handle.join().expect("accept thread panicked");
         }
         self.served()

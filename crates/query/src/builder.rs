@@ -1,7 +1,7 @@
 //! Building queries, including the equality-elimination rewriting.
 
 use crate::ast::{Atom, Literal, Query, QueryError, Var};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A builder for [`Query`] values.
 ///
@@ -25,7 +25,10 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct QueryBuilder {
     names: Vec<String>,
-    by_name: HashMap<String, Var>,
+    // Sorted maps throughout the builder: variable numbering and arity
+    // checks must never depend on hash-iteration order (cqc-audit
+    // `hash-iter` rule — the query plan feeds every estimate).
+    by_name: BTreeMap<String, Var>,
     free: Vec<Var>,
     literals: Vec<Literal>,
     disequalities: Vec<(Var, Var)>,
@@ -117,11 +120,11 @@ impl QueryBuilder {
             }
         }
         // Renumber representatives densely, in original order.
-        let mut new_index: HashMap<usize, u32> = HashMap::new();
+        let mut new_index: BTreeMap<usize, u32> = BTreeMap::new();
         let mut new_names: Vec<String> = Vec::new();
         for i in 0..n {
             let r = find(&mut parent, i);
-            if let std::collections::hash_map::Entry::Vacant(e) = new_index.entry(r) {
+            if let std::collections::btree_map::Entry::Vacant(e) = new_index.entry(r) {
                 e.insert(new_names.len() as u32);
                 new_names.push(self.names[r].clone());
             }
@@ -145,7 +148,7 @@ impl QueryBuilder {
         }
 
         // Literals: remap; check arity consistency per relation name.
-        let mut arities: HashMap<String, usize> = HashMap::new();
+        let mut arities: BTreeMap<String, usize> = BTreeMap::new();
         let mut literals = Vec::with_capacity(self.literals.len());
         for l in &self.literals {
             let a = l.atom();
@@ -357,6 +360,26 @@ mod tests {
         b.atom("E", &[v1, v2]);
         let q = b.build().unwrap();
         assert_eq!(q.num_vars(), 2);
+    }
+
+    #[test]
+    fn renumbering_is_reproducible_across_builds() {
+        // Regression for the cqc-audit `hash-iter` conversion: dense
+        // renumbering walks a sorted map, so two independent builds of the
+        // same query agree exactly — whatever the process hash state.
+        let build = || {
+            let mut b = QueryBuilder::new();
+            let vars: Vec<Var> = (0..32).map(|i| b.var(&format!("v{i}"))).collect();
+            for w in vars.windows(2) {
+                b.atom("E", &[w[0], w[1]]);
+            }
+            for i in (0..30).step_by(3) {
+                b.equality(vars[i], vars[i + 1]);
+            }
+            b.free(&[vars[0]]);
+            b.build().unwrap()
+        };
+        assert_eq!(build(), build());
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! The audit gate: `cqc-audit` must report the live tree clean, the
+//! `unsafe` inventory must match its golden file, and the waiver
+//! population may only change through a deliberate re-bless
+//! (`UPDATE_GOLDEN=1 cargo test --test audit_clean`).
+
+use cqc_audit::engine::render_unsafe_inventory;
+use cqc_audit::{audit, AuditReport};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run_audit() -> AuditReport {
+    audit(workspace_root()).expect("audit walks the workspace")
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = workspace_root().join("tests/golden").join(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "`{name}` drifted from its golden file; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// The acceptance gate: zero unwaived violations across the workspace.
+#[test]
+fn live_tree_is_audit_clean() {
+    let report = run_audit();
+    assert!(
+        report.is_clean(),
+        "cqc audit found unwaived violations:\n{}",
+        cqc_audit::render_text(&report)
+    );
+    // Sanity: the audit actually looked at the tree.
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}
+
+/// The golden `unsafe` inventory: any new `unsafe` region anywhere in the
+/// workspace fails this test until the inventory is deliberately re-blessed.
+#[test]
+fn unsafe_inventory_matches_golden() {
+    let report = run_audit();
+    let rendered = render_unsafe_inventory(&report.unsafe_inventory);
+    check_golden("unsafe_inventory.txt", &rendered);
+    // The inventory itself is pinned: exactly one file may contain
+    // `unsafe`, and it is the pool's scoped-borrow cell.
+    assert_eq!(
+        report.unsafe_inventory.len(),
+        1,
+        "unsafe appeared outside the runtime pool: {:?}",
+        report.unsafe_inventory
+    );
+    assert_eq!(
+        report.unsafe_inventory[0].file,
+        "crates/runtime/src/pool.rs"
+    );
+}
+
+/// Every crate root must gate unsafe code: `forbid(unsafe_code)`
+/// everywhere, except the runtime (whose pool needs one scoped allowance,
+/// so its root carries `deny` and the allowance lives in `pool.rs`).
+#[test]
+fn every_crate_root_gates_unsafe() {
+    let crates_dir = workspace_root().join("crates");
+    let mut roots = vec![(workspace_root().join("src/lib.rs"), "cqcount".to_string())];
+    for entry in std::fs::read_dir(&crates_dir).unwrap() {
+        let dir = entry.unwrap().path();
+        let lib = dir.join("src/lib.rs");
+        if lib.is_file() {
+            let name = dir.file_name().unwrap().to_string_lossy().into_owned();
+            roots.push((lib, name));
+        }
+    }
+    assert!(roots.len() > 5, "expected a workspace full of crates");
+    for (lib, name) in roots {
+        let src = std::fs::read_to_string(&lib).unwrap();
+        if name == "runtime" {
+            assert!(
+                src.contains("#![deny(unsafe_code)]"),
+                "crates/runtime/src/lib.rs must carry #![deny(unsafe_code)]"
+            );
+        } else {
+            assert!(
+                src.contains("#![forbid(unsafe_code)]"),
+                "{name}: crate root must carry #![forbid(unsafe_code)]"
+            );
+        }
+    }
+}
+
+/// The waiver population is part of the reviewed surface: per-rule counts
+/// are pinned by a golden file, so a PR that adds a waiver has to re-bless
+/// (and thereby show the new waiver to review).
+#[test]
+fn waiver_counts_match_golden() {
+    let report = run_audit();
+    let mut counts: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    for w in &report.waived {
+        *counts.entry(w.rule.name()).or_insert(0) += 1;
+    }
+    let mut out = String::from(
+        "# Waivers silencing cqc-audit findings, counted per rule.\n\
+         # Adding a waiver requires re-blessing:\n\
+         # UPDATE_GOLDEN=1 cargo test --test audit_clean\n",
+    );
+    for (rule, n) in &counts {
+        out.push_str(&format!("{rule} {n}\n"));
+    }
+    check_golden("audit_waivers.txt", &out);
+}
+
+/// Every waiver must carry a written reason (the engine enforces this at
+/// parse time; assert it end to end so the contract is visible here).
+#[test]
+fn every_waiver_carries_a_reason() {
+    let report = run_audit();
+    assert!(
+        !report.waived.is_empty(),
+        "expected some waivers in the tree"
+    );
+    for w in &report.waived {
+        assert!(
+            !w.reason.trim().is_empty(),
+            "waiver without a reason at {}:{}",
+            w.file,
+            w.line
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! `cqc audit` end to end through the library entry point: exit codes
+//! 0/1/2, stable diagnostic formatting (golden), workspace-relative
+//! paths, and the always-written JSON artifact.
+
+use cqc_cli::{exit_code, run, CliError};
+use std::path::PathBuf;
+
+fn workspace_root() -> &'static str {
+    env!("CARGO_MANIFEST_DIR")
+}
+
+fn run_args(args: &[&str]) -> Result<String, CliError> {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    run(&argv)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}", workspace_root());
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path} ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        actual, expected,
+        "`{name}` drifted from its golden file; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// A fixed scratch workspace with one seeded violation per rule family,
+/// so the diagnostic text (and its ordering) can be pinned by a golden.
+fn seeded_tree(name: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("cqc-audit-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let files: [(&str, &str); 4] = [
+        ("Cargo.toml", "[workspace]\n"),
+        (
+            "crates/data/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             use std::collections::HashMap;\n\
+             pub fn f(m: &HashMap<u32, u32>) -> u32 {\n    \
+                 let mut acc = 0;\n    \
+                 for (_k, v) in m {\n        \
+                     acc += v;\n    \
+                 }\n    \
+                 acc\n\
+             }\n",
+        ),
+        (
+            "crates/net/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod server;\n",
+        ),
+        (
+            "crates/net/src/server.rs",
+            "pub fn handle(line: &str) -> u64 {\n    line.trim().parse().unwrap()\n}\n",
+        ),
+    ];
+    for (rel, contents) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, contents).unwrap();
+    }
+    std::fs::create_dir_all(root.join("tests/golden")).unwrap();
+    std::fs::write(root.join("tests/golden/unsafe_inventory.txt"), "\n").unwrap();
+    root
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let result = run_args(&["audit", "--root", workspace_root()]);
+    assert_eq!(exit_code(&result), 0, "{result:?}");
+    let out = result.unwrap();
+    assert!(out.contains("cqc audit: clean"), "{out}");
+}
+
+#[test]
+fn violations_exit_one_with_stable_diagnostics() {
+    let root = seeded_tree("diag");
+    let result = run_args(&["audit", "--root", root.to_str().unwrap()]);
+    assert_eq!(exit_code(&result), 1, "{result:?}");
+    let report = match result {
+        Err(CliError::Audit(report)) => report,
+        other => panic!("expected CliError::Audit, got {other:?}"),
+    };
+    // Paths are relative to the audited root, with `file:line:` prefixes.
+    check_golden("audit_violations.txt", &report);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let result = run_args(&["audit", "--format", "yaml"]);
+    assert_eq!(exit_code(&result), 2, "{result:?}");
+    let root = std::env::temp_dir().join(format!("cqc-audit-cli-noroot-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let result = run_args(&["audit", "--root", root.to_str().unwrap()]);
+    assert_eq!(exit_code(&result), 2, "{result:?}");
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn json_artifact_is_written_even_on_failure() {
+    let root = seeded_tree("artifact");
+    let out = root.join("AUDIT_report.json");
+    let result = run_args(&[
+        "audit",
+        "--root",
+        root.to_str().unwrap(),
+        "--format",
+        "json",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&result), 1);
+    let artifact = std::fs::read_to_string(&out).expect("artifact written on failure");
+    assert!(artifact.contains("\"clean\": false"), "{artifact}");
+    assert!(artifact.contains("hash-iter"), "{artifact}");
+    // The stdout payload (the Audit error) carries the same JSON.
+    match result {
+        Err(CliError::Audit(report)) => assert_eq!(report, artifact),
+        other => panic!("expected CliError::Audit, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn json_report_is_valid_enough_for_ci() {
+    let result = run_args(&["audit", "--root", workspace_root(), "--format", "json"]);
+    let out = result.expect("clean tree");
+    assert!(out.trim_start().starts_with('{'), "{out}");
+    assert!(out.contains("\"tool\": \"cqc-audit\""), "{out}");
+    assert!(out.contains("\"clean\": true"), "{out}");
+}
