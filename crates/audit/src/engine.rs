@@ -70,10 +70,12 @@ impl AuditReport {
     }
 }
 
-/// Crates whose computations feed estimates: `hash-iter` and `wall-clock`
-/// apply here. (`core` is estimate-path too; its telemetry wall-clock
-/// reads are waiver-only by policy.) The facade crate (`src/`) re-exports
-/// the same machinery and is held to the same bar.
+/// Crates whose computations feed estimates: `hash-iter` applies here.
+/// (`wall-clock` is stricter — it applies to **every** crate except `obs`,
+/// whose `clock` module is the workspace's one sanctioned `Instant::now`
+/// site; everything else times through `cqc_obs::Stopwatch`.) The facade
+/// crate (`src/`) re-exports the same machinery and is held to the same
+/// bar.
 const ESTIMATE_PATH_CRATES: [&str; 8] = [
     "automata",
     "core",
@@ -241,6 +243,10 @@ fn scan_file(
 
     if is_estimate_path {
         rule_hash_iter(rel, &tokens, &mut raw);
+    }
+    // Wall-clock reads are confined to `cqc-obs::clock` (the Stopwatch and
+    // the trace epoch); every other crate must time through it.
+    if crate_name != "obs" {
         rule_wall_clock(rel, &tokens, &mut raw);
     }
     rule_ambient_rng(rel, &tokens, &mut raw);
@@ -743,8 +749,8 @@ fn rule_wall_clock(rel: &str, tokens: &[Tok], out: &mut Vec<Violation>) {
                 line: t.line,
                 rule: Rule::WallClock,
                 message: format!(
-                    "wall-clock read `{}` in an estimate-path crate — timing must never \
-                     influence results",
+                    "wall-clock read `{}` outside cqc-obs::clock — time through \
+                     `cqc_obs::Stopwatch` so timing can never influence results",
                     t.text
                 ),
             });

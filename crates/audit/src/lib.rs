@@ -17,7 +17,7 @@
 //! |------|-----------------|
 //! | `hash-iter` | iteration over `HashMap`/`HashSet` in estimate-path crates |
 //! | `ambient-rng` | `thread_rng`, `rand::random`, `RandomState`, `from_entropy` |
-//! | `wall-clock` | `Instant::now` / `SystemTime` in pure-computation crates |
+//! | `wall-clock` | `Instant::now` / `SystemTime` anywhere outside `cqc-obs::clock` |
 //! | `unsafe-code` | missing `forbid(unsafe_code)` roots, un-blessed `unsafe` regions |
 //! | `serve-panic` | `unwrap`/`expect`/`panic!` on the serve request path |
 //! | `raw-spawn` | `thread::spawn`/`scope` outside `runtime` and `net` |

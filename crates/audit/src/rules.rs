@@ -27,8 +27,8 @@ pub enum Rule {
     /// Ambient randomness (`thread_rng`, `rand::random`, `RandomState`,
     /// `from_entropy`): all RNG must derive from `cqc_runtime::split_seed`.
     AmbientRng,
-    /// Wall-clock reads (`Instant::now`, `SystemTime`) in pure-computation
-    /// crates; waiver-only telemetry in `core`.
+    /// Wall-clock reads (`Instant::now`, `SystemTime`) anywhere outside
+    /// `cqc-obs::clock`: all timing flows through `cqc_obs::Stopwatch`.
     WallClock,
     /// `unsafe` containment: crate roots must carry
     /// `forbid`/`deny(unsafe_code)` and the golden inventory of `unsafe`

@@ -132,14 +132,27 @@ fn f() -> u64 {
 }
 
 #[test]
-fn wall_clock_is_allowed_outside_estimate_path() {
+fn wall_clock_fires_in_every_crate_except_obs() {
     let src = "\
 use std::time::Instant;
 fn f() -> std::time::Duration {
     Instant::now().elapsed()
 }
 ";
-    let report = audit_source("crates/net/src/timing.rs", "net", src);
+    for (rel, krate) in [
+        ("crates/net/src/timing.rs", "net"),
+        ("crates/cli/src/timing.rs", "cli"),
+    ] {
+        let report = audit_source(rel, krate, src);
+        assert_eq!(
+            hits(&report.violations, Rule::WallClock).len(),
+            1,
+            "{:?}",
+            report.violations
+        );
+    }
+    // `cqc-obs::clock` is the one sanctioned wall-clock site
+    let report = audit_source("crates/obs/src/clock.rs", "obs", src);
     assert!(hits(&report.violations, Rule::WallClock).is_empty());
 }
 

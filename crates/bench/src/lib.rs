@@ -6,13 +6,13 @@
 
 #![forbid(unsafe_code)]
 
-use std::time::Instant;
+use cqc_obs::Stopwatch;
 
 /// Measure the wall-clock time of a closure, returning `(result, seconds)`.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let out = f();
-    (out, start.elapsed().as_secs_f64())
+    (out, watch.elapsed().as_secs_f64())
 }
 
 /// Relative error of an estimate against the ground truth (0 when both are 0).

@@ -25,6 +25,7 @@ pub mod classify;
 pub mod count;
 pub mod generate;
 pub mod loadgen;
+pub mod report;
 pub mod sample;
 pub mod serve;
 
@@ -86,6 +87,8 @@ COMMANDS:
                and write BENCH_serve.json
     classify   Report the query class and its width measures (Figure 1 column)
     generate   Generate a workload database and write it as a facts file
+    report     Summarise a --trace NDJSON file offline (`report flame`:
+               folded flame stacks + a per-phase wall-time table)
     audit      Run the determinism & unsafety static-analysis pass over the
                workspace sources (exit 0 clean / 1 violations / 2 usage)
     help       Show this message
@@ -109,6 +112,10 @@ COMMON OPTIONS:
                           plan, reporting amortised timings (count only, default 1)
     --count N             number of samples                (sample only, default 10)
     --names               print element names instead of indices (sample only)
+    --trace PATH          record structured trace events (spans with
+                          deterministic seed-derived IDs) and write them as
+                          NDJSON; never changes estimates or response bytes
+                          (count, exact, sample, serve, loadgen)
 
 SERVE OPTIONS:
     --requests PATH       newline-delimited JSON request file (default: stdin)
@@ -138,7 +145,17 @@ LOADGEN OPTIONS:
     --transcript PATH     write the id-ordered response transcript; two runs
                           with one seed are byte-identical whatever the
                           concurrency, pool width, shard count or protocol
+    --obs-bench PATH      measure tracing overhead: warm up, run the mix with
+                          tracing off, run it again with tracing on, and write
+                          the comparison (wall times, overhead_pct, and the
+                          transcripts_identical invisibility witness)
     --quiet               omit the human-readable summary
+
+REPORT OPTIONS (cqc report flame):
+    --trace PATH          the NDJSON trace file to analyse (from `--trace`)
+    --folded-out PATH     also write the raw folded stacks to PATH, one
+                          `path;to;span microseconds` line per stack, for
+                          flamegraph tooling
 
 AUDIT OPTIONS:
     --root DIR            workspace to audit (default: ascend from the current
@@ -167,7 +184,18 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     // dispatch so every command (including `classify`) accepts it.
     common::apply_workers(&args)?;
     let command = args.command.clone().unwrap_or_else(|| "help".to_string());
-    let out = match command.as_str() {
+    // `--trace PATH` turns the tracer on for the traceable commands before
+    // dispatch, so spans opened anywhere in the run are captured; the
+    // drained NDJSON is written after the command returns. (`loadgen`
+    // manages the tracer itself — its `--obs-bench` needs a tracing-off
+    // run first.)
+    let traced = matches!(command.as_str(), "count" | "exact" | "sample" | "serve")
+        .then(|| args.value_of("trace").map(str::to_string))
+        .flatten();
+    if traced.is_some() {
+        cqc_obs::trace::set_enabled(true);
+    }
+    let mut out = match command.as_str() {
         "count" => count::run_count(&args)?,
         "exact" => count::run_exact(&args)?,
         "sample" => sample::run_sample(&args)?,
@@ -175,6 +203,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "loadgen" => loadgen::run_loadgen(&args)?,
         "classify" => classify::run_classify(&args)?,
         "generate" => generate::run_generate(&args)?,
+        "report" => report::run_report(&args)?,
         "audit" => audit::run_audit(&args)?,
         "help" | "--help" | "-h" => USAGE.to_string(),
         other => {
@@ -183,6 +212,14 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             )))
         }
     };
+    if let Some(path) = traced {
+        let events = common::write_trace(&path)?;
+        if !args.switch("quiet") {
+            out.push_str(&format!(
+                "trace       : wrote {events} event(s) to {path}\n"
+            ));
+        }
+    }
     args.reject_unknown()?;
     Ok(out)
 }
@@ -230,6 +267,17 @@ pub(crate) mod common {
     /// Load the database from `--db`.
     pub fn load_database(args: &Args) -> Result<Structure, CliError> {
         load_facts_file(args.require("db")?)
+    }
+
+    /// Disable the tracer, drain every thread's span buffer, and write the
+    /// events as NDJSON to `path`. Returns the number of events written.
+    pub fn write_trace(path: &str) -> Result<u64, CliError> {
+        cqc_obs::trace::set_enabled(false);
+        let trace = cqc_obs::trace::drain();
+        let events = trace.events.len() as u64;
+        std::fs::write(path, trace.to_ndjson())
+            .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
+        Ok(events)
     }
 
     /// Apply `--workers N`: cap the persistent worker pool width for the

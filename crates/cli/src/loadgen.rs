@@ -15,10 +15,46 @@
 
 use crate::common::approx_config;
 use crate::{Args, CliError};
-use cqc_net::loadgen::{bench_json, run_against, transcript_fingerprint, LoadgenOptions, Protocol};
+use cqc_net::loadgen::{
+    bench_json, obs_bench_json, run_against, transcript_fingerprint, LoadgenOptions, Protocol,
+};
 use cqc_net::{NetConfig, RunningServer};
 use cqc_serve::ServerConfig;
-use std::net::ToSocketAddrs;
+use std::net::{SocketAddr, ToSocketAddrs};
+
+/// The extra measurements of an `--obs-bench` run: the tracing-on repeat
+/// of the mix and the trace it recorded.
+struct ObsRun {
+    on: cqc_net::LoadReport,
+    trace: cqc_obs::trace::Trace,
+}
+
+/// Drive `addr` with the mix. Plain runs honour `trace` (tracing on for
+/// the run, drained by the caller). `--obs-bench` runs measure the tracer:
+/// a discarded warm-up (plan cache, pool spin-up), a measured tracing-off
+/// run, then a measured tracing-on run — same server, same mix.
+fn execute(
+    addr: SocketAddr,
+    options: &LoadgenOptions,
+    obs_bench: bool,
+    trace: bool,
+) -> std::io::Result<(cqc_net::LoadReport, Option<ObsRun>)> {
+    if !obs_bench {
+        cqc_obs::trace::set_enabled(trace);
+        let report = run_against(addr, options);
+        cqc_obs::trace::set_enabled(false);
+        return Ok((report?, None));
+    }
+    cqc_obs::trace::set_enabled(false);
+    let _ = cqc_obs::trace::drain(); // isolate from earlier traffic
+    run_against(addr, options)?; // warm-up, discarded
+    let off = run_against(addr, options)?;
+    cqc_obs::trace::set_enabled(true);
+    let on = run_against(addr, options);
+    cqc_obs::trace::set_enabled(false);
+    let trace = cqc_obs::trace::drain();
+    Ok((off, Some(ObsRun { on: on?, trace })))
+}
 
 /// Run `cqc loadgen`.
 pub fn run_loadgen(args: &Args) -> Result<String, CliError> {
@@ -66,17 +102,28 @@ pub fn run_loadgen(args: &Args) -> Result<String, CliError> {
         protocol,
     };
 
+    // Tracing and the tracing-overhead bench are managed here, not in
+    // `run()`: `--obs-bench` needs a tracing-off run before the tracing-on
+    // one, against one shared server.
+    let trace_path = args.value_of("trace").map(str::to_string);
+    let obs_bench_path = args.value_of("obs-bench").map(str::to_string);
+
     // Self-host unless `--connect` points at a running server.
-    let (report, hosted) = match args.value_of("connect") {
+    let (report, obs, hosted) = match args.value_of("connect") {
         Some(raw) => {
             let addr = raw
                 .to_socket_addrs()
                 .map_err(|e| CliError::Usage(format!("cannot resolve `{raw}`: {e}")))?
                 .next()
                 .ok_or_else(|| CliError::Usage(format!("`{raw}` resolves to no address")))?;
-            let report = run_against(addr, &options)
-                .map_err(|e| CliError::Io(format!("loadgen against {addr}: {e}")))?;
-            (report, None)
+            let (report, obs) = execute(
+                addr,
+                &options,
+                obs_bench_path.is_some(),
+                trace_path.is_some(),
+            )
+            .map_err(|e| CliError::Io(format!("loadgen against {addr}: {e}")))?;
+            (report, obs, None)
         }
         None => {
             let server = RunningServer::bind(
@@ -94,10 +141,15 @@ pub fn run_loadgen(args: &Args) -> Result<String, CliError> {
             )
             .map_err(|e| CliError::Io(format!("cannot bind loopback server: {e}")))?;
             let addr = server.addr();
-            let report = run_against(addr, &options)
-                .map_err(|e| CliError::Io(format!("loadgen against {addr}: {e}")))?;
+            let (report, obs) = execute(
+                addr,
+                &options,
+                obs_bench_path.is_some(),
+                trace_path.is_some(),
+            )
+            .map_err(|e| CliError::Io(format!("loadgen against {addr}: {e}")))?;
             let served = server.shutdown();
-            (report, Some((addr, served)))
+            (report, obs, Some((addr, served)))
         }
     };
 
@@ -107,6 +159,23 @@ pub fn run_loadgen(args: &Args) -> Result<String, CliError> {
     let transcript_path = args.value_of("transcript").map(str::to_string);
     if let Some(path) = &transcript_path {
         std::fs::write(path, &report.transcript)
+            .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
+    }
+    if let (Some(path), Some(obs)) = (&obs_bench_path, &obs) {
+        let doc = obs_bench_json(&report, &obs.on, obs.trace.events.len() as u64);
+        std::fs::write(path, format!("{doc}\n"))
+            .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
+    }
+    let mut trace_events = None;
+    if let Some(path) = &trace_path {
+        // With `--obs-bench` the trace of the tracing-on run was already
+        // drained by `execute`; a plain traced run drains here.
+        let trace = match &obs {
+            Some(obs) => obs.trace.clone(),
+            None => cqc_obs::trace::drain(),
+        };
+        trace_events = Some(trace.events.len() as u64);
+        std::fs::write(path, trace.to_ndjson())
             .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
     }
 
@@ -145,6 +214,20 @@ pub fn run_loadgen(args: &Args) -> Result<String, CliError> {
         text.push_str(&format!("bench       : wrote {bench_path}\n"));
         if let Some(path) = &transcript_path {
             text.push_str(&format!("transcript  : wrote {path}\n"));
+        }
+        if let (Some(path), Some(obs)) = (&obs_bench_path, &obs) {
+            text.push_str(&format!(
+                "obs bench   : wrote {path} (trace off {:.3} s, on {:.3} s, {} event(s), transcripts identical: {})\n",
+                report.wall.as_secs_f64(),
+                obs.on.wall.as_secs_f64(),
+                obs.trace.events.len(),
+                report.transcript == obs.on.transcript,
+            ));
+        }
+        if let (Some(path), Some(events)) = (&trace_path, trace_events) {
+            text.push_str(&format!(
+                "trace       : wrote {events} event(s) to {path}\n"
+            ));
         }
     }
     Ok(text)
@@ -237,6 +320,48 @@ mod tests {
             runs[0], runs[1],
             "transcripts drifted across connections/protocol"
         );
+    }
+
+    #[test]
+    fn obs_bench_measures_overhead_without_changing_bytes() {
+        let bench = temp("obs-bench.json");
+        let trace = temp("obs-trace.ndjson");
+        let out = run_loadgen(
+            &args_from([
+                "loadgen",
+                "--requests",
+                "6",
+                "--connections",
+                "2",
+                "--seed",
+                "5",
+                "--method",
+                "exact",
+                "--bench-out",
+                temp("obs-serve-bench.json").to_str().unwrap(),
+                "--obs-bench",
+                bench.to_str().unwrap(),
+                "--trace",
+                trace.to_str().unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("transcripts identical: true"), "{out}");
+        let doc = std::fs::read_to_string(&bench).unwrap();
+        let v = cqc_serve::json::parse(doc.trim()).unwrap();
+        assert_eq!(
+            v.get("bench").and_then(|b| b.as_str()),
+            Some("obs_trace_overhead")
+        );
+        assert!(doc.contains("\"transcripts_identical\":true"), "{doc}");
+        // the tracing-on run recorded request/work_item spans
+        let ndjson = std::fs::read_to_string(&trace).unwrap();
+        assert!(ndjson.contains("\"name\":\"request\""), "{ndjson}");
+        assert!(ndjson.contains("\"name\":\"work_item\""), "{ndjson}");
+        std::fs::remove_file(&bench).ok();
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(temp("obs-serve-bench.json")).ok();
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! The `report` command: offline analysis of `--trace` NDJSON files.
+//!
+//! `cqc report flame --trace FILE` parses the event stream a traced run
+//! wrote, reassembles the span forest (`cqc_obs::trace::build_forest`),
+//! and renders a per-phase wall-time table plus flamegraph-compatible
+//! folded stacks (self-time in microseconds). `--folded-out PATH` writes
+//! the raw folded lines for external flamegraph tooling.
+
+use crate::{Args, CliError};
+use cqc_obs::trace::{build_forest, fold_stacks, phase_totals, Event, EventKind};
+use cqc_serve::json::{parse, Value};
+
+/// Run `cqc report`.
+pub fn run_report(args: &Args) -> Result<String, CliError> {
+    match args.positional() {
+        [kind] if kind == "flame" => run_flame(args),
+        [other, ..] => Err(CliError::Usage(format!(
+            "unknown report `{other}` (expected `flame`); run `cqc help`"
+        ))),
+        [] => Err(CliError::Usage(
+            "`report` expects a report kind (`cqc report flame --trace FILE`)".into(),
+        )),
+    }
+}
+
+/// Parse one NDJSON trace file back into events (the inverse of
+/// `Trace::to_ndjson`). Returns the events plus the dropped-event count
+/// from the trailing marker line, if any.
+fn parse_trace(text: &str) -> Result<(Vec<Event>, u64), CliError> {
+    let bad = |line: usize, m: String| CliError::Facts(format!("trace line {}: {m}", line + 1));
+    let mut events = Vec::new();
+    let mut dropped = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| bad(i, e.to_string()))?;
+        let kind_name = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad(i, "missing `type`".into()))?;
+        if kind_name == "dropped" {
+            dropped += v.get("count").and_then(Value::as_u64).unwrap_or(0);
+            continue;
+        }
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad(i, "missing `name`".into()))?
+            .to_string();
+        let hex_id = |key: &str| -> Result<u64, CliError> {
+            let raw = v
+                .get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| bad(i, format!("missing hex member `{key}`")))?;
+            u64::from_str_radix(raw, 16).map_err(|e| bad(i, format!("bad `{key}`: {e}")))
+        };
+        let kind = match kind_name {
+            "enter" => EventKind::Enter {
+                name,
+                id: hex_id("id")?,
+                parent: hex_id("parent")?,
+            },
+            "exit" => EventKind::Exit {
+                name,
+                id: hex_id("id")?,
+            },
+            "instant" => EventKind::Instant {
+                name,
+                detail: v
+                    .get("detail")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            },
+            other => return Err(bad(i, format!("unknown event type `{other}`"))),
+        };
+        events.push(Event {
+            thread: v.get("thread").and_then(Value::as_u64).unwrap_or(0) as u32,
+            seq: v.get("seq").and_then(Value::as_u64).unwrap_or(0),
+            t_ns: v.get("t_ns").and_then(Value::as_u64).unwrap_or(0),
+            kind,
+        });
+    }
+    events.sort_by_key(|e| (e.thread, e.seq));
+    Ok((events, dropped))
+}
+
+fn run_flame(args: &Args) -> Result<String, CliError> {
+    let path = args.require("trace")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read `{path}`: {e}")))?;
+    let (events, dropped) = parse_trace(&text)?;
+    let forest = build_forest(&events);
+    let phases = phase_totals(&forest);
+    let folded = fold_stacks(&forest);
+    let instants = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Instant { .. }))
+        .count();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace       : {} event(s), {} span(s), {instants} instant(s)",
+        events.len(),
+        forest.nodes.len(),
+    ));
+    if dropped > 0 {
+        out.push_str(&format!(
+            " — WARNING: {dropped} event(s) dropped (trace incomplete)"
+        ));
+    }
+    out.push('\n');
+
+    out.push_str("\nphase         spans   total_ms\n");
+    for (name, count, total_ns) in &phases {
+        out.push_str(&format!(
+            "{name:<13} {count:>5}   {:.3}\n",
+            *total_ns as f64 / 1e6
+        ));
+    }
+
+    out.push_str("\nfolded stacks (self-time µs):\n");
+    let mut folded_text = String::new();
+    for (stack, self_us) in &folded {
+        folded_text.push_str(&format!("{stack} {self_us}\n"));
+    }
+    out.push_str(&folded_text);
+
+    if let Some(folded_path) = args.value_of("folded-out") {
+        std::fs::write(folded_path, &folded_text)
+            .map_err(|e| CliError::Io(format!("cannot write `{folded_path}`: {e}")))?;
+        out.push_str(&format!("\nfolded      : wrote {folded_path}\n"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args_from;
+    use cqc_obs::trace::Trace;
+    use std::path::PathBuf;
+
+    fn temp(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("cqc-cli-report-{}-{name}", std::process::id()));
+        path
+    }
+
+    /// A hand-built trace: request(10µs) > work_item(4µs), one instant.
+    fn sample_trace() -> Trace {
+        let ev = |seq: u64, t_ns: u64, kind: EventKind| Event {
+            thread: 0,
+            seq,
+            t_ns,
+            kind,
+        };
+        Trace {
+            events: vec![
+                ev(
+                    0,
+                    0,
+                    EventKind::Enter {
+                        name: "request".into(),
+                        id: 0xAB,
+                        parent: 0,
+                    },
+                ),
+                ev(
+                    1,
+                    1_000,
+                    EventKind::Instant {
+                        name: "traceparent".into(),
+                        detail: "00-abc".into(),
+                    },
+                ),
+                ev(
+                    2,
+                    2_000,
+                    EventKind::Enter {
+                        name: "work_item".into(),
+                        id: 0xCD,
+                        parent: 0xAB,
+                    },
+                ),
+                ev(
+                    3,
+                    6_000,
+                    EventKind::Exit {
+                        name: "work_item".into(),
+                        id: 0xCD,
+                    },
+                ),
+                ev(
+                    4,
+                    10_000,
+                    EventKind::Exit {
+                        name: "request".into(),
+                        id: 0xAB,
+                    },
+                ),
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn ndjson_round_trips_through_the_parser() {
+        let trace = sample_trace();
+        let (events, dropped) = parse_trace(&trace.to_ndjson()).unwrap();
+        assert_eq!(events, trace.events);
+        assert_eq!(dropped, 0);
+        // a dropped marker survives the round trip as a count
+        let truncated = Trace {
+            events: trace.events.clone(),
+            dropped: 3,
+        };
+        let (_, dropped) = parse_trace(&truncated.to_ndjson()).unwrap();
+        assert_eq!(dropped, 3);
+    }
+
+    #[test]
+    fn flame_report_renders_phases_and_folded_stacks() {
+        let path = temp("flame.ndjson");
+        let folded = temp("flame.folded");
+        std::fs::write(&path, sample_trace().to_ndjson()).unwrap();
+        let out = run_report(
+            &args_from([
+                "report",
+                "flame",
+                "--trace",
+                path.to_str().unwrap(),
+                "--folded-out",
+                folded.to_str().unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("5 event(s), 2 span(s), 1 instant(s)"), "{out}");
+        // request total 10µs = 0.010 ms, self 6µs; work_item total/self 4µs
+        assert!(out.contains("request           1   0.010"), "{out}");
+        assert!(out.contains("work_item         1   0.004"), "{out}");
+        assert!(out.contains("request 6\n"), "{out}");
+        assert!(out.contains("request;work_item 4\n"), "{out}");
+        let folded_text = std::fs::read_to_string(&folded).unwrap();
+        assert_eq!(folded_text, "request 6\nrequest;work_item 4\n");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&folded).ok();
+    }
+
+    #[test]
+    fn bad_reports_are_usage_errors() {
+        for bad in [vec!["report"], vec!["report", "icicle"]] {
+            let err = run_report(&args_from(bad.clone()).unwrap()).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?} -> {err}");
+        }
+        // malformed trace lines are data errors, not panics
+        let path = temp("bad.ndjson");
+        std::fs::write(&path, "{\"type\":\"enter\"}\n").unwrap();
+        let err =
+            run_report(&args_from(["report", "flame", "--trace", path.to_str().unwrap()]).unwrap())
+                .unwrap_err();
+        assert!(err.to_string().contains("trace line 1"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

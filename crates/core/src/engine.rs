@@ -39,9 +39,15 @@ use crate::fptras::{
 use crate::report::{CountMethod, EstimateReport};
 use crate::sampling::sample_answers_with_plan;
 use cqc_data::{Structure, Val};
+use cqc_obs::{split_seed, Stopwatch};
 use cqc_query::{Query, QueryClass};
 use std::sync::OnceLock;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// Tag index deriving the `prepare` span ID from the engine seed
+/// (`split_seed(seed, PREPARE_SPAN_TAG)`); any fixed constant works, it
+/// only has to be stable across runs.
+const PREPARE_SPAN_TAG: u64 = 0x5052_4550; // "PREP"
 
 /// Which counting backend an [`Engine`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -225,8 +231,9 @@ impl Engine {
         // `Engine::new` / `Engine::from_config` skip the builder, so the
         // accuracy guard lives here too: planning is the first fallible step.
         self.config.validate()?;
-        // cqc-audit: allow(wall-clock) — telemetry only: wall times land in the report, never in an estimate or a branch
-        let started = Instant::now();
+        let started = Stopwatch::start();
+        let _span =
+            cqc_obs::trace::Span::enter("prepare", split_seed(self.config.seed, PREPARE_SPAN_TAG));
         let class = query.class();
         // The decomposition candidate search parallelises too; the chosen
         // plan is bit-identical for any thread count. Plans never consume
@@ -391,8 +398,7 @@ impl PreparedQuery {
             Plan::Fpras { count, .. } => fpras_count_with_plan(&self.query, count, db, config),
             Plan::Fptras(plan) => fptras_count_with_plan(&self.query, plan, db, config),
             Plan::Exact { .. } => {
-                // cqc-audit: allow(wall-clock) — telemetry only: wall times land in the report, never in an estimate or a branch
-                let started = Instant::now();
+                let started = Stopwatch::start();
                 if !self.query.compatible_with(db.signature()) {
                     return Err(CoreError::incompatible_database(
                         "sig(ϕ) is not contained in sig(D)",

@@ -23,10 +23,10 @@ use cqc_data::{Structure, Val};
 use cqc_hom::bag_partial_solutions;
 use cqc_hypergraph::fwidth::WidthMeasure;
 use cqc_hypergraph::NiceTreeDecomposition;
+use cqc_obs::Stopwatch;
 use cqc_query::{build_a_structure, build_b_structure, query_hypergraph, Query, QueryClass, Var};
 use cqc_runtime::{split_seed, Runtime};
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// Legacy diagnostic report of an FPRAS run, kept for the one-shot
 /// [`fpras_count`] wrapper. Prefer [`crate::Engine::prepare`] +
@@ -103,6 +103,10 @@ pub fn plan_fpras_with(query: &Query, runtime: &Runtime) -> Result<FprasPlan, Co
         ));
     }
     let h = query_hypergraph(query);
+    // The decomposition search has no seed of its own; its span ID derives
+    // from the enclosing `prepare` span (0 when prepared standalone).
+    let _span =
+        cqc_obs::trace::Span::enter("decompose", split_seed(cqc_obs::trace::current_span(), 1));
     let (fhw, td) = cqc_hypergraph::fwidth::minimise_width_par(
         &h,
         WidthMeasure::FractionalHypertreewidth,
@@ -132,8 +136,7 @@ pub fn fpras_count_with_plan(
     config: &ApproxConfig,
 ) -> Result<EstimateReport, CoreError> {
     let runtime = config.runtime();
-    // cqc-audit: allow(wall-clock) — telemetry only: wall times land in the report, never in an estimate or a branch
-    let start = Instant::now();
+    let start = Stopwatch::start();
     if !query.compatible_with(db.signature()) {
         return Err(CoreError::incompatible_database(
             "sig(ϕ) is not contained in sig(D)",
@@ -152,8 +155,7 @@ pub fn fpras_count_with_plan(
     // sampling-based counter (Lemma 51 / ACJR) takes over, fanned out over
     // the runtime with per-(node, state) seed-split RNG streams — the
     // estimate is bit-identical for any thread count.
-    // cqc-audit: allow(wall-clock) — telemetry only: wall times land in the report, never in an estimate or a branch
-    let count_start = Instant::now();
+    let count_start = Stopwatch::start();
     let (estimate, exact) = if states <= config.fpras_exact_state_budget {
         (
             count_labelings_fixed_shape(&automaton, &plan.shape) as f64,

@@ -15,12 +15,12 @@ use crate::report::{CountMethod, EstimateReport, Telemetry};
 use cqc_data::Structure;
 use cqc_dlm::{approx_edge_count, ApproxMethod, DlmConfig, EdgeFreeOracle};
 use cqc_hom::HybridDecider;
+use cqc_obs::Stopwatch;
 use cqc_query::colored::ColouringFamily;
 use cqc_query::{build_a_hat, build_b_structure, Query};
 use cqc_runtime::Runtime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 /// Legacy diagnostic report of an FPTRAS run, kept for the one-shot
 /// [`fptras_count`] wrapper. Prefer [`crate::Engine::prepare`] +
@@ -156,8 +156,7 @@ pub fn fptras_count_with_scratch(
     runtime: Runtime,
     scratch: &mut EvalScratch,
 ) -> Result<EstimateReport, CoreError> {
-    // cqc-audit: allow(wall-clock) — telemetry only: wall times land in the report, never in an estimate or a branch
-    let start = Instant::now();
+    let start = Stopwatch::start();
     if !query.compatible_with(db.signature()) {
         return Err(CoreError::incompatible_database(
             "sig(ϕ) is not contained in sig(D)",
@@ -184,8 +183,7 @@ pub fn fptras_count_with_scratch(
     .with_runtime(runtime)
     .with_relaxed_colouring(relaxed);
 
-    // cqc-audit: allow(wall-clock) — telemetry only: wall times land in the report, never in an estimate or a branch
-    let count_start = Instant::now();
+    let count_start = Stopwatch::start();
     let dlm = DlmConfig::new(config.epsilon, config.delta);
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x9E37));
     let result = approx_edge_count(&mut oracle, &dlm, &mut rng);

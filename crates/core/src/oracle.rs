@@ -226,6 +226,10 @@ impl<'a, H: HomDecider + Sync> EdgeFreeOracle for AnswerOracle<'a, H> {
 
     fn edge_free(&mut self, parts: &[BTreeSet<usize>]) -> bool {
         self.oracle_calls += 1;
+        // The call's span ID doubles as the root of its repetition seed
+        // tree: both are `split_seed(seed, call_index)`.
+        let call_seed = split_seed(self.seed, self.oracle_calls);
+        let _span = cqc_obs::trace::Span::enter("oracle_call", call_seed);
         let partite = self.to_partite_sets(parts);
         if partite.sets.iter().any(|s| s.is_empty()) && !partite.sets.is_empty() {
             return true;
@@ -248,7 +252,6 @@ impl<'a, H: HomDecider + Sync> EdgeFreeOracle for AnswerOracle<'a, H> {
         // number of rounds actually evaluated (after a witness is found)
         // varies with scheduling, which is why `hom_calls` is telemetry, not
         // part of the determinism contract.
-        let call_seed = split_seed(self.seed, self.oracle_calls);
         let (query, b_structure, a_hat, decider) =
             (self.query, &self.b_structure, &*self.a_hat, self.decider);
         let universe_size = self.universe_size;
@@ -276,7 +279,11 @@ impl<'a, H: HomDecider + Sync> EdgeFreeOracle for AnswerOracle<'a, H> {
         };
         let rounds_evaluated = AtomicU64::new(0);
         let witnessed = runtime.par_any_n(self.repetitions, |r| {
-            let mut rng = StdRng::seed_from_u64(split_seed(call_seed, r as u64));
+            let rep_seed = split_seed(call_seed, r as u64);
+            // repetitions may run on pool workers: attach to the call's
+            // span by explicit parent ID, not the worker's (empty) stack
+            let _rep = cqc_obs::trace::Span::child_of(call_seed, "repetition", rep_seed);
+            let mut rng = StdRng::seed_from_u64(rep_seed);
             let colouring =
                 ColouringFamily::from_fn(num_diseq, universe_size, |_, _| rng.gen::<bool>());
             let (b_hat, _) = build_b_hat(query, b_structure, &partite, &colouring);

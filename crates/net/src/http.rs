@@ -227,11 +227,34 @@ pub fn write_response<W: Write>(
     body: &[u8],
     close: bool,
 ) -> std::io::Result<()> {
+    write_response_with(writer, status, content_type, &[], body, close)
+}
+
+/// [`write_response`] with extra `(name, value)` headers inserted between
+/// `Content-Length` and the optional `Connection: close`. With no extra
+/// headers the bytes are identical to [`write_response`] — the serving
+/// layer uses this to echo a request's `traceparent` header (a pure
+/// function of the request bytes) without perturbing any other response.
+pub fn write_response_with<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{}\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         reason(status),
         body.len(),
+    )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(
+        writer,
+        "{}\r\n",
         if close { "Connection: close\r\n" } else { "" },
     )?;
     writer.write_all(body)?;
@@ -380,6 +403,32 @@ mod tests {
         let mut b = Vec::new();
         write_response(&mut b, 404, "text/plain", b"nope", true).unwrap();
         assert!(String::from_utf8(b).unwrap().contains("Connection: close"));
+    }
+
+    #[test]
+    fn extra_headers_sit_between_content_length_and_connection() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            200,
+            "application/json",
+            &[("Traceparent", "00-abc-def-01")],
+            b"{}",
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\
+             Traceparent: 00-abc-def-01\r\nConnection: close\r\n\r\n{}"
+        );
+        // no extra headers: byte-identical to write_response
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_response(&mut a, 200, "text/plain", b"x", false).unwrap();
+        write_response_with(&mut b, 200, "text/plain", &[], b"x", false).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

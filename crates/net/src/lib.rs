@@ -38,6 +38,6 @@ pub mod loadgen;
 pub mod metrics;
 pub mod server;
 
-pub use loadgen::{bench_json, run_against, LoadReport, LoadgenOptions, Protocol};
+pub use loadgen::{bench_json, obs_bench_json, run_against, LoadReport, LoadgenOptions, Protocol};
 pub use metrics::Metrics;
 pub use server::{NetConfig, RunningServer, ShutdownHandle};

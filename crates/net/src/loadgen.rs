@@ -17,12 +17,13 @@
 //! Latency and throughput, the *measured* quantities, are reported
 //! separately and feed `BENCH_serve.json`.
 
+use cqc_obs::Stopwatch;
 use cqc_serve::json::Value;
 use cqc_workloads::mix::{request_mix, RequestSpec};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Wire protocol the generator drives the server over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,7 +165,7 @@ pub fn run_against(addr: SocketAddr, options: &LoadgenOptions) -> std::io::Resul
     // pooled across connections (nanoseconds).
     let results: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::with_capacity(lines.len()));
     let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(lines.len()));
-    let started = Instant::now();
+    let started = Stopwatch::start();
     std::thread::scope(|scope| -> std::io::Result<()> {
         let mut workers = Vec::new();
         for c in 0..connections {
@@ -181,7 +182,7 @@ pub fn run_against(addr: SocketAddr, options: &LoadgenOptions) -> std::io::Resul
                 let mut local_results = Vec::with_capacity(owned.len());
                 let mut local_latencies = Vec::with_capacity(owned.len());
                 for i in owned {
-                    let start = Instant::now();
+                    let start = Stopwatch::start();
                     let response = client.roundtrip(&lines[i])?;
                     local_latencies.push(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
                     local_results.push((i, response));
@@ -309,6 +310,56 @@ pub fn bench_json(report: &LoadReport) -> String {
                 "{:016x}",
                 transcript_fingerprint(&report.transcript)
             )),
+        ),
+    ])
+    .render()
+}
+
+/// Render the `BENCH_obs.json` document from a back-to-back pair of
+/// identical runs — `off` with tracing disabled, `on` with tracing enabled
+/// (`cqc loadgen --obs-bench`). The document carries the two wall-clock
+/// measurements, the relative overhead, and the invisibility witness:
+/// whether the two transcripts are byte-identical (they must be — tracing
+/// can slow a run down, never change a response byte).
+pub fn obs_bench_json(off: &LoadReport, on: &LoadReport, trace_events: u64) -> String {
+    let o = &off.options;
+    let (wall_off, wall_on) = (off.wall.as_secs_f64(), on.wall.as_secs_f64());
+    let overhead_pct = if wall_off > 0.0 {
+        (wall_on - wall_off) / wall_off * 100.0
+    } else {
+        0.0
+    };
+    Value::Obj(vec![
+        (
+            "bench".to_string(),
+            Value::Str("obs_trace_overhead".to_string()),
+        ),
+        (
+            "protocol".to_string(),
+            Value::Str(o.protocol.name().to_string()),
+        ),
+        ("requests".to_string(), Value::Num(o.requests as f64)),
+        ("connections".to_string(), Value::Num(o.connections as f64)),
+        ("seed".to_string(), Value::Str(o.seed.to_string())),
+        ("wall_seconds_trace_off".to_string(), Value::Num(wall_off)),
+        ("wall_seconds_trace_on".to_string(), Value::Num(wall_on)),
+        (
+            "throughput_rps_trace_off".to_string(),
+            Value::Num(off.throughput_rps),
+        ),
+        (
+            "throughput_rps_trace_on".to_string(),
+            Value::Num(on.throughput_rps),
+        ),
+        ("overhead_pct".to_string(), Value::Num(overhead_pct)),
+        ("trace_events".to_string(), Value::Num(trace_events as f64)),
+        (
+            "transcripts_identical".to_string(),
+            Value::Bool(off.transcript == on.transcript),
+        ),
+        (
+            "transcript_fnv1a".to_string(),
+            Value::Str(format!("{:016x}", transcript_fingerprint(&off.transcript))),
         ),
     ])
     .render()
@@ -474,5 +525,37 @@ mod tests {
         );
         assert_eq!(v.get("requests").and_then(|r| r.as_u64()), Some(100));
         assert!(v.get("latency_ms").and_then(|l| l.get("p99")).is_some());
+    }
+
+    #[test]
+    fn obs_bench_json_reports_overhead_and_identity() {
+        let mk = |wall_ms: u64, transcript: &str| LoadReport {
+            options: LoadgenOptions::default(),
+            wall: Duration::from_millis(wall_ms),
+            throughput_rps: 50.0,
+            p50_ms: 1.0,
+            p95_ms: 2.0,
+            p99_ms: 3.0,
+            errors: 0,
+            bytes_received: 9,
+            transcript: transcript.to_string(),
+        };
+        let off = mk(1000, "{\"id\":0}\n");
+        let on = mk(1030, "{\"id\":0}\n");
+        let text = obs_bench_json(&off, &on, 42);
+        let v = cqc_serve::json::parse(&text).expect("obs bench json parses");
+        assert_eq!(
+            v.get("bench").and_then(|b| b.as_str()),
+            Some("obs_trace_overhead")
+        );
+        assert_eq!(v.get("trace_events").and_then(|t| t.as_u64()), Some(42));
+        let overhead = v.get("overhead_pct").and_then(|p| p.as_f64()).unwrap();
+        assert!((overhead - 3.0).abs() < 1e-9, "{overhead}");
+        assert_eq!(
+            v.get("transcripts_identical").map(|b| b.render()),
+            Some("true".to_string())
+        );
+        let diverged = obs_bench_json(&off, &mk(1030, "{\"id\":1}\n"), 42);
+        assert!(diverged.contains("\"transcripts_identical\":false"));
     }
 }

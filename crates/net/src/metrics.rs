@@ -1,235 +1,172 @@
-//! Serving metrics: relaxed atomic counters plus a fixed-bucket latency
-//! histogram, rendered in the Prometheus text exposition format by
-//! `GET /metrics`.
+//! Serving metrics: the network layer's counters, gauges and request
+//! latency histogram, registered — together with the serve-layer series —
+//! in one `cqc_obs::Registry` and rendered by `GET /metrics`.
 //!
-//! Everything here is observation-only — counters are updated with relaxed
-//! ordering off the hot path and can never influence a response body, so
-//! the wire-determinism contract is untouched.
+//! Everything here is observation-only — series are relaxed atomics updated
+//! off the hot path and can never influence a response body, so the
+//! wire-determinism contract is untouched.
+//!
+//! ## Byte-stable rendering
+//!
+//! The registry renders in registration order, and [`Metrics::new`]
+//! registers exactly the series the pre-registry implementation rendered,
+//! in the same order, with the same help strings — so the historical byte
+//! prefix of `/metrics` (net counters, serve counters, the
+//! `cqc_request_latency_seconds` histogram) is unchanged. Series added
+//! with the unified registry — the extended serve series and the gauges —
+//! are strictly appended after that prefix. Registering everything at
+//! construction time is also the idle-server fix: a scrape against a
+//! server that has served nothing sees every series, zero-valued, instead
+//! of an empty document.
 
-use cqc_serve::StatsSnapshot;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use cqc_obs::{Counter, Gauge, Histogram, Registry};
+use cqc_serve::Server;
+use std::sync::Arc;
 
-/// Upper bounds of the latency histogram buckets, in nanoseconds
-/// (≈ log-spaced from 100 µs to 10 s, plus the implicit `+Inf`).
-pub const LATENCY_BUCKET_BOUNDS_NANOS: &[u64] = &[
-    100_000,        // 100 µs
-    316_000,        // 316 µs
-    1_000_000,      // 1 ms
-    3_160_000,      // 3.16 ms
-    10_000_000,     // 10 ms
-    31_600_000,     // 31.6 ms
-    100_000_000,    // 100 ms
-    316_000_000,    // 316 ms
-    1_000_000_000,  // 1 s
-    3_160_000_000,  // 3.16 s
-    10_000_000_000, // 10 s
-];
+pub use cqc_obs::metrics::LATENCY_BUCKET_BOUNDS_NANOS;
 
-/// A fixed-bucket cumulative histogram of request latencies.
+/// The network layer's handles into the shared registry (the serve-layer
+/// counters — requests, plan cache, work items — are registered by
+/// `cqc_serve::Server` itself in [`Metrics::new`]).
 #[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: Vec<AtomicU64>, // one per bound, plus +Inf
-    sum_nanos: AtomicU64,
-    count: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: (0..=LATENCY_BUCKET_BOUNDS_NANOS.len())
-                .map(|_| AtomicU64::new(0))
-                .collect(),
-            sum_nanos: AtomicU64::new(0),
-            count: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Record one observation.
-    pub fn record(&self, latency: Duration) {
-        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
-        let slot = LATENCY_BUCKET_BOUNDS_NANOS
-            .iter()
-            .position(|&bound| nanos <= bound)
-            .unwrap_or(LATENCY_BUCKET_BOUNDS_NANOS.len());
-        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
-        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total observations recorded.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Render the histogram in Prometheus text format under `name`.
-    fn render(&self, name: &str, out: &mut String) {
-        out.push_str(&format!("# TYPE {name} histogram\n"));
-        let mut cumulative = 0u64;
-        for (i, &bound) in LATENCY_BUCKET_BOUNDS_NANOS.iter().enumerate() {
-            cumulative += self.buckets[i].load(Ordering::Relaxed);
-            out.push_str(&format!(
-                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
-                bound as f64 / 1e9
-            ));
-        }
-        cumulative += self.buckets[LATENCY_BUCKET_BOUNDS_NANOS.len()].load(Ordering::Relaxed);
-        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
-        out.push_str(&format!(
-            "{name}_sum {}\n",
-            self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
-        ));
-        out.push_str(&format!("{name}_count {cumulative}\n"));
-    }
-}
-
-/// The network layer's own counters (the serve-layer counters — requests,
-/// plan cache, work items — live in `cqc_serve::Server` and are merged in
-/// at render time).
-#[derive(Debug, Default)]
 pub struct Metrics {
     /// TCP connections accepted.
-    pub connections: AtomicU64,
+    pub connections: Arc<Counter>,
     /// HTTP requests parsed (any endpoint).
-    pub http_requests: AtomicU64,
+    pub http_requests: Arc<Counter>,
     /// Raw NDJSON lines served over sniffed TCP connections.
-    pub ndjson_lines: AtomicU64,
+    pub ndjson_lines: Arc<Counter>,
     /// HTTP responses by coarse status class.
-    pub responses_2xx: AtomicU64,
+    pub responses_2xx: Arc<Counter>,
     /// 4xx responses (bad requests, unknown endpoints).
-    pub responses_4xx: AtomicU64,
+    pub responses_4xx: Arc<Counter>,
     /// Count-request handling latency (both protocols).
-    pub latency: LatencyHistogram,
+    pub latency: Arc<Histogram>,
+    /// Worker-pool width (participants), sampled at scrape time.
+    pub pool_width: Arc<Gauge>,
+    /// Pool dispatches currently in flight, sampled at scrape time.
+    pub pool_queue_depth: Arc<Gauge>,
+    /// Open TCP connections, sampled at scrape time.
+    pub active_connections: Arc<Gauge>,
 }
 
 impl Metrics {
-    /// Bump a status-class counter for an HTTP response.
-    pub fn observe_status(&self, status: u16) {
-        if (200..300).contains(&status) {
-            self.responses_2xx.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.responses_4xx.fetch_add(1, Ordering::Relaxed);
+    /// Register every `/metrics` series — the net layer's, then (via
+    /// `serve`) the serving core's — in canonical order and return the net
+    /// layer's handles.
+    pub fn new(registry: &Registry, serve: &Server) -> Metrics {
+        // The historical byte prefix: five net counters, six serve
+        // counters, the latency histogram — names, order and help strings
+        // are load-bearing (pinned by `tests/metrics_golden.rs`).
+        let connections = registry.counter("cqc_connections_total", "TCP connections accepted");
+        let http_requests = registry.counter("cqc_http_requests_total", "HTTP requests parsed");
+        let ndjson_lines =
+            registry.counter("cqc_ndjson_lines_total", "raw NDJSON lines served over TCP");
+        let responses_2xx = registry.counter(
+            "cqc_http_responses_2xx_total",
+            "HTTP responses with a 2xx status",
+        );
+        let responses_4xx = registry.counter(
+            "cqc_http_responses_4xx_total",
+            "HTTP responses with a 4xx status",
+        );
+        serve.register_metrics(registry);
+        let latency =
+            registry.histogram("cqc_request_latency_seconds", LATENCY_BUCKET_BOUNDS_NANOS);
+        // Everything below is strictly appended after the historical
+        // prefix: extended serve series, then the sampled gauges.
+        serve.register_extended_metrics(registry);
+        let pool_width = registry.gauge(
+            "cqc_pool_width",
+            "persistent worker-pool width (participating threads)",
+        );
+        let pool_queue_depth = registry.gauge(
+            "cqc_pool_queue_depth",
+            "pool dispatches currently in flight",
+        );
+        let active_connections =
+            registry.gauge("cqc_active_connections", "TCP connections currently open");
+        Metrics {
+            connections,
+            http_requests,
+            ndjson_lines,
+            responses_2xx,
+            responses_4xx,
+            latency,
+            pool_width,
+            pool_queue_depth,
+            active_connections,
         }
     }
 
-    /// Render every metric — net-layer counters, the merged serve-layer
-    /// snapshot, and the latency histogram — in Prometheus text format.
-    pub fn render_prometheus(&self, serve: &StatsSnapshot) -> String {
-        let mut out = String::new();
-        let mut counter = |name: &str, help: &str, value: u64| {
-            out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
-            ));
-        };
-        counter(
-            "cqc_connections_total",
-            "TCP connections accepted",
-            self.connections.load(Ordering::Relaxed),
-        );
-        counter(
-            "cqc_http_requests_total",
-            "HTTP requests parsed",
-            self.http_requests.load(Ordering::Relaxed),
-        );
-        counter(
-            "cqc_ndjson_lines_total",
-            "raw NDJSON lines served over TCP",
-            self.ndjson_lines.load(Ordering::Relaxed),
-        );
-        counter(
-            "cqc_http_responses_2xx_total",
-            "HTTP responses with a 2xx status",
-            self.responses_2xx.load(Ordering::Relaxed),
-        );
-        counter(
-            "cqc_http_responses_4xx_total",
-            "HTTP responses with a 4xx status",
-            self.responses_4xx.load(Ordering::Relaxed),
-        );
-        counter(
-            "cqc_serve_requests_total",
-            "count requests handled by the serving core",
-            serve.requests,
-        );
-        counter(
-            "cqc_serve_request_errors_total",
-            "count requests answered with an error",
-            serve.errors,
-        );
-        counter(
-            "cqc_shard_work_items_total",
-            "work items (databases) evaluated across all requests",
-            serve.work_items,
-        );
-        counter(
-            "cqc_plan_cache_hits_total",
-            "requests served from the prepared-plan cache",
-            serve.plan_cache_hits,
-        );
-        counter(
-            "cqc_plan_cache_misses_total",
-            "requests that prepared a new plan",
-            serve.plan_cache_misses,
-        );
-        counter(
-            "cqc_plan_cache_evictions_total",
-            "plans evicted by the LRU capacity bound",
-            serve.plan_cache_evictions,
-        );
-        self.latency.render("cqc_request_latency_seconds", &mut out);
-        out
+    /// Bump a status-class counter for an HTTP response.
+    pub fn observe_status(&self, status: u16) {
+        if (200..300).contains(&status) {
+            self.responses_2xx.inc();
+        } else {
+            self.responses_4xx.inc();
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cqc_serve::ServerConfig;
 
     #[test]
-    fn histogram_buckets_are_cumulative() {
-        let h = LatencyHistogram::default();
-        h.record(Duration::from_micros(50)); // below first bound
-        h.record(Duration::from_millis(2)); // 3.16 ms bucket
-        h.record(Duration::from_secs(60)); // +Inf
-        assert_eq!(h.count(), 3);
-        let mut out = String::new();
-        h.render("lat", &mut out);
-        assert!(out.contains("lat_bucket{le=\"0.0001\"} 1\n"), "{out}");
-        assert!(out.contains("lat_bucket{le=\"0.00316\"} 2\n"), "{out}");
-        assert!(out.contains("lat_bucket{le=\"+Inf\"} 3\n"), "{out}");
-        assert!(out.contains("lat_count 3\n"), "{out}");
+    fn rendering_starts_with_the_historical_series_in_order() {
+        let registry = Registry::new();
+        let serve = Server::new(ServerConfig::default());
+        let m = Metrics::new(&registry, &serve);
+        m.connections.add(2);
+        m.observe_status(200);
+        m.observe_status(404);
+        let text = registry.render();
+        // the historical prefix, in registration (= rendering) order
+        let needles = [
+            "cqc_connections_total 2",
+            "cqc_http_requests_total 0",
+            "cqc_ndjson_lines_total 0",
+            "cqc_http_responses_2xx_total 1",
+            "cqc_http_responses_4xx_total 1",
+            "cqc_serve_requests_total 0",
+            "cqc_serve_request_errors_total 0",
+            "cqc_shard_work_items_total 0",
+            "cqc_plan_cache_hits_total 0",
+            "cqc_plan_cache_misses_total 0",
+            "cqc_plan_cache_evictions_total 0",
+            "# TYPE cqc_request_latency_seconds histogram",
+        ];
+        let mut last = 0;
+        for needle in needles {
+            let at = text.find(needle).unwrap_or_else(|| {
+                panic!("missing `{needle}` in:\n{text}");
+            });
+            assert!(at >= last, "`{needle}` out of order in:\n{text}");
+            last = at;
+        }
     }
 
     #[test]
-    fn prometheus_rendering_includes_serve_counters() {
-        let m = Metrics::default();
-        m.connections.fetch_add(2, Ordering::Relaxed);
-        m.observe_status(200);
-        m.observe_status(404);
-        let serve = StatsSnapshot {
-            requests: 7,
-            errors: 1,
-            work_items: 12,
-            plan_cache_hits: 5,
-            plan_cache_misses: 2,
-            plan_cache_evictions: 1,
-        };
-        let text = m.render_prometheus(&serve);
+    fn extended_series_render_zeroed_on_an_idle_registry() {
+        let registry = Registry::new();
+        let serve = Server::new(ServerConfig::default());
+        let _m = Metrics::new(&registry, &serve);
+        let text = registry.render();
         for needle in [
-            "cqc_connections_total 2",
-            "cqc_http_responses_2xx_total 1",
-            "cqc_http_responses_4xx_total 1",
-            "cqc_serve_requests_total 7",
-            "cqc_serve_request_errors_total 1",
-            "cqc_shard_work_items_total 12",
-            "cqc_plan_cache_hits_total 5",
-            "cqc_plan_cache_misses_total 2",
-            "cqc_plan_cache_evictions_total 1",
-            "# TYPE cqc_request_latency_seconds histogram",
+            "cqc_oracle_calls_total 0",
+            "cqc_colour_repetitions_total 0",
+            "cqc_shard_merge_seconds_count 0",
+            "cqc_pool_width 0",
+            "cqc_pool_queue_depth 0",
+            "cqc_active_connections 0",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
+        // the extended series come after the historical histogram
+        let hist = text.find("cqc_request_latency_seconds_count").unwrap();
+        let ext = text.find("cqc_oracle_calls_total").unwrap();
+        assert!(hist < ext, "{text}");
     }
 }

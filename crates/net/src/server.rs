@@ -37,16 +37,18 @@
 //! the total number of count requests served.
 
 use crate::http::{
-    finish_chunks, read_request, write_chunk, write_chunked_head, write_response, HttpError,
+    finish_chunks, read_request, write_chunk, write_chunked_head, write_response,
+    write_response_with, HttpError,
 };
 use crate::metrics::Metrics;
+use cqc_obs::{Registry, Stopwatch};
 use cqc_serve::{Server, ServerConfig};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How often idle connections and the wait loops poll the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
@@ -95,6 +97,7 @@ impl Default for NetConfig {
 /// shutdown handle.
 struct Shared {
     serve: Server,
+    registry: Registry,
     metrics: Metrics,
     stopping: AtomicBool,
     served: AtomicU64,
@@ -167,9 +170,16 @@ impl RunningServer {
     pub fn bind(addr: &str, config: NetConfig) -> std::io::Result<RunningServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        // Register every metric series before the first connection is
+        // accepted: a scrape against an idle server must see the full,
+        // zero-valued document, not whatever happened to be touched.
+        let serve = Server::new(config.serve);
+        let registry = Registry::new();
+        let metrics = Metrics::new(&registry, &serve);
         let shared = Arc::new(Shared {
-            serve: Server::new(config.serve),
-            metrics: Metrics::default(),
+            serve,
+            registry,
+            metrics,
             stopping: AtomicBool::new(false),
             served: AtomicU64::new(0),
             max_requests: config.max_requests,
@@ -278,7 +288,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             drop(stream);
             continue;
         }
-        shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.connections.inc();
         shared.active_connections.fetch_add(1, Ordering::Relaxed);
         let conn_shared = Arc::clone(&shared);
         let spawned = std::thread::Builder::new()
@@ -323,9 +333,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 struct PollingStream<'a> {
     stream: TcpStream,
     shared: &'a Shared,
-    /// Reset after every successful read; a read that stays byte-less
+    /// Restarted after every successful read; a read that stays byte-less
     /// past `shared.idle_timeout` fails with `TimedOut`.
-    last_activity: Instant,
+    last_activity: Stopwatch,
 }
 
 impl std::io::Read for PollingStream<'_> {
@@ -352,7 +362,7 @@ impl std::io::Read for PollingStream<'_> {
                 }
                 result => {
                     if result.is_ok() {
-                        self.last_activity = Instant::now();
+                        self.last_activity.restart();
                     }
                     return result;
                 }
@@ -398,7 +408,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
     let mut reader = BufReader::new(PollingStream {
         stream,
         shared,
-        last_activity: Instant::now(),
+        last_activity: Stopwatch::start(),
     });
     let mut writer = BufWriter::new(writer_stream);
     match first_byte(&mut reader)? {
@@ -439,8 +449,8 @@ fn serve_ndjson(
         if line.trim().is_empty() {
             continue;
         }
-        shared.metrics.ndjson_lines.fetch_add(1, Ordering::Relaxed);
-        let start = Instant::now();
+        shared.metrics.ndjson_lines.inc();
+        let start = Stopwatch::start();
         let (response, _) = shared
             .serve
             .handle_line_classified(line.trim_end_matches('\n'));
@@ -467,23 +477,32 @@ fn serve_http(
             Ok(Some(request)) => request,
             Err(HttpError::Io(_)) => return Ok(()),
             Err(HttpError::Malformed(m)) => {
-                shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.http_requests.inc();
                 let body = error_body(&m);
                 shared.metrics.observe_status(400);
                 write_response(writer, 400, "application/json", body.as_bytes(), true)?;
                 return Ok(());
             }
         };
-        shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.http_requests.inc();
         let keep_alive = request.keep_alive() && !shared.stopping();
         let close = !keep_alive;
         let path = request.target.split('?').next().unwrap_or("");
         match (request.method.as_str(), path) {
             ("POST", "/count") => {
+                // A request carrying a `traceparent` header gets it echoed
+                // back verbatim on the response — correlation across the
+                // wire. The echo is a pure function of the request bytes
+                // (tracing on or off never changes it), so it cannot
+                // perturb transcript comparison.
+                let traceparent = request.header("traceparent").map(str::to_string);
+                if let Some(t) = &traceparent {
+                    cqc_obs::trace::instant("traceparent", t);
+                }
                 let (status, body) = match std::str::from_utf8(&request.body) {
                     Err(_) => (400, error_body("request body is not UTF-8")),
                     Ok(text) => {
-                        let start = Instant::now();
+                        let start = Stopwatch::start();
                         let (body, is_error) = shared.serve.handle_line_classified(text.trim());
                         shared.metrics.latency.record(start.elapsed());
                         shared.count_served();
@@ -491,7 +510,18 @@ fn serve_http(
                     }
                 };
                 shared.metrics.observe_status(status);
-                write_response(writer, status, "application/json", body.as_bytes(), close)?;
+                let extra: Vec<(&str, &str)> = traceparent
+                    .as_deref()
+                    .map(|t| vec![("Traceparent", t)])
+                    .unwrap_or_default();
+                write_response_with(
+                    writer,
+                    status,
+                    "application/json",
+                    &extra,
+                    body.as_bytes(),
+                    close,
+                )?;
             }
             ("POST", "/stream") => match std::str::from_utf8(&request.body) {
                 Err(_) => {
@@ -504,7 +534,7 @@ fn serve_http(
                     // response lines and send them length-delimited.
                     let mut body = String::new();
                     for line in text.lines().filter(|l| !l.trim().is_empty()) {
-                        let start = Instant::now();
+                        let start = Stopwatch::start();
                         let (response, _) = shared.serve.handle_line_classified(line);
                         shared.metrics.latency.record(start.elapsed());
                         shared.count_served();
@@ -518,7 +548,7 @@ fn serve_http(
                     shared.metrics.observe_status(200);
                     write_chunked_head(writer, "application/x-ndjson", close)?;
                     for line in text.lines().filter(|l| !l.trim().is_empty()) {
-                        let start = Instant::now();
+                        let start = Stopwatch::start();
                         let (response, _) = shared.serve.handle_line_classified(line);
                         shared.metrics.latency.record(start.elapsed());
                         shared.count_served();
@@ -538,7 +568,20 @@ fn serve_http(
                 )?;
             }
             ("GET", "/metrics") => {
-                let text = shared.metrics.render_prometheus(&shared.serve.stats());
+                // Gauges are sampled at scrape time, just before render.
+                shared
+                    .metrics
+                    .pool_width
+                    .set(cqc_runtime::pool::global().width() as u64);
+                shared
+                    .metrics
+                    .pool_queue_depth
+                    .set(cqc_runtime::pool::active_dispatches());
+                shared
+                    .metrics
+                    .active_connections
+                    .set(shared.active_connections.load(Ordering::Relaxed));
+                let text = shared.registry.render();
                 shared.metrics.observe_status(200);
                 write_response(
                     writer,

@@ -1,0 +1,168 @@
+//! The `/metrics` byte golden: one scrape of an idle server must render
+//! every registered series — zero-valued included — in the canonical
+//! registration order, byte for byte.
+//!
+//! Two contracts are pinned at once:
+//!
+//! * **byte stability** — the historical series (the five net counters,
+//!   the six serve counters, the request-latency histogram) render exactly
+//!   the bytes the pre-registry implementation emitted, so dashboards and
+//!   scrapers survive the `cqc-obs` migration; new series are strictly
+//!   appended after them;
+//! * **the idle-server fix** — every series is registered at startup, so
+//!   the very first scrape exposes the full zeroed inventory instead of
+//!   only the counters that happened to be touched.
+//!
+//! The only non-literal line is `cqc_pool_width`, which reports the
+//! machine-dependent worker-pool width and is formatted dynamically.
+
+use cqc_net::{NetConfig, RunningServer};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Scrape `GET /metrics` once over a fresh connection; returns the body.
+fn scrape(server: &RunningServer) -> String {
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    assert!(status_line.contains("200"), "{status_line}");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().unwrap();
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    String::from_utf8(body).unwrap()
+}
+
+/// A zeroed latency-bucket histogram block under `name`.
+fn zeroed_histogram(name: &str) -> String {
+    let mut out = format!("# TYPE {name} histogram\n");
+    for le in [
+        "0.0001", "0.000316", "0.001", "0.00316", "0.01", "0.0316", "0.1", "0.316", "1", "3.16",
+        "10", "+Inf",
+    ] {
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} 0\n"));
+    }
+    out.push_str(&format!("{name}_sum 0\n{name}_count 0\n"));
+    out
+}
+
+fn counter(name: &str, help: &str, value: u64) -> String {
+    format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n")
+}
+
+fn gauge(name: &str, help: &str, value: u64) -> String {
+    format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n")
+}
+
+#[test]
+fn an_idle_server_scrape_matches_the_golden_bytes() {
+    let server = RunningServer::bind("127.0.0.1:0", NetConfig::default()).expect("bind");
+    let got = scrape(&server);
+    server.shutdown();
+
+    // the scrape itself is the one observed event: its TCP connection was
+    // accepted (and is still open), and its GET was parsed before the
+    // handler rendered the registry; the response counters bump only
+    // after the body is written, so they are still zero in the body
+    let mut expected = String::new();
+    expected.push_str(&counter(
+        "cqc_connections_total",
+        "TCP connections accepted",
+        1,
+    ));
+    expected.push_str(&counter(
+        "cqc_http_requests_total",
+        "HTTP requests parsed",
+        1,
+    ));
+    expected.push_str(&counter(
+        "cqc_ndjson_lines_total",
+        "raw NDJSON lines served over TCP",
+        0,
+    ));
+    expected.push_str(&counter(
+        "cqc_http_responses_2xx_total",
+        "HTTP responses with a 2xx status",
+        0,
+    ));
+    expected.push_str(&counter(
+        "cqc_http_responses_4xx_total",
+        "HTTP responses with a 4xx status",
+        0,
+    ));
+    expected.push_str(&counter(
+        "cqc_serve_requests_total",
+        "count requests handled by the serving core",
+        0,
+    ));
+    expected.push_str(&counter(
+        "cqc_serve_request_errors_total",
+        "count requests answered with an error",
+        0,
+    ));
+    expected.push_str(&counter(
+        "cqc_shard_work_items_total",
+        "work items (databases) evaluated across all requests",
+        0,
+    ));
+    expected.push_str(&counter(
+        "cqc_plan_cache_hits_total",
+        "requests served from the prepared-plan cache",
+        0,
+    ));
+    expected.push_str(&counter(
+        "cqc_plan_cache_misses_total",
+        "requests that prepared a new plan",
+        0,
+    ));
+    expected.push_str(&counter(
+        "cqc_plan_cache_evictions_total",
+        "plans evicted by the LRU capacity bound",
+        0,
+    ));
+    expected.push_str(&zeroed_histogram("cqc_request_latency_seconds"));
+    expected.push_str(&counter(
+        "cqc_oracle_calls_total",
+        "EdgeFree oracle calls issued while answering count requests",
+        0,
+    ));
+    expected.push_str(&counter(
+        "cqc_colour_repetitions_total",
+        "colour-coding repetitions budgeted across evaluated work items",
+        0,
+    ));
+    expected.push_str(&zeroed_histogram("cqc_shard_merge_seconds"));
+    expected.push_str(&gauge(
+        "cqc_pool_width",
+        "persistent worker-pool width (participating threads)",
+        cqc_runtime::pool::global().width() as u64,
+    ));
+    expected.push_str(&gauge(
+        "cqc_pool_queue_depth",
+        "pool dispatches currently in flight",
+        0,
+    ));
+    expected.push_str(&gauge(
+        "cqc_active_connections",
+        "TCP connections currently open",
+        1,
+    ));
+
+    assert_eq!(got, expected, "idle /metrics drifted from the golden bytes");
+}

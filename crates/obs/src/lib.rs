@@ -1,0 +1,42 @@
+//! # cqc-obs — the observability substrate
+//!
+//! Everything in this crate observes; nothing decides. The workspace-wide
+//! invariant — estimates and wire transcripts are byte-identical whether
+//! tracing is on or off — holds because the types here are strictly
+//! write-only from the perspective of the computation: counters and
+//! histograms are relaxed atomics nothing reads back on the request path,
+//! spans land in per-thread buffers that only [`trace::drain`] consumes,
+//! and wall-clock reads are confined to [`clock`] (the sole site the
+//! `cqc-audit` `wall-clock` rule sanctions), feeding telemetry fields that
+//! never reach a branch or an estimate.
+//!
+//! The crate is the workspace's dependency root (it depends on nothing),
+//! which is why [`seed::split_seed`] lives here: the runtime, the engines
+//! and the tracer all derive identifiers from `(seed, work-item index)`
+//! with the same SplitMix64 finaliser, and the tracer cannot depend on the
+//! runtime without a cycle. `cqc-runtime` re-exports the functions, so the
+//! established `cqc_runtime::split_seed` path keeps working.
+//!
+//! Modules:
+//!
+//! * [`seed`] — deterministic SplitMix64 seed/ID derivation.
+//! * [`clock`] — [`Stopwatch`] and the tracer's monotonic epoch; the only
+//!   sanctioned `Instant::now` in the workspace.
+//! * [`metrics`] — [`Counter`]/[`Gauge`]/[`Histogram`] and the ordered
+//!   [`Registry`] rendered by `GET /metrics`.
+//! * [`trace`] — the structured span tracer: deterministic span IDs,
+//!   per-thread ring buffers, NDJSON export, span forests and folded
+//!   flame stacks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod metrics;
+pub mod seed;
+pub mod trace;
+
+pub use clock::Stopwatch;
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use seed::{split_seed, split_seed2};
+pub use trace::Span;

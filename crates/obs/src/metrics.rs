@@ -1,0 +1,372 @@
+//! The unified metrics registry: counters, gauges and log-spaced
+//! histograms rendered in the Prometheus text exposition format.
+//!
+//! Everything here is observation-only — values are updated with relaxed
+//! atomics off the hot path and can never influence a response body, so
+//! the wire-determinism contract is untouched. A [`Registry`] renders its
+//! series **in registration order**, which is what lets `cqc-net` keep the
+//! `/metrics` byte format of its pre-registry implementation: register the
+//! same series in the same order and the bytes match. It is also the
+//! idle-server fix: every series is registered (and therefore rendered,
+//! zero-valued) at startup, not on first touch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A free-standing counter (use [`Registry::counter`] to expose one).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge (pool width, open connections, queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A free-standing gauge (use [`Registry::gauge`] to expose one).
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the current value.
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds of the duration histogram buckets, in nanoseconds
+/// (≈ log-spaced from 100 µs to 10 s, plus the implicit `+Inf`). These are
+/// the bounds `cqc-net` has always exposed for request latency; reusing
+/// them keeps `/metrics` bytes stable.
+pub const LATENCY_BUCKET_BOUNDS_NANOS: &[u64] = &[
+    100_000,        // 100 µs
+    316_000,        // 316 µs
+    1_000_000,      // 1 ms
+    3_160_000,      // 3.16 ms
+    10_000_000,     // 10 ms
+    31_600_000,     // 31.6 ms
+    100_000_000,    // 100 ms
+    316_000_000,    // 316 ms
+    1_000_000_000,  // 1 s
+    3_160_000_000,  // 3.16 s
+    10_000_000_000, // 10 s
+];
+
+/// A fixed-bucket cumulative histogram of durations.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>, // one per bound, plus +Inf
+    sum_nanos: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    /// A histogram over [`LATENCY_BUCKET_BOUNDS_NANOS`].
+    fn default() -> Self {
+        Histogram::new(LATENCY_BUCKET_BOUNDS_NANOS)
+    }
+}
+
+impl Histogram {
+    /// A histogram with the given bucket upper bounds (nanoseconds,
+    /// ascending); `+Inf` is implicit.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_nanos: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, duration: Duration) {
+        self.record_nanos(duration.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one observation given directly in nanoseconds.
+    pub fn record_nanos(&self, nanos: u64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&bound| nanos <= bound)
+            .unwrap_or(self.bounds.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Render in Prometheus text format under `name` (cumulative buckets
+    /// in seconds, then `_sum` and `_count`). No `# HELP` line — the
+    /// format `cqc-net` has always emitted for its latency histogram.
+    pub fn render(&self, name: &str, out: &mut String) {
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, &bound) in self.bounds.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                bound as f64 / 1e9
+            ));
+        }
+        cumulative += self.buckets[self.bounds.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!(
+            "{name}_sum {}\n",
+            self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+        ));
+        out.push_str(&format!("{name}_count {cumulative}\n"));
+    }
+}
+
+/// One registered series.
+enum Series {
+    Counter {
+        name: String,
+        help: String,
+        value: Arc<Counter>,
+    },
+    Gauge {
+        name: String,
+        help: String,
+        value: Arc<Gauge>,
+    },
+    Histogram {
+        name: String,
+        value: Arc<Histogram>,
+    },
+}
+
+impl Series {
+    fn name(&self) -> &str {
+        match self {
+            Series::Counter { name, .. }
+            | Series::Gauge { name, .. }
+            | Series::Histogram { name, .. } => name,
+        }
+    }
+}
+
+/// An ordered collection of metric series, rendered by `GET /metrics`.
+///
+/// Registration order is rendering order. Registering a name twice returns
+/// the existing series (so independent subsystems can share a counter by
+/// name without coordinating).
+#[derive(Default)]
+pub struct Registry {
+    series: Mutex<Vec<Series>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let series = self.lock();
+        f.debug_struct("Registry")
+            .field(
+                "series",
+                &series.iter().map(Series::name).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Series>> {
+        // A poisoned registry only means a panic elsewhere mid-render;
+        // the data (relaxed atomics) is still sound to read.
+        self.series.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Create (or fetch) a counter series.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.register_counter(name, help, Arc::new(Counter::new()))
+    }
+
+    /// Register an existing counter under `name`. If the name is already
+    /// registered the existing counter wins and is returned.
+    pub fn register_counter(&self, name: &str, help: &str, value: Arc<Counter>) -> Arc<Counter> {
+        let mut series = self.lock();
+        for s in series.iter() {
+            if let Series::Counter { name: n, value, .. } = s {
+                if n == name {
+                    return Arc::clone(value);
+                }
+            }
+        }
+        series.push(Series::Counter {
+            name: name.to_string(),
+            help: help.to_string(),
+            value: Arc::clone(&value),
+        });
+        value
+    }
+
+    /// Create (or fetch) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut series = self.lock();
+        for s in series.iter() {
+            if let Series::Gauge { name: n, value, .. } = s {
+                if n == name {
+                    return Arc::clone(value);
+                }
+            }
+        }
+        let value = Arc::new(Gauge::new());
+        series.push(Series::Gauge {
+            name: name.to_string(),
+            help: help.to_string(),
+            value: Arc::clone(&value),
+        });
+        value
+    }
+
+    /// Create (or fetch) a histogram series over the given bucket bounds.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        self.register_histogram(name, Arc::new(Histogram::new(bounds)))
+    }
+
+    /// Register an existing histogram under `name`. If the name is already
+    /// registered the existing histogram wins and is returned.
+    pub fn register_histogram(&self, name: &str, value: Arc<Histogram>) -> Arc<Histogram> {
+        let mut series = self.lock();
+        for s in series.iter() {
+            if let Series::Histogram { name: n, value } = s {
+                if n == name {
+                    return Arc::clone(value);
+                }
+            }
+        }
+        series.push(Series::Histogram {
+            name: name.to_string(),
+            value: Arc::clone(&value),
+        });
+        value
+    }
+
+    /// Render every series, in registration order, in the Prometheus text
+    /// exposition format.
+    pub fn render(&self) -> String {
+        let series = self.lock();
+        let mut out = String::new();
+        for s in series.iter() {
+            match s {
+                Series::Counter { name, help, value } => {
+                    out.push_str(&format!(
+                        "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
+                        value.get()
+                    ));
+                }
+                Series::Gauge { name, help, value } => {
+                    out.push_str(&format!(
+                        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {}\n",
+                        value.get()
+                    ));
+                }
+                Series::Histogram { name, value } => value.render(name, &mut out),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(50)); // below first bound
+        h.record(Duration::from_millis(2)); // 3.16 ms bucket
+        h.record(Duration::from_secs(60)); // +Inf
+        assert_eq!(h.count(), 3);
+        let mut out = String::new();
+        h.render("lat", &mut out);
+        assert!(out.contains("lat_bucket{le=\"0.0001\"} 1\n"), "{out}");
+        assert!(out.contains("lat_bucket{le=\"0.00316\"} 2\n"), "{out}");
+        assert!(out.contains("lat_bucket{le=\"+Inf\"} 3\n"), "{out}");
+        assert!(out.contains("lat_count 3\n"), "{out}");
+    }
+
+    #[test]
+    fn registry_renders_in_registration_order() {
+        let registry = Registry::new();
+        let b = registry.counter("bbb_total", "second alphabetically, first registered");
+        let a = registry.counter("aaa_total", "first alphabetically, second registered");
+        let g = registry.gauge("width", "a gauge");
+        b.add(2);
+        a.inc();
+        g.set(8);
+        let text = registry.render();
+        let b_at = text.find("bbb_total 2").unwrap();
+        let a_at = text.find("aaa_total 1").unwrap();
+        let g_at = text.find("# TYPE width gauge\nwidth 8").unwrap();
+        assert!(b_at < a_at && a_at < g_at, "{text}");
+    }
+
+    #[test]
+    fn registering_twice_shares_the_series() {
+        let registry = Registry::new();
+        let first = registry.counter("dup_total", "once");
+        let second = registry.counter("dup_total", "twice");
+        first.inc();
+        second.inc();
+        assert_eq!(first.get(), 2);
+        // rendered once, with the first help text
+        let text = registry.render();
+        assert_eq!(text.matches("dup_total").count(), 3, "{text}"); // HELP, TYPE, sample
+        assert!(text.contains("# HELP dup_total once"), "{text}");
+    }
+
+    #[test]
+    fn zero_valued_series_render_immediately() {
+        // the idle-server contract: registering is enough to be scraped
+        let registry = Registry::new();
+        registry.counter("idle_total", "never touched");
+        registry.histogram("idle_seconds", LATENCY_BUCKET_BOUNDS_NANOS);
+        let text = registry.render();
+        assert!(text.contains("idle_total 0\n"), "{text}");
+        assert!(text.contains("idle_seconds_count 0\n"), "{text}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Deterministic seed and identifier derivation.
+//!
+//! Sequential Monte-Carlo code conventionally threads *one* RNG stream
+//! through every loop iteration, which makes the i-th draw depend on how
+//! many draws iterations `0..i` consumed — and therefore on scheduling.
+//! The workspace removes that dependency: each logical work item
+//! (repetition index, trial index, database index, candidate index)
+//! derives its own RNG stream from the pair `(seed, item_index)` via
+//! [`split_seed`], a SplitMix64-style bit-mix finaliser:
+//!
+//! ```text
+//! z  = seed ⊕ (index · 0x9E3779B97F4A7C15)      // golden-ratio spacing
+//! z  = (z ⊕ (z ≫ 30)) · 0xBF58476D1CE4E5B9
+//! z  = (z ⊕ (z ≫ 27)) · 0x94D049BB133111EB
+//! s' = z ⊕ (z ≫ 31)                             // the item's stream seed
+//! ```
+//!
+//! Because every item's randomness is a pure function of the engine seed
+//! and the item's logical coordinates, any order-insensitive reduction of
+//! the item outcomes is independent of thread count and scheduling.
+//!
+//! The tracer reuses the same derivation for span identifiers: a span's ID
+//! is `split_seed` of its seed and work-item coordinates, never a wall
+//! clock or ambient randomness, so two runs with the same seed produce
+//! identical span trees.
+
+/// Derive the RNG stream seed (or span ID) of work item `index` from a
+/// parent `seed` (SplitMix64 finaliser over golden-ratio-spaced inputs;
+/// see the module docs for the full scheme and the determinism argument).
+#[inline]
+pub fn split_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hierarchical split for doubly indexed work items, e.g.
+/// `(oracle_call, repetition)`: `split_seed(split_seed(seed, a), b)`.
+#[inline]
+pub fn split_seed2(seed: u64, a: u64, b: u64) -> u64 {
+    split_seed(split_seed(seed, a), b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn split_seed_is_a_pure_injective_looking_mix() {
+        assert_eq!(split_seed(7, 3), split_seed(7, 3));
+        let seeds: BTreeSet<u64> = (0..10_000).map(|i| split_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 10_000);
+        assert_ne!(split_seed(1, 0), split_seed(2, 0));
+        assert_ne!(split_seed2(9, 1, 2), split_seed2(9, 2, 1));
+    }
+
+    #[test]
+    fn split_seed_values_are_pinned() {
+        // The derivation is part of the reproducibility contract: seeds,
+        // item seeds and span IDs recorded in old traces must stay
+        // decodable. Pin a few values so the mix can never drift silently.
+        assert_eq!(split_seed(0, 0), 0);
+        assert_eq!(split_seed(0xC0FFEE, 1), 0x0f0d_f74b_5773_412a);
+        assert_eq!(split_seed2(7, 3, 9), 0x8d4e_8d47_cc11_cf16);
+    }
+}

@@ -77,23 +77,11 @@ use std::sync::Mutex;
 /// exercised on every push.
 pub const THREADS_ENV: &str = "COUNTING_THREADS";
 
-/// Derive the RNG stream seed of work item `index` from a parent `seed`
-/// (SplitMix64 finaliser over golden-ratio-spaced inputs; see the crate
-/// docs for the full scheme and the determinism argument).
-#[inline]
-pub fn split_seed(seed: u64, index: u64) -> u64 {
-    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Hierarchical split for doubly indexed work items, e.g.
-/// `(oracle_call, repetition)`: `split_seed(split_seed(seed, a), b)`.
-#[inline]
-pub fn split_seed2(seed: u64, a: u64, b: u64) -> u64 {
-    split_seed(split_seed(seed, a), b)
-}
+// The seed-splitting functions live in `cqc-obs` (the workspace's
+// dependency root) so the tracer can derive deterministic span IDs with
+// the same finaliser; the established `cqc_runtime::split_seed` path is
+// preserved by re-export.
+pub use cqc_obs::seed::{split_seed, split_seed2};
 
 /// Resolve a requested thread count: a positive request wins; `0` (auto)
 /// falls back to [`THREADS_ENV`] and then to
@@ -273,6 +261,13 @@ impl Runtime {
                 let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                 if start >= n {
                     break;
+                }
+                if cqc_obs::trace::enabled() && pool::on_pool_worker() {
+                    // a pool helper claimed this chunk off the shared cursor
+                    cqc_obs::trace::instant(
+                        "steal",
+                        &format!("chunk {start}..{} of {n}", (start + chunk).min(n)),
+                    );
                 }
                 for i in start..(start + chunk).min(n) {
                     local.push((i, f(i)));
@@ -482,6 +477,27 @@ mod tests {
         });
         let expect: Vec<usize> = (0..8).map(|i| (0..16).map(|j| i * 100 + j).sum()).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn traced_pool_dispatches_record_instants() {
+        // a dedicated pool guarantees the dispatch is accepted (never
+        // busy), so the `pool_dispatch` instant must appear; helper
+        // chunk claims surface as `steal` instants. The tracer is
+        // process-global, so concurrent tests may add events — the
+        // assertions only require presence, never exact counts.
+        let p: &'static pool::Pool = Box::leak(Box::new(pool::Pool::new(4)));
+        let rt = Runtime::new(4).with_pool(p);
+        cqc_obs::trace::set_enabled(true);
+        let out: usize = rt.par_map_n(1024, |i| i).into_iter().sum();
+        cqc_obs::trace::set_enabled(false);
+        let trace = cqc_obs::trace::drain();
+        assert_eq!(out, 1024 * 1023 / 2);
+        let ndjson = trace.to_ndjson();
+        assert!(ndjson.contains("\"name\":\"pool_dispatch\""), "{ndjson}");
+        // the result is identical with the tracer off (and nothing records)
+        let again: usize = rt.par_map_n(1024, |i| i).into_iter().sum();
+        assert_eq!(again, out);
     }
 
     #[test]

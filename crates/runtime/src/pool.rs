@@ -118,6 +118,16 @@ pub fn on_pool_worker() -> bool {
     IN_POOL_WORKER.with(|f| f.get())
 }
 
+/// Jobs currently published to a pool and not yet retired, across every
+/// pool in the process. The serving layer samples this into its
+/// queue-depth gauge; it is observation-only and bounds nothing.
+static ACTIVE_DISPATCHES: AtomicUsize = AtomicUsize::new(0);
+
+/// Pooled jobs currently in flight (published, not yet retired).
+pub fn active_dispatches() -> u64 {
+    ACTIVE_DISPATCHES.load(Ordering::Relaxed) as u64
+}
+
 /// The borrowed job closure with its lifetime erased. Soundness rests on
 /// the retire-before-return protocol (module docs): the pointer is only
 /// dereferenced by workers that claimed a slot under the state mutex, and
@@ -271,6 +281,13 @@ impl Pool {
             st.active = 0;
             st.panicked = false;
             self.shared.work_cv.notify_all();
+            ACTIVE_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+            if cqc_obs::trace::enabled() {
+                cqc_obs::trace::instant(
+                    "pool_dispatch",
+                    &format!("width {} slots {}", helpers + 1, st.slots),
+                );
+            }
         }
 
         // Retirement runs in a drop guard so that a panic inside the
@@ -289,6 +306,7 @@ impl Pool {
                 st.job = None;
                 let panicked = std::mem::replace(&mut st.panicked, false);
                 drop(st);
+                ACTIVE_DISPATCHES.fetch_sub(1, Ordering::Relaxed);
                 if panicked && !std::thread::panicking() {
                     panic!("runtime worker panicked");
                 }

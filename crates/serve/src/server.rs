@@ -23,13 +23,18 @@
 use crate::json::{parse, Value};
 use cqc_core::{Backend, CoreError, Engine, EngineBuilder, EstimateReport, PreparedQuery};
 use cqc_data::{parse_facts, Structure};
+use cqc_obs::{Counter, Histogram, Registry, Stopwatch};
 use cqc_query::parse_query;
 use cqc_runtime::{split_seed, Runtime};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{BufRead, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Tag index deriving a request's span ID from its seed
+/// (`split_seed(request_seed, REQUEST_SPAN_TAG)`); work-item spans hang off
+/// it with per-item IDs `split_seed(request_seed, item)`.
+const REQUEST_SPAN_TAG: u64 = 0x5245_5154; // "REQT"
 
 /// Errors surfaced by the serving front end (rendered into `error`
 /// responses by the request loop).
@@ -108,16 +113,36 @@ pub const MAX_REQUEST_WORKERS: u64 = 4096;
 pub const MAX_SHARDS_PER_ITEM: usize = 16;
 
 /// Monotonic serving counters, updated by [`Server::handle_line`] and the
-/// plan cache. All counters are relaxed atomics — they feed the `/metrics`
-/// endpoint of `cqc-net` and never influence results.
-#[derive(Debug, Default)]
+/// plan cache. All counters are shared `cqc-obs` series (relaxed atomics)
+/// — they feed the `/metrics` endpoint of `cqc-net` via
+/// [`Server::register_metrics`] and never influence results.
+#[derive(Debug)]
 struct ServerCounters {
-    requests: AtomicU64,
-    errors: AtomicU64,
-    work_items: AtomicU64,
-    plan_cache_hits: AtomicU64,
-    plan_cache_misses: AtomicU64,
-    plan_cache_evictions: AtomicU64,
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    work_items: Arc<Counter>,
+    plan_cache_hits: Arc<Counter>,
+    plan_cache_misses: Arc<Counter>,
+    plan_cache_evictions: Arc<Counter>,
+    oracle_calls: Arc<Counter>,
+    colour_repetitions: Arc<Counter>,
+    shard_merge: Arc<Histogram>,
+}
+
+impl Default for ServerCounters {
+    fn default() -> Self {
+        ServerCounters {
+            requests: Arc::new(Counter::new()),
+            errors: Arc::new(Counter::new()),
+            work_items: Arc::new(Counter::new()),
+            plan_cache_hits: Arc::new(Counter::new()),
+            plan_cache_misses: Arc::new(Counter::new()),
+            plan_cache_evictions: Arc::new(Counter::new()),
+            oracle_calls: Arc::new(Counter::new()),
+            colour_repetitions: Arc::new(Counter::new()),
+            shard_merge: Arc::new(Histogram::default()),
+        }
+    }
 }
 
 /// A point-in-time copy of the server's counters.
@@ -237,13 +262,73 @@ impl Server {
     /// work items, plan-cache hits/misses/evictions).
     pub fn stats(&self) -> StatsSnapshot {
         StatsSnapshot {
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            errors: self.counters.errors.load(Ordering::Relaxed),
-            work_items: self.counters.work_items.load(Ordering::Relaxed),
-            plan_cache_hits: self.counters.plan_cache_hits.load(Ordering::Relaxed),
-            plan_cache_misses: self.counters.plan_cache_misses.load(Ordering::Relaxed),
-            plan_cache_evictions: self.counters.plan_cache_evictions.load(Ordering::Relaxed),
+            requests: self.counters.requests.get(),
+            errors: self.counters.errors.get(),
+            work_items: self.counters.work_items.get(),
+            plan_cache_hits: self.counters.plan_cache_hits.get(),
+            plan_cache_misses: self.counters.plan_cache_misses.get(),
+            plan_cache_evictions: self.counters.plan_cache_evictions.get(),
         }
+    }
+
+    /// Register the server's historical counters in a shared metrics
+    /// registry, in the order `/metrics` has always rendered them. The
+    /// network layer calls this (after its own counters, before the
+    /// latency histogram) so the byte prefix of the endpoint is unchanged
+    /// from the pre-registry implementation.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter(
+            "cqc_serve_requests_total",
+            "count requests handled by the serving core",
+            Arc::clone(&self.counters.requests),
+        );
+        registry.register_counter(
+            "cqc_serve_request_errors_total",
+            "count requests answered with an error",
+            Arc::clone(&self.counters.errors),
+        );
+        registry.register_counter(
+            "cqc_shard_work_items_total",
+            "work items (databases) evaluated across all requests",
+            Arc::clone(&self.counters.work_items),
+        );
+        registry.register_counter(
+            "cqc_plan_cache_hits_total",
+            "requests served from the prepared-plan cache",
+            Arc::clone(&self.counters.plan_cache_hits),
+        );
+        registry.register_counter(
+            "cqc_plan_cache_misses_total",
+            "requests that prepared a new plan",
+            Arc::clone(&self.counters.plan_cache_misses),
+        );
+        registry.register_counter(
+            "cqc_plan_cache_evictions_total",
+            "plans evicted by the LRU capacity bound",
+            Arc::clone(&self.counters.plan_cache_evictions),
+        );
+    }
+
+    /// Register the series added with the unified registry (oracle-call and
+    /// colour-repetition totals, the shard-merge histogram). Kept separate
+    /// from [`Server::register_metrics`] so the network layer can place
+    /// them *after* the historical series — `/metrics` stays a byte-stable
+    /// prefix plus strictly appended lines.
+    pub fn register_extended_metrics(&self, registry: &Registry) {
+        registry.register_counter(
+            "cqc_oracle_calls_total",
+            "EdgeFree oracle calls issued while answering count requests",
+            Arc::clone(&self.counters.oracle_calls),
+        );
+        registry.register_counter(
+            "cqc_colour_repetitions_total",
+            "colour-coding repetitions budgeted across evaluated work items",
+            Arc::clone(&self.counters.colour_repetitions),
+        );
+        registry.register_histogram(
+            "cqc_shard_merge_seconds",
+            Arc::clone(&self.counters.shard_merge),
+        );
     }
 
     /// Fetch or build the prepared plan for a (query, accuracy, backend)
@@ -268,14 +353,10 @@ impl Server {
         );
         // cqc-audit: allow(serve-panic) — lock poisoning implies a worker already panicked; aborting is the right response, not error recovery
         if let Some(plan) = self.plans.lock().expect("plan cache lock").get(&key) {
-            self.counters
-                .plan_cache_hits
-                .fetch_add(1, Ordering::Relaxed);
+            self.counters.plan_cache_hits.inc();
             return Ok(plan);
         }
-        self.counters
-            .plan_cache_misses
-            .fetch_add(1, Ordering::Relaxed);
+        self.counters.plan_cache_misses.inc();
         let query = parse_query(query_text).map_err(|e| ServeError::Query(e.to_string()))?;
         let engine: Engine = EngineBuilder::new()
             .accuracy(epsilon, delta)
@@ -293,9 +374,7 @@ impl Server {
             .expect("plan cache lock")
             .insert(key, Arc::new(prepared));
         if evicted > 0 {
-            self.counters
-                .plan_cache_evictions
-                .fetch_add(evicted, Ordering::Relaxed);
+            self.counters.plan_cache_evictions.add(evicted);
         }
         Ok(canonical)
     }
@@ -310,27 +389,42 @@ impl Server {
     /// response is an `error` response. The network front end maps errors
     /// to an HTTP `400` while keeping the body bytes identical.
     pub fn handle_line_classified(&self, line: &str) -> (String, bool) {
-        self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let (id, result) = match parse(line) {
-            Err(e) => (Value::Null, Err(ServeError::Request(e.to_string()))),
+        self.counters.requests.inc();
+        let (id, trace_id, result) = match parse(line) {
+            Err(e) => (Value::Null, None, Err(ServeError::Request(e.to_string()))),
             Ok(req) => {
                 let id = req.get("id").cloned().unwrap_or(Value::Null);
-                (id.clone(), self.handle(&req))
+                // An optional client correlation ID ("trace"): echoed back
+                // verbatim whether tracing is on or off — a pure function
+                // of the request bytes, so it cannot break byte identity.
+                let trace_id = req
+                    .get("trace")
+                    .and_then(Value::as_str)
+                    .map(|t| t.to_string());
+                if let Some(t) = &trace_id {
+                    cqc_obs::trace::instant("traceparent", t);
+                }
+                (id.clone(), trace_id, self.handle(&req))
             }
         };
         match result {
             Ok(mut members) => {
                 members.insert(0, ("id".to_string(), id));
+                if let Some(t) = trace_id {
+                    members.push(("trace".to_string(), Value::Str(t)));
+                }
                 (Value::Obj(members).render(), false)
             }
             Err(e) => {
-                self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                let body = Value::Obj(vec![
+                self.counters.errors.inc();
+                let mut members = vec![
                     ("id".to_string(), id),
                     ("error".to_string(), Value::Str(e.to_string())),
-                ])
-                .render();
-                (body, true)
+                ];
+                if let Some(t) = trace_id {
+                    members.push(("trace".to_string(), Value::Str(t)));
+                }
+                (Value::Obj(members).render(), true)
             }
         }
     }
@@ -407,14 +501,32 @@ impl Server {
                 dbs.len()
             )));
         }
-        self.counters
-            .work_items
-            .fetch_add(dbs.len() as u64, Ordering::Relaxed);
+        self.counters.work_items.add(dbs.len() as u64);
 
+        let _span = cqc_obs::trace::Span::enter("request", split_seed(seed, REQUEST_SPAN_TAG));
         let prepared = self.plan_for(query_text, epsilon, delta, backend)?;
         let runtime = Runtime::new(workers);
-        let reports = count_sharded(&prepared, &dbs, seed, shards, runtime)
-            .map_err(|e| ServeError::Count(e.to_string()))?;
+        let reports = count_sharded_observed(
+            &prepared,
+            &dbs,
+            seed,
+            shards,
+            runtime,
+            Some(&self.counters.shard_merge),
+        )
+        .map_err(|e| ServeError::Count(e.to_string()))?;
+        // Telemetry roll-up into the unified registry. Oracle-call and
+        // repetition counts are deterministic per item (unlike hom_calls,
+        // which early exits make scheduling-dependent).
+        self.counters
+            .oracle_calls
+            .add(reports.iter().map(|r| r.telemetry.oracle_calls).sum());
+        self.counters.colour_repetitions.add(
+            reports
+                .iter()
+                .map(|r| r.telemetry.colour_repetitions as u64)
+                .sum(),
+        );
 
         // Only deterministic fields go on the wire: estimates (value +
         // exact bits), the guarantee, and the per-item derived seed.
@@ -482,8 +594,26 @@ pub fn count_sharded(
     shards: usize,
     runtime: Runtime,
 ) -> Result<Vec<EstimateReport>, CoreError> {
+    count_sharded_observed(prepared, dbs, seed, shards, runtime, None)
+}
+
+/// [`count_sharded`] with the merge phase optionally timed into a shared
+/// histogram ([`Server::handle`] passes its `cqc_shard_merge_seconds`
+/// series; the public wrapper passes `None`). Observation-only: the merged
+/// results are identical either way.
+fn count_sharded_observed(
+    prepared: &PreparedQuery,
+    dbs: &[Structure],
+    seed: u64,
+    shards: usize,
+    runtime: Runtime,
+    merge_hist: Option<&Histogram>,
+) -> Result<Vec<EstimateReport>, CoreError> {
     let k = shards.max(1);
     let n = dbs.len();
+    // Work-item spans may open on pool workers; capture the logical parent
+    // (the request span, if any) on the dispatching thread.
+    let parent_span = cqc_obs::trace::current_span();
     // Round-robin shard ownership: shard s evaluates items s, s+k, s+2k, …
     let assignments: Vec<Vec<usize>> = (0..k).map(|s| (s..n).step_by(k).collect()).collect();
     let partials: Vec<Vec<(usize, Result<EstimateReport, CoreError>)>> =
@@ -491,27 +621,31 @@ pub fn count_sharded(
             items
                 .iter()
                 .map(|&i| {
-                    (
-                        i,
-                        prepared.count_with_seed(&dbs[i], split_seed(seed, i as u64)),
-                    )
+                    let item_seed = split_seed(seed, i as u64);
+                    let _span = cqc_obs::trace::Span::child_of(parent_span, "work_item", item_seed);
+                    (i, prepared.count_with_seed(&dbs[i], item_seed))
                 })
                 .collect()
         });
     // Merge in shard-index order: iterate shards 0..k, placing each partial
     // at its global item index. The merge is a pure reshuffle — estimates
     // were fixed per item above — so shard layout cannot change any byte.
+    let merge_start = Stopwatch::start();
     let mut merged: Vec<Option<Result<EstimateReport, CoreError>>> = (0..n).map(|_| None).collect();
     for shard in partials {
         for (i, r) in shard {
             merged[i] = Some(r);
         }
     }
-    merged
+    let out = merged
         .into_iter()
         // cqc-audit: allow(serve-panic) — unreachable: shard_indices partitions 0..n, so every slot was filled by exactly one shard
         .map(|r| r.expect("every item owned by exactly one shard"))
-        .collect()
+        .collect();
+    if let Some(hist) = merge_hist {
+        hist.record(merge_start.elapsed());
+    }
+    out
 }
 
 fn render_result(item: usize, item_seed: u64, report: &EstimateReport) -> Value {
