@@ -26,6 +26,7 @@ fn options(protocol: Protocol, connections: usize) -> LoadgenOptions {
         method: Some("exact".to_string()),
         accuracy: None,
         protocol,
+        suite: None,
     }
 }
 

@@ -1,0 +1,54 @@
+//! Engine-op cost over the enumerated workload suites: for each Figure-1
+//! class, a seeded suite draw is prepared once and then driven through
+//! the amortised evaluation surface (`count`, `count_batch`, `sample`)
+//! against seeded suite databases — the same operations `cqc suite`
+//! times into `BENCH_workloads.json`, here under criterion so per-class
+//! regressions show up in `cargo bench` too.
+//!
+//! A fourth benchmark pins the cost of the enumeration itself (grammar
+//! expansion → canonical dedup → class filter), which every fresh
+//! process pays once per class.
+
+use cqc_core::Engine;
+use cqc_workloads::{class_name, enumerate_class, suite, suite_database, ALL_CLASSES};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // pay the per-process enumeration before any timed region
+    for class in ALL_CLASSES {
+        let _ = enumerate_class(class);
+    }
+    let engine = Engine::builder()
+        .accuracy(0.5, 0.25)
+        .seed(11)
+        .build()
+        .expect("engine");
+    let dbs = [suite_database(3, 24), suite_database(4, 24)];
+
+    let mut group = c.benchmark_group("workload_suite");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for class in ALL_CLASSES {
+        let drawn = suite(class, 0xBE9C4, 4);
+        let prepared: Vec<_> = drawn
+            .queries
+            .iter()
+            .map(|sq| engine.prepare(&sq.query).expect("suite queries prepare"))
+            .collect();
+        group.bench_function(format!("{}_engine_ops", class_name(class)), |b| {
+            b.iter(|| {
+                for p in &prepared {
+                    p.count(&dbs[0]).expect("count");
+                    p.count_batch(&dbs).expect("batch");
+                    p.sample(&dbs[0], 2).expect("sample");
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

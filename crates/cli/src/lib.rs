@@ -28,6 +28,7 @@ pub mod loadgen;
 pub mod report;
 pub mod sample;
 pub mod serve;
+pub mod suite;
 
 use std::fmt;
 
@@ -87,8 +88,14 @@ COMMANDS:
                and write BENCH_serve.json
     classify   Report the query class and its width measures (Figure 1 column)
     generate   Generate a workload database and write it as a facts file
+    suite      Run the enumerated workload suites (CQ/DCQ/ECQ) end to end —
+               engine phase (count/count_batch/sample) plus serve phase over
+               TCP — and write the BENCH_workloads.json trajectory point;
+               `suite manifest` prints the golden enumeration manifest
     report     Summarise a --trace NDJSON file offline (`report flame`:
-               folded flame stacks + a per-phase wall-time table)
+               folded flame stacks + a per-phase wall-time table), or render
+               a BENCH_workloads.json table and diff it against the committed
+               baseline (`report bench`)
     audit      Run the determinism & unsafety static-analysis pass over the
                workspace sources (exit 0 clean / 1 violations / 2 usage)
     help       Show this message
@@ -140,6 +147,8 @@ LOADGEN OPTIONS:
     --shards K            add a `shards` member to every request
     --method M            add a `method` member to every request
     --epsilon E --delta D override the mix's per-request accuracy defaults
+    --suite CLASS         replay the enumerated suite mix of one Figure-1
+                          class (cq | dcq | ecq) instead of the curated mix
     --connect ADDR        drive a running server instead of self-hosting
     --bench-out PATH      machine-readable report (default BENCH_serve.json)
     --transcript PATH     write the id-ordered response transcript; two runs
@@ -151,11 +160,28 @@ LOADGEN OPTIONS:
                           transcripts_identical invisibility witness)
     --quiet               omit the human-readable summary
 
+SUITE OPTIONS:
+    --mode M              kick-tires | full (default kick-tires): presets for
+                          queries/class, tuples/db, requests/class and (ε, δ)
+    --seed S              suite sampling + request-mix seed (default 0xC0FFEE)
+    --per-class N         queries sampled per class (engine phase)
+    --tuples T            tuple budget per generated database
+    --requests N          serve-phase requests per class
+    --connections C       serve-phase closed-loop connections (default 4)
+    --epsilon E --delta D engine-phase accuracy (mode-dependent defaults)
+    --out PATH            trajectory document (default BENCH_workloads.json)
+    --quiet               omit the rendered metrics registry
+
 REPORT OPTIONS (cqc report flame):
     --trace PATH          the NDJSON trace file to analyse (from `--trace`)
     --folded-out PATH     also write the raw folded stacks to PATH, one
                           `path;to;span microseconds` line per stack, for
                           flamegraph tooling
+
+REPORT OPTIONS (cqc report bench):
+    --current PATH        the fresh suite run (default BENCH_workloads.json)
+    --baseline PATH       the previously committed JSON to diff against;
+                          throughput drops beyond 25% are flagged
 
 AUDIT OPTIONS:
     --root DIR            workspace to audit (default: ascend from the current
@@ -204,6 +230,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "classify" => classify::run_classify(&args)?,
         "generate" => generate::run_generate(&args)?,
         "report" => report::run_report(&args)?,
+        "suite" => suite::run_suite(&args)?,
         "audit" => audit::run_audit(&args)?,
         "help" | "--help" | "-h" => USAGE.to_string(),
         other => {

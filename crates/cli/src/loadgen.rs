@@ -84,6 +84,17 @@ pub fn run_loadgen(args: &Args) -> Result<String, CliError> {
         return Err(CliError::Usage("`--shards` must be at least 1".into()));
     }
     let method = args.value_of("method").map(str::to_string);
+    // `--suite <class>` swaps the curated mix for the enumerated suite of
+    // one Figure-1 class; unknown class names are structured usage errors
+    // (exit code 2), not silent fallbacks.
+    let suite = match args.value_of("suite") {
+        None => None,
+        Some(raw) => Some(cqc_workloads::parse_class(raw).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown suite class `{raw}` (expected cq | dcq | ecq)"
+            ))
+        })?),
+    };
     // The mix carries its own per-request accuracy defaults; explicit
     // `--epsilon`/`--delta` override them for every request (passing the
     // validated values through `approx_config`).
@@ -100,6 +111,7 @@ pub fn run_loadgen(args: &Args) -> Result<String, CliError> {
         method,
         accuracy,
         protocol,
+        suite,
     };
 
     // Tracing and the tracing-overhead bench are managed here, not in
@@ -188,8 +200,13 @@ pub fn run_loadgen(args: &Args) -> Result<String, CliError> {
             None => text.push_str("server      : external (--connect)\n"),
         }
         text.push_str(&format!(
-            "loadgen     : {requests} request(s), {connections} connection(s), protocol={}, seed={}, shards={}, method={}\n",
+            "loadgen     : {requests} request(s), {connections} connection(s), protocol={}, mix={}, seed={}, shards={}, method={}\n",
             options.protocol.name(),
+            options
+                .suite
+                .map_or("curated".to_string(), |c| {
+                    format!("suite:{}", cqc_workloads::class_name(c))
+                }),
             options.seed,
             options
                 .shards
@@ -372,9 +389,49 @@ mod tests {
             vec!["loadgen", "--protocol", "smoke-signals"],
             vec!["loadgen", "--shards", "0"],
             vec!["loadgen", "--connect", "not-an-address"],
+            vec!["loadgen", "--suite", "xcq"],
+            vec!["loadgen", "--suite", ""],
         ] {
             let err = run_loadgen(&args_from(bad.clone()).unwrap()).unwrap_err();
             assert!(matches!(err, CliError::Usage(_)), "{bad:?} -> {err}");
         }
+        // the exit-code convention: usage errors (unknown suite included)
+        // exit 2, distinct from audit's 1 and success's 0
+        let result = crate::run(&[
+            "loadgen".to_string(),
+            "--suite".to_string(),
+            "xcq".to_string(),
+        ]);
+        assert_eq!(crate::exit_code(&result), 2);
+    }
+
+    #[test]
+    fn suite_mix_drives_an_enumerated_class() {
+        let bench = temp("suite-bench.json");
+        let out = run_loadgen(
+            &args_from([
+                "loadgen",
+                "--requests",
+                "4",
+                "--connections",
+                "2",
+                "--seed",
+                "21",
+                "--suite",
+                "dcq",
+                "--method",
+                "exact",
+                "--bench-out",
+                bench.to_str().unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("mix=suite:DCQ"), "{out}");
+        assert!(out.contains("responses   : 0 error(s)"), "{out}");
+        let doc = std::fs::read_to_string(&bench).unwrap();
+        let v = cqc_serve::json::parse(doc.trim()).unwrap();
+        assert_eq!(v.get("suite").and_then(|s| s.as_str()), Some("DCQ"));
+        std::fs::remove_file(&bench).ok();
     }
 }

@@ -19,7 +19,9 @@
 
 use cqc_obs::Stopwatch;
 use cqc_serve::json::Value;
+use cqc_workloads::enumo::{class_name, suite_request_mix};
 use cqc_workloads::mix::{request_mix, RequestSpec};
+use cqc_workloads::QueryClass;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Mutex;
@@ -72,6 +74,10 @@ pub struct LoadgenOptions {
     pub accuracy: Option<(f64, f64)>,
     /// Wire protocol.
     pub protocol: Protocol,
+    /// Request source: `None` replays the curated mix of
+    /// `cqc_workloads::mix`; `Some(class)` replays the enumerated suite
+    /// mix of that Figure-1 class (`cqc_workloads::enumo`).
+    pub suite: Option<QueryClass>,
 }
 
 impl Default for LoadgenOptions {
@@ -84,6 +90,7 @@ impl Default for LoadgenOptions {
             method: None,
             accuracy: None,
             protocol: Protocol::Http,
+            suite: None,
         }
     }
 }
@@ -148,7 +155,10 @@ pub fn render_request_line(
 /// kept in the transcript.
 pub fn run_against(addr: SocketAddr, options: &LoadgenOptions) -> std::io::Result<LoadReport> {
     let connections = options.connections.max(1);
-    let specs = request_mix(options.seed, options.requests);
+    let specs = match options.suite {
+        None => request_mix(options.seed, options.requests),
+        Some(class) => suite_request_mix(class, options.seed, options.requests),
+    };
     let lines: Vec<String> = specs
         .iter()
         .map(|s| {
@@ -262,6 +272,11 @@ pub fn bench_json(report: &LoadReport) -> String {
         ("requests".to_string(), Value::Num(o.requests as f64)),
         ("connections".to_string(), Value::Num(o.connections as f64)),
         ("seed".to_string(), Value::Str(o.seed.to_string())),
+        (
+            "suite".to_string(),
+            o.suite
+                .map_or(Value::Null, |c| Value::Str(class_name(c).to_string())),
+        ),
         (
             "shards".to_string(),
             o.shards.map_or(Value::Null, |s| Value::Num(s as f64)),

@@ -48,6 +48,7 @@ fn tracing_never_changes_a_byte_on_the_wire() {
         // observability effect on RNG or scheduling would surface
         accuracy: None,
         protocol: Protocol::Http,
+        suite: None,
     };
     cqc_obs::trace::set_enabled(false);
     let _ = cqc_obs::trace::drain(); // isolate from earlier activity

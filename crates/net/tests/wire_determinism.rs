@@ -44,6 +44,7 @@ fn transcripts_are_byte_identical_across_pools_connections_and_shards() {
         // scheduling-dependent RNG use would show
         accuracy: None,
         protocol: Protocol::Http,
+        suite: None,
     };
     let reference = transcript(&base);
     // the mix exercises estimates (the `estimate_bits` member pins f64 bits)
@@ -85,6 +86,42 @@ fn transcripts_are_byte_identical_across_pools_connections_and_shards() {
 }
 
 #[test]
+fn suite_mixes_are_deterministic_on_the_wire_for_every_class() {
+    // the enumerated suites are loadgen sources too: same seed, same
+    // class → byte-identical transcripts across connections and protocols
+    for class in cqc_workloads::ALL_CLASSES {
+        let base = LoadgenOptions {
+            requests: 6,
+            connections: 1,
+            seed: 0x517E,
+            shards: None,
+            // exact keeps the matrix affordable in debug builds; the
+            // suite source and wire path are what's under test
+            method: Some("exact".to_string()),
+            accuracy: None,
+            protocol: Protocol::Http,
+            suite: Some(class),
+        };
+        let reference = transcript(&base);
+        let other = transcript(&LoadgenOptions {
+            connections: 3,
+            protocol: Protocol::Ndjson,
+            ..base.clone()
+        });
+        assert_eq!(reference, other, "suite transcript drifted for {class:?}");
+        // the suite is echoed into the bench report
+        let server = RunningServer::bind("127.0.0.1:0", NetConfig::default()).expect("bind");
+        let report = run_against(server.addr(), &base).expect("suite run");
+        server.shutdown();
+        let doc = cqc_serve::json::parse(&bench_json(&report)).expect("bench json parses");
+        assert_eq!(
+            doc.get("suite").and_then(|s| s.as_str()),
+            Some(cqc_workloads::class_name(class))
+        );
+    }
+}
+
+#[test]
 fn a_1k_request_loadgen_run_completes_and_emits_bench_json() {
     let server = RunningServer::bind("127.0.0.1:0", NetConfig::default()).expect("bind");
     let options = LoadgenOptions {
@@ -97,6 +134,7 @@ fn a_1k_request_loadgen_run_completes_and_emits_bench_json() {
         method: Some("exact".to_string()),
         accuracy: None,
         protocol: Protocol::Http,
+        suite: None,
     };
     let report = run_against(server.addr(), &options).expect("1k loadgen run");
     server.shutdown();

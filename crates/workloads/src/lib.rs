@@ -9,10 +9,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod enumo;
 pub mod graphs;
 pub mod mix;
 pub mod queries;
 
+pub use cqc_query::QueryClass;
+pub use enumo::{
+    class_name, enumerate_class, manifest, measure, parse_class, suite, suite_database,
+    suite_request_mix, suite_request_spec, Filter, Metric, Suite, SuiteQuery, Workload,
+    ALL_CLASSES,
+};
 pub use graphs::{erdos_renyi, graph_database, grid_graph, random_regularish, GraphSpec};
 pub use mix::{request_mix, request_spec, RequestSpec, MIX_QUERIES};
 pub use queries::{

@@ -16,8 +16,9 @@ use rand::{Rng, SeedableRng};
 
 /// SplitMix64 finaliser, mirroring `cqc_runtime::split_seed` (duplicated
 /// here so the workload crate stays free of a runtime dependency; the
-/// constant layout is pinned by a test against first principles).
-fn split_seed(seed: u64, index: u64) -> u64 {
+/// constant layout is pinned by a test against first principles). Shared
+/// with the enumerated suites of [`crate::enumo`].
+pub(crate) fn split_seed(seed: u64, index: u64) -> u64 {
     let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -43,9 +44,9 @@ pub struct RequestSpec {
     /// Global request index; doubles as the request `id` on the wire.
     pub index: u64,
     /// Name of the query family member (reporting only).
-    pub query_name: &'static str,
+    pub query_name: String,
     /// The query in textual syntax.
-    pub query: &'static str,
+    pub query: String,
     /// Inline facts texts — the request's work items.
     pub dbs: Vec<String>,
     /// The per-request counting seed.
@@ -88,8 +89,8 @@ pub fn request_spec(mix_seed: u64, index: u64) -> RequestSpec {
         .collect();
     RequestSpec {
         index,
-        query_name,
-        query,
+        query_name: query_name.to_string(),
+        query: query.to_string(),
         dbs,
         seed: split_seed(stream, 1),
         epsilon: 0.4,

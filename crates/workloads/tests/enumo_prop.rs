@@ -1,0 +1,204 @@
+//! Property tests over the enumerated workload families (ISSUE 8,
+//! satellite 1): every query the grammar emits must parse, round-trip
+//! through `Display`, prepare without panicking, and keep its Figure-1
+//! class under variable renaming and atom reordering. The suites double
+//! as test input for the engine, so these invariants are what every
+//! downstream consumer (loadgen, `cqc suite`, the golden manifest) leans
+//! on.
+
+use cqc_core::Engine;
+use cqc_query::{parse_query, QueryClass};
+use cqc_workloads::enumo::canonical_key;
+use cqc_workloads::{enumerate_class, suite, ALL_CLASSES};
+use proptest::prelude::*;
+
+/// Rename the grammar's variable alphabet `{x, y, z, w}` to a disjoint
+/// one. Variables are the only single-character lowercase tokens in a
+/// suite text (relations are `E`/`R`, the head symbol is `ans`), so a
+/// per-character map is a sound renaming.
+fn rename_vars(text: &str) -> String {
+    text.chars()
+        .map(|c| match c {
+            'x' => 'p',
+            'y' => 'q',
+            'z' => 'r',
+            'w' => 's',
+            other => other,
+        })
+        .collect()
+}
+
+/// Split a query body on top-level `, ` separators (commas inside atom
+/// parentheses don't count), so atoms and disequalities come back as
+/// whole items.
+fn body_items(body: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    let mut chars = body.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' => {
+                depth -= 1;
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                items.push(current.trim().to_string());
+                if chars.peek() == Some(&' ') {
+                    chars.next();
+                }
+                current = String::new();
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        items.push(current.trim().to_string());
+    }
+    items
+}
+
+/// Rebuild the query text with its literal atoms reversed (disequalities
+/// keep their position after the atoms, as the parser renders them).
+fn reorder_atoms(text: &str) -> String {
+    let (head, body) = text.split_once(" :- ").expect("suite text has a body");
+    let items = body_items(body);
+    let (mut atoms, diseqs): (Vec<String>, Vec<String>) =
+        items.into_iter().partition(|item| !item.contains("!="));
+    atoms.reverse();
+    atoms.extend(diseqs);
+    format!("{head} :- {}", atoms.join(", "))
+}
+
+#[test]
+fn every_class_enumerates_at_least_100_queries_that_round_trip() {
+    for class in ALL_CLASSES {
+        let family = enumerate_class(class);
+        assert!(
+            family.len() >= 100,
+            "{class:?} enumerates only {} queries",
+            family.len()
+        );
+        for (i, sq) in family.iter().enumerate() {
+            let parsed = parse_query(&sq.text)
+                .unwrap_or_else(|e| panic!("{}: `{}` fails to parse: {e}", sq.name, sq.text));
+            assert_eq!(
+                parsed.to_string(),
+                sq.text,
+                "{} text is not normalized",
+                sq.name
+            );
+            assert_eq!(parsed.class(), class, "{} drifted out of class", sq.name);
+            assert_eq!(sq.query.class(), class);
+            let expected = format!(
+                "{}-{i:03}",
+                match class {
+                    QueryClass::CQ => "cq",
+                    QueryClass::DCQ => "dcq",
+                    QueryClass::ECQ => "ecq",
+                }
+            );
+            assert_eq!(sq.name, expected, "names follow the enumeration index");
+        }
+    }
+}
+
+#[test]
+fn every_enumerated_query_prepares_without_panic() {
+    // the class filter includes `Filter::Safe`, which is exactly the
+    // engine's preparability precondition — so `prepare` must accept all
+    // of them, not merely fail cleanly
+    let engine = Engine::builder()
+        .accuracy(0.5, 0.25)
+        .seed(7)
+        .build()
+        .unwrap();
+    for class in ALL_CLASSES {
+        for sq in enumerate_class(class) {
+            let prepared = engine.prepare(&sq.query);
+            assert!(
+                prepared.is_ok(),
+                "{} (`{}`) rejected by prepare: {:?}",
+                sq.name,
+                sq.text,
+                prepared.err()
+            );
+        }
+    }
+}
+
+#[test]
+fn class_is_stable_under_variable_renaming_and_atom_reordering() {
+    for class in ALL_CLASSES {
+        for sq in enumerate_class(class) {
+            let renamed = parse_query(&rename_vars(&sq.text))
+                .unwrap_or_else(|e| panic!("{}: renamed text fails to parse: {e}", sq.name));
+            assert_eq!(
+                renamed.class(),
+                class,
+                "{}: renaming changed the class",
+                sq.name
+            );
+            // the canonical key labels variables by first occurrence, so a
+            // consistent renaming must not move the query between buckets
+            assert_eq!(
+                canonical_key(&renamed),
+                canonical_key(&sq.query),
+                "{}: renaming changed the canonical key",
+                sq.name
+            );
+
+            let reordered = parse_query(&reorder_atoms(&sq.text))
+                .unwrap_or_else(|e| panic!("{}: reordered text fails to parse: {e}", sq.name));
+            assert_eq!(
+                reordered.class(),
+                class,
+                "{}: atom reordering changed the class",
+                sq.name
+            );
+            assert_eq!(
+                reordered.class(),
+                renamed.class(),
+                "{}: transforms disagree on the class",
+                sq.name
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `suite` is a pure function of `(class, seed, count)`: same inputs,
+    /// same draw — and every drawn query belongs to the enumeration.
+    #[test]
+    fn suites_are_deterministic_samples_of_the_enumeration(seed in any::<u64>()) {
+        for class in ALL_CLASSES {
+            let a = suite(class, seed, 12);
+            let b = suite(class, seed, 12);
+            prop_assert_eq!(a.queries.len(), b.queries.len());
+            for (qa, qb) in a.queries.iter().zip(&b.queries) {
+                prop_assert_eq!(&qa.name, &qb.name);
+                prop_assert_eq!(&qa.text, &qb.text);
+            }
+            let family = enumerate_class(class);
+            for sq in &a.queries {
+                prop_assert!(
+                    family.iter().any(|f| f.name == sq.name && f.text == sq.text),
+                    "{} not in the {:?} enumeration",
+                    sq.name,
+                    class
+                );
+            }
+            // without replacement: no duplicate names in one draw
+            let mut names: Vec<&str> = a.queries.iter().map(|q| q.name.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            prop_assert_eq!(names.len(), a.queries.len(), "duplicate draw in {:?}", class);
+        }
+    }
+}

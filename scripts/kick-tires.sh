@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Kick-the-tires artifact run (minutes, not hours): build the release
+# binary, verify the enumerated workload suites match the committed golden
+# manifest, run the suite bench in its small configuration, and diff the
+# fresh trajectory point against the committed BENCH_workloads.json.
+#
+# Exits non-zero if the build fails, the suite membership drifted from
+# tests/golden/workload_suites.txt, or any benched request errored.
+# Throughput regressions are *flagged* in out/report.txt, not fatal —
+# wall-clock numbers are machine-dependent.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=out
+mkdir -p "$out"
+
+cargo build --release
+
+# 1. Suite membership must match the committed golden manifest exactly.
+./target/release/cqc suite manifest > "$out/workload_suites.txt"
+diff tests/golden/workload_suites.txt "$out/workload_suites.txt"
+echo "suite manifest matches tests/golden/workload_suites.txt"
+
+# 2. Save the committed trajectory point as the comparison baseline.
+baseline_args=()
+if [ -f BENCH_workloads.json ]; then
+    cp BENCH_workloads.json "$out/BENCH_workloads.baseline.json"
+    baseline_args=(--baseline "$out/BENCH_workloads.baseline.json")
+fi
+
+# 3. Run the workload suites end to end (engine ops + serve phase).
+./target/release/cqc suite --mode kick-tires --out BENCH_workloads.json
+
+# 4. Render the trajectory report (with the baseline diff when one exists).
+./target/release/cqc report bench --current BENCH_workloads.json \
+    "${baseline_args[@]}" | tee "$out/report.txt"

@@ -102,6 +102,59 @@ fn pool_width_matrix_is_bit_identical_to_the_serial_path() {
     }
 }
 
+/// Queries sampled from the enumerated workload grammar feed the same
+/// contract: for each Figure-1 class, draw a seeded suite and check that
+/// estimates are bit-identical across worker-pool widths {1, 2, 8} and
+/// shard counts {1, 4}. The unsharded serial run is the reference;
+/// `count_sharded` keys every item's RNG stream by `(seed, item index)`,
+/// so neither the pool nor the shard assignment may move a single bit.
+#[test]
+fn grammar_sampled_queries_are_bit_identical_across_pools_and_shards() {
+    use cqcount::workloads::{suite, suite_database};
+    let dbs = [suite_database(0xD15C, 24), suite_database(0xD15C ^ 1, 30)];
+    for class in [QueryClass::CQ, QueryClass::DCQ, QueryClass::ECQ] {
+        let drawn = suite(class, 0x5EED5, 4);
+        assert_eq!(drawn.queries.len(), 4, "{class:?} suite short");
+        for sq in &drawn.queries {
+            // reference: one thread, no pool, a single shard
+            let reference: Vec<u64> = {
+                let prepared = engine_with_threads(0xC0FFEE, 1).prepare(&sq.query).unwrap();
+                count_sharded(&prepared, &dbs, 0xFEED, 1, Runtime::new(1))
+                    .unwrap()
+                    .iter()
+                    .map(|r| r.estimate.to_bits())
+                    .collect()
+            };
+            for width in [1usize, 2, 8] {
+                let pool: &'static Pool = Box::leak(Box::new(Pool::new(width)));
+                let engine = Engine::builder()
+                    .accuracy(0.25, 0.05)
+                    .seed(0xC0FFEE)
+                    .threads(8)
+                    .worker_pool(pool)
+                    .build()
+                    .unwrap();
+                let prepared = engine.prepare(&sq.query).unwrap();
+                for shards in [1usize, 4] {
+                    let got =
+                        count_sharded(&prepared, &dbs, 0xFEED, shards, Runtime::new(8)).unwrap();
+                    for (r, &expect) in got.iter().zip(&reference) {
+                        assert_eq!(
+                            r.estimate.to_bits(),
+                            expect,
+                            "{class:?} {}: pool width {width}, {shards} shard(s) diverged \
+                             ({} vs {})",
+                            sq.name,
+                            r.estimate,
+                            f64::from_bits(expect)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Sampling through the pool matrix: the drawn answers (values and order)
 /// must match the serial path for every pool width.
 #[test]
