@@ -88,13 +88,23 @@ const ESTIMATE_PATH_CRATES: [&str; 8] = [
 ];
 
 /// Crates allowed to spawn raw threads: the deterministic pool lives in
-/// `runtime`, and `net` owns the accept loop + loadgen connections.
+/// `runtime`, and `net` owns the event/worker threads + loadgen connections.
 const RAW_SPAWN_EXEMPT: [&str; 2] = ["net", "runtime"];
+
+/// Crates allowed to contain fenced `unsafe` modules: the pool's lifetime
+/// erasure in `runtime`, the `poll(2)` shim in `net`. Their roots carry
+/// `#![deny(unsafe_code)]` with per-module `allow` escapes; every other
+/// crate root must `#![forbid(unsafe_code)]` outright. Both are held to
+/// the golden region inventory either way.
+const UNSAFE_FENCED_CRATES: [&str; 2] = ["net", "runtime"];
 
 /// Files making up the serve request path: panics here turn one bad
 /// request into a dead worker or connection, so `unwrap`/`expect`/`panic!`
 /// are waiver-only (init-time code).
-const SERVE_PATH_FILES: [&str; 3] = [
+const SERVE_PATH_FILES: [&str; 6] = [
+    "crates/net/src/conn.rs",
+    "crates/net/src/dispatch.rs",
+    "crates/net/src/poll.rs",
     "crates/net/src/server.rs",
     "crates/serve/src/lib.rs",
     "crates/serve/src/server.rs",
@@ -834,7 +844,7 @@ fn rule_unsafe(
     if is_root {
         let has_forbid = has_inner_attr(tokens, "forbid");
         let has_deny = has_inner_attr(tokens, "deny");
-        if crate_name == "runtime" {
+        if UNSAFE_FENCED_CRATES.contains(&crate_name) {
             if !has_deny && !has_forbid {
                 out.push(Violation {
                     file: rel.to_string(),
@@ -853,9 +863,9 @@ fn rule_unsafe(
         }
     }
 
-    // `#[allow(unsafe_code)]` escapes are only legitimate inside `runtime`
-    // (the pool's lifetime erasure).
-    if crate_name != "runtime" {
+    // `#[allow(unsafe_code)]` escapes are only legitimate inside the
+    // fenced crates (`runtime`'s pool lifetime erasure, `net`'s poll shim).
+    if !UNSAFE_FENCED_CRATES.contains(&crate_name) {
         for i in 0..tokens.len() {
             if tokens[i].text == "allow"
                 && tokens.get(i + 1).is_some_and(|t| t.text == "(")
@@ -865,8 +875,8 @@ fn rule_unsafe(
                     file: rel.to_string(),
                     line: tokens[i].line,
                     rule: Rule::UnsafeCode,
-                    message: "`allow(unsafe_code)` outside `runtime` — unsafe stays contained \
-                              in the pool"
+                    message: "`allow(unsafe_code)` outside `runtime`/`net` — unsafe stays \
+                              contained in the fenced modules"
                         .to_string(),
                 });
             }

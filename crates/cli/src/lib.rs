@@ -135,6 +135,17 @@ SERVE OPTIONS:
                           (EOF alone is ignored so detached servers keep
                           running)
     --max-requests N      with --listen: shut down after N count requests
+    --max-connections N   with --listen: admission cap on concurrent
+                          connections (default 4096); connections over the
+                          cap get a load-shed response (HTTP 503 / NDJSON
+                          error line), never a silent close
+    --queue-limit N       with --listen: bound on dispatched requests
+                          queued or executing (default 256); requests over
+                          the bound are shed per-request with the same
+                          overload bytes while the connection stays usable
+    --dispatch-workers N  with --listen: dispatch worker threads executing
+                          engine endpoints (0 = auto, sized from the
+                          machine)
     --addr-file PATH      with --listen: write the bound address to PATH
                           (useful with `--listen 127.0.0.1:0`)
     --plan-cache N        LRU capacity of the prepared-plan cache (default 64)
@@ -150,6 +161,12 @@ LOADGEN OPTIONS:
     --suite CLASS         replay the enumerated suite mix of one Figure-1
                           class (cq | dcq | ecq) instead of the curated mix
     --connect ADDR        drive a running server instead of self-hosting
+    --scaling C1,C2,…     sweep the same mix at each connection count and
+                          write a `serve_scaling` curve (throughput + p99
+                          per point) instead of a single-point report; the
+                          self-hosted server's admission caps are raised
+                          above the largest point, and transcript
+                          divergence across points is a hard error
     --bench-out PATH      machine-readable report (default BENCH_serve.json)
     --transcript PATH     write the id-ordered response transcript; two runs
                           with one seed are byte-identical whatever the

@@ -16,7 +16,8 @@
 use crate::common::approx_config;
 use crate::{Args, CliError};
 use cqc_net::loadgen::{
-    bench_json, obs_bench_json, run_against, transcript_fingerprint, LoadgenOptions, Protocol,
+    bench_json, obs_bench_json, run_against, run_scaling, scaling_bench_json,
+    transcript_fingerprint, LoadgenOptions, Protocol,
 };
 use cqc_net::{NetConfig, RunningServer};
 use cqc_serve::ServerConfig;
@@ -119,6 +120,18 @@ pub fn run_loadgen(args: &Args) -> Result<String, CliError> {
     // one, against one shared server.
     let trace_path = args.value_of("trace").map(str::to_string);
     let obs_bench_path = args.value_of("obs-bench").map(str::to_string);
+
+    // `--scaling 64,256,1024` sweeps the same mix across connection
+    // counts; it has its own report shape and exits early.
+    if let Some(raw) = args.value_of("scaling") {
+        if obs_bench_path.is_some() || trace_path.is_some() {
+            return Err(CliError::Usage(
+                "`--scaling` cannot be combined with `--obs-bench` or `--trace`".into(),
+            ));
+        }
+        let raw = raw.to_string();
+        return run_scaling_sweep(args, &raw, &options, &cfg);
+    }
 
     // Self-host unless `--connect` points at a running server.
     let (report, obs, hosted) = match args.value_of("connect") {
@@ -246,6 +259,131 @@ pub fn run_loadgen(args: &Args) -> Result<String, CliError> {
                 "trace       : wrote {events} event(s) to {path}\n"
             ));
         }
+    }
+    Ok(text)
+}
+
+/// `cqc loadgen --scaling C1,C2,…`: replay the same mix at each connection
+/// count (see `cqc_net::loadgen::run_scaling`) and write the
+/// `serve_scaling` bench document. Transcript divergence across points is
+/// a hard error (non-zero exit) — determinism under concurrency is the
+/// contract the sweep exists to witness.
+fn run_scaling_sweep(
+    args: &Args,
+    raw_counts: &str,
+    options: &LoadgenOptions,
+    cfg: &cqc_core::ApproxConfig,
+) -> Result<String, CliError> {
+    let counts: Vec<usize> = raw_counts
+        .split(',')
+        .map(|part| {
+            let n: usize = part.trim().parse().map_err(|e| {
+                CliError::Usage(format!("invalid `--scaling` count `{}`: {e}", part.trim()))
+            })?;
+            if n == 0 {
+                return Err(CliError::Usage(
+                    "`--scaling` counts must be at least 1".into(),
+                ));
+            }
+            Ok(n)
+        })
+        .collect::<Result<_, _>>()?;
+    if counts.is_empty() {
+        return Err(CliError::Usage(
+            "`--scaling` needs at least one connection count".into(),
+        ));
+    }
+    let max_count = counts.iter().copied().max().unwrap_or(1);
+
+    // Self-host unless `--connect` points at a running server; the hosted
+    // server's admission caps are raised above the largest point, so the
+    // sweep measures the curve instead of tripping its own load shedding.
+    let (report, hosted) = match args.value_of("connect") {
+        Some(raw) => {
+            let addr = raw
+                .to_socket_addrs()
+                .map_err(|e| CliError::Usage(format!("cannot resolve `{raw}`: {e}")))?
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("`{raw}` resolves to no address")))?;
+            let report = run_scaling(addr, options, &counts)
+                .map_err(|e| CliError::Io(format!("scaling sweep against {addr}: {e}")))?;
+            (report, None)
+        }
+        None => {
+            let server = RunningServer::bind(
+                "127.0.0.1:0",
+                NetConfig {
+                    serve: ServerConfig {
+                        threads: cfg.threads,
+                        epsilon: cfg.epsilon,
+                        delta: cfg.delta,
+                        ..ServerConfig::default()
+                    },
+                    max_requests: None,
+                    max_connections: max_count + 16,
+                    dispatch_queue_limit: max_count.max(256),
+                    ..NetConfig::default()
+                },
+            )
+            .map_err(|e| CliError::Io(format!("cannot bind loopback server: {e}")))?;
+            let addr = server.addr();
+            let report = run_scaling(addr, options, &counts)
+                .map_err(|e| CliError::Io(format!("scaling sweep against {addr}: {e}")))?;
+            let served = server.shutdown();
+            (report, Some((addr, served)))
+        }
+    };
+
+    // The bench document is written before the divergence check, so a
+    // failing sweep still leaves the evidence on disk.
+    let bench_path = args.get_or("bench-out", "BENCH_serve.json".to_string())?;
+    std::fs::write(&bench_path, format!("{}\n", scaling_bench_json(&report)))
+        .map_err(|e| CliError::Io(format!("cannot write `{bench_path}`: {e}")))?;
+    if let Some(path) = args.value_of("transcript") {
+        let transcript = report
+            .points
+            .first()
+            .map_or("", |p| p.report.transcript.as_str());
+        std::fs::write(path, transcript)
+            .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
+    }
+    if !report.transcripts_identical {
+        return Err(CliError::Count(format!(
+            "connection-scaling transcripts diverged across {:?} connections (seed {}): \
+             responses depended on concurrency",
+            counts, report.options.seed
+        )));
+    }
+
+    let mut text = String::new();
+    if !args.switch("quiet") {
+        match hosted {
+            Some((addr, served)) => text.push_str(&format!(
+                "server      : self-hosted on {addr}, served {served} request(s)\n"
+            )),
+            None => text.push_str("server      : external (--connect)\n"),
+        }
+        text.push_str(&format!(
+            "scaling     : {} request(s)/point, protocol={}, seed={}, method={}, {} point(s)\n",
+            report.options.requests,
+            report.options.protocol.name(),
+            report.options.seed,
+            report.options.method.as_deref().unwrap_or("auto"),
+            report.points.len(),
+        ));
+        for point in &report.points {
+            text.push_str(&format!(
+                "  c={:<6}: {:8.1} req/s  p50={:.3} p95={:.3} p99={:.3} ms  {} error(s)\n",
+                point.connections,
+                point.report.throughput_rps,
+                point.report.p50_ms,
+                point.report.p95_ms,
+                point.report.p99_ms,
+                point.report.errors,
+            ));
+        }
+        text.push_str("transcripts : identical across all points\n");
+        text.push_str(&format!("bench       : wrote {bench_path}\n"));
     }
     Ok(text)
 }
@@ -403,6 +541,57 @@ mod tests {
             "xcq".to_string(),
         ]);
         assert_eq!(crate::exit_code(&result), 2);
+    }
+
+    #[test]
+    fn scaling_sweep_writes_the_curve_and_checks_determinism() {
+        let bench = temp("scaling-bench.json");
+        let out = run_loadgen(
+            &args_from([
+                "loadgen",
+                "--requests",
+                "12",
+                "--seed",
+                "17",
+                "--method",
+                "exact",
+                "--scaling",
+                "2,6",
+                "--bench-out",
+                bench.to_str().unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("scaling     : 12 request(s)/point"), "{out}");
+        assert!(out.contains("c=2"), "{out}");
+        assert!(out.contains("c=6"), "{out}");
+        assert!(
+            out.contains("transcripts : identical across all points"),
+            "{out}"
+        );
+        let doc = std::fs::read_to_string(&bench).unwrap();
+        let v = cqc_serve::json::parse(doc.trim()).unwrap();
+        assert_eq!(
+            v.get("bench").and_then(|b| b.as_str()),
+            Some("serve_scaling")
+        );
+        assert!(doc.contains("\"transcripts_identical\":true"), "{doc}");
+        std::fs::remove_file(&bench).ok();
+    }
+
+    #[test]
+    fn scaling_rejects_malformed_counts_and_obs_bench() {
+        for bad in [
+            vec!["loadgen", "--scaling", ""],
+            vec!["loadgen", "--scaling", "0"],
+            vec!["loadgen", "--scaling", "4,x"],
+            vec!["loadgen", "--scaling", "4", "--obs-bench", "x.json"],
+            vec!["loadgen", "--scaling", "4", "--trace", "x.ndjson"],
+        ] {
+            let err = run_loadgen(&args_from(bad.clone()).unwrap()).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?} -> {err}");
+        }
     }
 
     #[test]

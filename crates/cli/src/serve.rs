@@ -77,6 +77,20 @@ pub fn run_serve(args: &Args) -> Result<String, CliError> {
     Ok(text)
 }
 
+/// Parse an optional numeric flag; `None` when absent.
+fn parse_flag<T: std::str::FromStr>(args: &Args, name: &str) -> Result<Option<T>, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    match args.value_of(name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|e| CliError::Usage(format!("invalid value `{raw}` for `--{name}`: {e}"))),
+    }
+}
+
 /// `cqc serve --listen ADDR`: the TCP front end (HTTP/1.1 + raw NDJSON on
 /// one port, see `cqc-net`). Blocks until a *line* arrives on stdin — the
 /// command's "signal pipe": interactive users press Enter, supervisors
@@ -100,15 +114,32 @@ fn run_listen(args: &Args, listen: &str, server_config: ServerConfig) -> Result<
         }
     };
     let addr_file = args.value_of("addr-file").map(str::to_string);
-    let server = RunningServer::bind(
-        listen,
-        NetConfig {
-            serve: server_config,
-            max_requests,
-            ..NetConfig::default()
-        },
-    )
-    .map_err(|e| CliError::Io(format!("cannot listen on `{listen}`: {e}")))?;
+    let mut net_config = NetConfig {
+        serve: server_config,
+        max_requests,
+        ..NetConfig::default()
+    };
+    if let Some(n) = parse_flag::<usize>(args, "max-connections")? {
+        if n == 0 {
+            return Err(CliError::Usage(
+                "`--max-connections` must be at least 1".into(),
+            ));
+        }
+        net_config.max_connections = n;
+    }
+    if let Some(n) = parse_flag::<usize>(args, "queue-limit")? {
+        if n == 0 {
+            return Err(CliError::Usage("`--queue-limit` must be at least 1".into()));
+        }
+        net_config.dispatch_queue_limit = n;
+    }
+    // `--dispatch-workers 0` is allowed: it means "auto" (sized from the
+    // machine), the same as omitting the flag.
+    if let Some(n) = parse_flag::<usize>(args, "dispatch-workers")? {
+        net_config.dispatch_workers = n;
+    }
+    let server = RunningServer::bind(listen, net_config)
+        .map_err(|e| CliError::Io(format!("cannot listen on `{listen}`: {e}")))?;
     let addr = server.addr();
     if let Some(path) = addr_file {
         std::fs::write(&path, format!("{addr}\n"))
@@ -229,6 +260,17 @@ E 5 0
         assert!(matches!(err, CliError::Usage(_)));
         let err = run_serve(
             &args_from(["serve", "--listen", "127.0.0.1:0", "--max-requests", "0"]).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        for flag in ["--max-connections", "--queue-limit"] {
+            let err =
+                run_serve(&args_from(["serve", "--listen", "127.0.0.1:0", flag, "0"]).unwrap())
+                    .unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{flag}");
+        }
+        let err = run_serve(
+            &args_from(["serve", "--listen", "127.0.0.1:0", "--queue-limit", "lots"]).unwrap(),
         )
         .unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));

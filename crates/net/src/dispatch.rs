@@ -1,0 +1,335 @@
+//! The bounded dispatch queue between the readiness loop and the engine.
+//!
+//! The event thread frames requests and pushes [`Job`]s here; a small pool
+//! of dispatch workers executes them against the shared [`cqc_serve`]
+//! server (which in turn fans work across the `cqc-runtime` pool) and
+//! pushes fully rendered response bytes back as [`Completion`]s, waking the
+//! event thread through its wake socket. The queue is the admission-control
+//! point: [`Dispatcher::try_enqueue`] refuses work beyond the configured
+//! bound, and the event loop turns that refusal into a load-shed response
+//! (HTTP 503 / NDJSON error line) instead of queueing without limit.
+//!
+//! A worker wraps every job in `catch_unwind`: a panicking handler is
+//! counted (`cqc_connection_panics_total`) and answered with a 500-class
+//! response rather than silently killing the connection — the
+//! thread-per-connection model swallowed those panics on `JoinHandle` reap.
+
+use crate::http::{finish_chunks, write_chunk, write_chunked_head, write_response_with};
+use crate::server::{error_body, Shared};
+use cqc_obs::Stopwatch;
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Identifies a connection slot in the event loop, with a generation
+/// counter so a completion for a closed connection can never be delivered
+/// to an unrelated connection that reused the slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Token {
+    /// Index into the event loop's slot table.
+    pub slot: usize,
+    /// The slot's generation at dispatch time.
+    pub gen: u64,
+}
+
+/// One dispatched request, owned by the queue until a worker takes it.
+pub(crate) struct Job {
+    /// The connection awaiting the response.
+    pub token: Token,
+    /// What to execute.
+    pub kind: JobKind,
+}
+
+/// The work a job carries; each variant renders to complete response bytes.
+pub(crate) enum JobKind {
+    /// `POST /count`: one request line, one JSON response.
+    Count {
+        /// The UTF-8 request body (validated by the event loop).
+        text: String,
+        /// `traceparent` header to echo, if the request carried one.
+        traceparent: Option<String>,
+        /// Whether the response must carry `Connection: close`.
+        close: bool,
+    },
+    /// `POST /stream`: a batch of request lines, streamed back chunked
+    /// (HTTP/1.1) or length-delimited (HTTP/1.0).
+    Stream {
+        /// The UTF-8 request body.
+        text: String,
+        /// HTTP/1.0 peer: buffer the lines instead of chunking.
+        http10: bool,
+        /// Whether the response must carry `Connection: close`.
+        close: bool,
+    },
+    /// One raw NDJSON request line.
+    Line {
+        /// The request line, without its newline.
+        line: String,
+    },
+}
+
+/// A finished job: the rendered response bytes for one connection.
+pub(crate) struct Completion {
+    /// The connection the bytes belong to.
+    pub token: Token,
+    /// The complete response (headers and all, for HTTP).
+    pub bytes: Vec<u8>,
+    /// Close the connection once the bytes are flushed.
+    pub close: bool,
+}
+
+struct QueueState {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    stop: AtomicBool,
+    /// Jobs queued or executing — the admission-control count.
+    in_flight: AtomicU64,
+    completions: Mutex<Vec<Completion>>,
+}
+
+/// Poison-safe lock: a worker panic is already counted and answered by
+/// `catch_unwind`, so the queue data a poisoned lock guards is still
+/// consistent — take it.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// The bounded dispatch queue plus its worker threads.
+pub(crate) struct Dispatcher {
+    state: Arc<QueueState>,
+    /// Maximum `in_flight` before `try_enqueue` refuses.
+    limit: u64,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Dispatcher {
+    /// Spawn `workers` dispatch workers draining the queue into `shared`'s
+    /// serve layer. `wake` is written one byte per completion so the event
+    /// loop's `poll` returns promptly.
+    pub fn start(
+        shared: Arc<Shared>,
+        workers: usize,
+        limit: usize,
+        wake: Arc<TcpStream>,
+    ) -> Dispatcher {
+        let state = Arc::new(QueueState {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+            completions: Mutex::new(Vec::new()),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let state = Arc::clone(&state);
+                let shared = Arc::clone(&shared);
+                let wake = Arc::clone(&wake);
+                std::thread::Builder::new()
+                    .name(format!("cqc-net-worker-{i}"))
+                    .spawn(move || worker_loop(&state, &shared, &wake))
+            })
+            .filter_map(Result::ok)
+            .collect();
+        Dispatcher {
+            state,
+            limit: limit.max(1) as u64,
+            workers: handles,
+        }
+    }
+
+    /// Admit a job unless the queue is at its bound. Refusal leaves the
+    /// queue untouched — the caller sheds the request.
+    pub fn try_enqueue(&self, job: Job) -> bool {
+        let mut jobs = lock(&self.state.jobs);
+        if self.state.in_flight.load(Ordering::Relaxed) >= self.limit {
+            return false;
+        }
+        self.state.in_flight.fetch_add(1, Ordering::Relaxed);
+        jobs.push_back(job);
+        self.state.available.notify_one();
+        true
+    }
+
+    /// Take every finished completion.
+    pub fn drain_completions(&self) -> Vec<Completion> {
+        std::mem::take(&mut *lock(&self.state.completions))
+    }
+
+    /// Jobs queued or executing right now (the `cqc_dispatch_queue_depth`
+    /// gauge, sampled at scrape time).
+    pub fn depth(&self) -> u64 {
+        self.state.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Stop and join the workers. The event loop only calls this once the
+    /// queue has drained (`depth() == 0`), so no job is abandoned.
+    pub fn shutdown(&mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        {
+            let _jobs = lock(&self.state.jobs);
+            self.state.available.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Dispatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(state: &QueueState, shared: &Shared, wake: &TcpStream) {
+    loop {
+        let job = {
+            let mut jobs = lock(&state.jobs);
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                if state.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                jobs = state
+                    .available
+                    .wait(jobs)
+                    .unwrap_or_else(|poison| poison.into_inner());
+            }
+        };
+        let token = job.token;
+        // Captured before execution so a panicking handler can still be
+        // answered in the right protocol framing.
+        let is_http = matches!(&job.kind, JobKind::Count { .. } | JobKind::Stream { .. });
+        let (bytes, close) = match catch_unwind(AssertUnwindSafe(|| execute(shared, job.kind))) {
+            Ok(rendered) => rendered,
+            Err(_) => {
+                shared.metrics.connection_panics.inc();
+                cqc_obs::trace::instant("net_panic", if is_http { "http" } else { "ndjson" });
+                let body = error_body("request handler panicked");
+                let mut out = Vec::new();
+                if is_http {
+                    let _ = crate::http::write_response(
+                        &mut out,
+                        500,
+                        "application/json",
+                        body.as_bytes(),
+                        true,
+                    );
+                } else {
+                    out.extend_from_slice(body.as_bytes());
+                    out.push(b'\n');
+                }
+                (out, true)
+            }
+        };
+        state.in_flight.fetch_sub(1, Ordering::Relaxed);
+        lock(&state.completions).push(Completion {
+            token,
+            bytes,
+            close,
+        });
+        // Wake the event loop; WouldBlock means a wake byte is already
+        // pending, which is just as good.
+        let mut wake_ref: &TcpStream = wake;
+        let _ = std::io::Write::write(&mut wake_ref, &[1]);
+    }
+}
+
+/// Execute one job against the serve layer and render the full response
+/// bytes. This is the exact request semantics of the thread-per-connection
+/// handlers (same calls, same order, same header bytes), relocated off the
+/// event thread — response bytes stay a pure function of request bytes.
+fn execute(shared: &Shared, kind: JobKind) -> (Vec<u8>, bool) {
+    match kind {
+        JobKind::Count {
+            text,
+            traceparent,
+            close,
+        } => {
+            // A request carrying a `traceparent` header gets it echoed
+            // back verbatim on the response — correlation across the wire.
+            // The echo is a pure function of the request bytes (tracing on
+            // or off never changes it), so it cannot perturb transcript
+            // comparison.
+            if let Some(t) = &traceparent {
+                cqc_obs::trace::instant("traceparent", t);
+            }
+            let start = Stopwatch::start();
+            let (body, is_error) = shared.serve.handle_line_classified(text.trim());
+            shared.metrics.latency.record(start.elapsed());
+            shared.count_served();
+            let status = if is_error { 400 } else { 200 };
+            shared.metrics.observe_status(status);
+            let extra: Vec<(&str, &str)> = traceparent
+                .as_deref()
+                .map(|t| vec![("Traceparent", t)])
+                .unwrap_or_default();
+            let mut out = Vec::new();
+            let _ = write_response_with(
+                &mut out,
+                status,
+                "application/json",
+                &extra,
+                body.as_bytes(),
+                close,
+            );
+            (out, close)
+        }
+        JobKind::Stream {
+            text,
+            http10,
+            close,
+        } => {
+            let mut out = Vec::new();
+            if http10 {
+                // HTTP/1.0 predates chunked encoding: buffer the response
+                // lines and send them length-delimited.
+                let mut body = String::new();
+                for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                    let start = Stopwatch::start();
+                    let (response, _) = shared.serve.handle_line_classified(line);
+                    shared.metrics.latency.record(start.elapsed());
+                    shared.count_served();
+                    body.push_str(&response);
+                    body.push('\n');
+                }
+                shared.metrics.observe_status(200);
+                let _ = crate::http::write_response(
+                    &mut out,
+                    200,
+                    "application/x-ndjson",
+                    body.as_bytes(),
+                    close,
+                );
+            } else {
+                shared.metrics.observe_status(200);
+                let _ = write_chunked_head(&mut out, "application/x-ndjson", close);
+                for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                    let start = Stopwatch::start();
+                    let (response, _) = shared.serve.handle_line_classified(line);
+                    shared.metrics.latency.record(start.elapsed());
+                    shared.count_served();
+                    let _ = write_chunk(&mut out, format!("{response}\n").as_bytes());
+                }
+                let _ = finish_chunks(&mut out);
+            }
+            (out, close)
+        }
+        JobKind::Line { line } => {
+            let start = Stopwatch::start();
+            let (response, _) = shared
+                .serve
+                .handle_line_classified(line.trim_end_matches('\n'));
+            shared.metrics.latency.record(start.elapsed());
+            shared.count_served();
+            let mut out = response.into_bytes();
+            out.push(b'\n');
+            (out, false)
+        }
+    }
+}

@@ -150,10 +150,52 @@ pub fn render_request_line(
     Value::Obj(members).render()
 }
 
+/// How [`run_with`] drives its client fleet. [`run_against`] uses the
+/// defaults; the connection-scaling mode shrinks client stacks (thousands
+/// of client threads on one box), retries the connect storm, and
+/// rendezvous-gates the fleet so wall-clock measures steady-state serving,
+/// not connection setup.
+struct DriveConfig {
+    /// Client-thread stack size (`None` = platform default).
+    stack_size: Option<usize>,
+    /// Hold every connection at a barrier until all are connected, and
+    /// start the clock at the release.
+    rendezvous: bool,
+    /// Connect attempts per connection (25 ms apart) before giving up.
+    connect_attempts: u32,
+}
+
+impl Default for DriveConfig {
+    fn default() -> Self {
+        DriveConfig {
+            stack_size: None,
+            rendezvous: false,
+            connect_attempts: 1,
+        }
+    }
+}
+
+/// Client-thread stack for the scaling mode: the client only renders and
+/// buffers single requests, so a small stack lets thousands of connection
+/// threads coexist.
+const SCALING_CLIENT_STACK: usize = 256 * 1024;
+
+/// Connect attempts in the scaling mode: a thousands-strong connect storm
+/// overflows the listen backlog transiently, so clients retry.
+const SCALING_CONNECT_ATTEMPTS: u32 = 40;
+
 /// Drive `addr` with the seeded mix and assemble the report. Fails only on
 /// transport errors; application-level `error` responses are counted and
 /// kept in the transcript.
 pub fn run_against(addr: SocketAddr, options: &LoadgenOptions) -> std::io::Result<LoadReport> {
+    run_with(addr, options, &DriveConfig::default())
+}
+
+fn run_with(
+    addr: SocketAddr,
+    options: &LoadgenOptions,
+    config: &DriveConfig,
+) -> std::io::Result<LoadReport> {
     let connections = options.connections.max(1);
     let specs = match options.suite {
         None => request_mix(options.seed, options.requests),
@@ -175,7 +217,13 @@ pub fn run_against(addr: SocketAddr, options: &LoadgenOptions) -> std::io::Resul
     // pooled across connections (nanoseconds).
     let results: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::with_capacity(lines.len()));
     let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(lines.len()));
-    let started = Stopwatch::start();
+    // The barrier counts every connection thread plus the coordinator: the
+    // fleet holds until everyone is connected, the coordinator restarts the
+    // clock at the release, so wall measures serving — not the connect storm.
+    let barrier = config
+        .rendezvous
+        .then(|| std::sync::Barrier::new(connections + 1));
+    let mut started = Stopwatch::start();
     std::thread::scope(|scope| -> std::io::Result<()> {
         let mut workers = Vec::new();
         for c in 0..connections {
@@ -183,12 +231,23 @@ pub fn run_against(addr: SocketAddr, options: &LoadgenOptions) -> std::io::Resul
             let results = &results;
             let latencies = &latencies;
             let options = &options;
-            workers.push(scope.spawn(move || -> std::io::Result<()> {
+            let barrier = barrier.as_ref();
+            let body = move || -> std::io::Result<()> {
                 let owned: Vec<usize> = (c..lines.len()).step_by(connections).collect();
                 if owned.is_empty() {
+                    // Still rendezvous: the barrier counts every thread.
+                    if let Some(b) = barrier {
+                        b.wait();
+                    }
                     return Ok(());
                 }
-                let mut client = Client::connect(addr, options.protocol)?;
+                let client = Client::connect(addr, options.protocol, config.connect_attempts);
+                // A failed connect must still reach the barrier, or the
+                // rest of the fleet deadlocks waiting for it.
+                if let Some(b) = barrier {
+                    b.wait();
+                }
+                let mut client = client?;
                 let mut local_results = Vec::with_capacity(owned.len());
                 let mut local_latencies = Vec::with_capacity(owned.len());
                 for i in owned {
@@ -203,7 +262,19 @@ pub fn run_against(addr: SocketAddr, options: &LoadgenOptions) -> std::io::Resul
                     .expect("latencies lock")
                     .extend(local_latencies);
                 Ok(())
-            }));
+            };
+            let handle = match config.stack_size {
+                None => scope.spawn(body),
+                Some(stack) => std::thread::Builder::new()
+                    .name(format!("cqc-loadgen-{c}"))
+                    .stack_size(stack)
+                    .spawn_scoped(scope, body)?,
+            };
+            workers.push(handle);
+        }
+        if let Some(b) = &barrier {
+            b.wait();
+            started.restart();
         }
         for worker in workers {
             worker.join().expect("loadgen connection panicked")?;
@@ -380,6 +451,154 @@ pub fn obs_bench_json(off: &LoadReport, on: &LoadReport, trace_events: u64) -> S
     .render()
 }
 
+/// One measured point on the connection-scaling curve.
+#[derive(Debug)]
+pub struct ScalingPoint {
+    /// Concurrent keep-alive connections at this point.
+    pub connections: usize,
+    /// The full load report for this point (same mix as every other point).
+    pub report: LoadReport,
+}
+
+/// The outcome of a connection-scaling sweep: the **same** seeded request
+/// mix replayed at each connection count, so the transcripts are comparable
+/// byte-for-byte and the curve isolates the cost of concurrency alone.
+#[derive(Debug)]
+pub struct ScalingReport {
+    /// The base options every point shares (`connections` is overridden
+    /// per point; `requests` is raised to at least the largest count so
+    /// every connection owns at least one request).
+    pub options: LoadgenOptions,
+    /// One entry per requested connection count, in the requested order.
+    pub points: Vec<ScalingPoint>,
+    /// Whether every point produced byte-identical transcripts — the
+    /// determinism witness for the event-driven server under scale.
+    pub transcripts_identical: bool,
+}
+
+/// Sweep `addr` with the same seeded mix at each of `counts` concurrent
+/// keep-alive connections (`cqc loadgen --scaling`). Each point runs with
+/// small client stacks, a connect-retry loop, and a start barrier so the
+/// wall clock measures steady-state serving rather than the connect storm.
+pub fn run_scaling(
+    addr: SocketAddr,
+    base: &LoadgenOptions,
+    counts: &[usize],
+) -> std::io::Result<ScalingReport> {
+    let max_count = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut options = base.clone();
+    // Every connection must own at least one request, or transcripts of
+    // different points would cover different request subsets.
+    options.requests = options.requests.max(max_count);
+    let config = DriveConfig {
+        stack_size: Some(SCALING_CLIENT_STACK),
+        rendezvous: true,
+        connect_attempts: SCALING_CONNECT_ATTEMPTS,
+    };
+    let mut points = Vec::with_capacity(counts.len());
+    for &count in counts {
+        let mut point_options = options.clone();
+        point_options.connections = count.max(1);
+        let report = run_with(addr, &point_options, &config)?;
+        points.push(ScalingPoint {
+            connections: count.max(1),
+            report,
+        });
+    }
+    let transcripts_identical = points
+        .windows(2)
+        .all(|w| w[0].report.transcript == w[1].report.transcript);
+    Ok(ScalingReport {
+        options,
+        points,
+        transcripts_identical,
+    })
+}
+
+/// Render the `BENCH_serve.json` document for a connection-scaling sweep
+/// (`bench = "serve_scaling"`): one `points` entry per connection count
+/// with throughput and latency percentiles, plus the cross-point
+/// determinism witness.
+pub fn scaling_bench_json(report: &ScalingReport) -> String {
+    let o = &report.options;
+    let points = report
+        .points
+        .iter()
+        .map(|p| {
+            Value::Obj(vec![
+                ("connections".to_string(), Value::Num(p.connections as f64)),
+                (
+                    "wall_seconds".to_string(),
+                    Value::Num(p.report.wall.as_secs_f64()),
+                ),
+                (
+                    "throughput_rps".to_string(),
+                    Value::Num(p.report.throughput_rps),
+                ),
+                (
+                    "latency_ms".to_string(),
+                    Value::Obj(vec![
+                        ("p50".to_string(), Value::Num(p.report.p50_ms)),
+                        ("p95".to_string(), Value::Num(p.report.p95_ms)),
+                        ("p99".to_string(), Value::Num(p.report.p99_ms)),
+                    ]),
+                ),
+                (
+                    "responses_with_error".to_string(),
+                    Value::Num(p.report.errors as f64),
+                ),
+                (
+                    "transcript_fnv1a".to_string(),
+                    Value::Str(format!(
+                        "{:016x}",
+                        transcript_fingerprint(&p.report.transcript)
+                    )),
+                ),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("bench".to_string(), Value::Str("serve_scaling".to_string())),
+        (
+            "protocol".to_string(),
+            Value::Str(o.protocol.name().to_string()),
+        ),
+        ("requests".to_string(), Value::Num(o.requests as f64)),
+        ("seed".to_string(), Value::Str(o.seed.to_string())),
+        (
+            "suite".to_string(),
+            o.suite
+                .map_or(Value::Null, |c| Value::Str(class_name(c).to_string())),
+        ),
+        (
+            "shards".to_string(),
+            o.shards.map_or(Value::Null, |s| Value::Num(s as f64)),
+        ),
+        (
+            "method".to_string(),
+            o.method
+                .as_deref()
+                .map_or(Value::Null, |m| Value::Str(m.to_string())),
+        ),
+        ("points".to_string(), Value::Arr(points)),
+        (
+            "transcripts_identical".to_string(),
+            Value::Bool(report.transcripts_identical),
+        ),
+        (
+            "transcript_fnv1a".to_string(),
+            Value::Str(format!(
+                "{:016x}",
+                report
+                    .points
+                    .first()
+                    .map_or(0, |p| transcript_fingerprint(&p.report.transcript))
+            )),
+        ),
+    ])
+    .render()
+}
+
 /// One closed-loop client connection.
 enum Client {
     Http {
@@ -394,8 +613,19 @@ enum Client {
 }
 
 impl Client {
-    fn connect(addr: SocketAddr, protocol: Protocol) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+    /// Connect, retrying up to `attempts` times 25 ms apart — connect
+    /// storms at high connection counts can transiently overflow the
+    /// listen backlog.
+    fn connect(addr: SocketAddr, protocol: Protocol, attempts: u32) -> std::io::Result<Client> {
+        let mut stream = TcpStream::connect(addr);
+        for _ in 1..attempts.max(1) {
+            if stream.is_ok() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+            stream = TcpStream::connect(addr);
+        }
+        let stream = stream?;
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
         Ok(match protocol {
@@ -540,6 +770,55 @@ mod tests {
         );
         assert_eq!(v.get("requests").and_then(|r| r.as_u64()), Some(100));
         assert!(v.get("latency_ms").and_then(|l| l.get("p99")).is_some());
+    }
+
+    #[test]
+    fn scaling_bench_json_carries_points_and_identity() {
+        let mk = |transcript: &str| LoadReport {
+            options: LoadgenOptions::default(),
+            wall: Duration::from_millis(500),
+            throughput_rps: 200.0,
+            p50_ms: 1.0,
+            p95_ms: 2.0,
+            p99_ms: 3.0,
+            errors: 0,
+            bytes_received: 9,
+            transcript: transcript.to_string(),
+        };
+        let report = ScalingReport {
+            options: LoadgenOptions::default(),
+            points: vec![
+                ScalingPoint {
+                    connections: 64,
+                    report: mk("{\"id\":0}\n"),
+                },
+                ScalingPoint {
+                    connections: 256,
+                    report: mk("{\"id\":0}\n"),
+                },
+            ],
+            transcripts_identical: true,
+        };
+        let text = scaling_bench_json(&report);
+        let v = cqc_serve::json::parse(&text).expect("scaling bench json parses");
+        assert_eq!(
+            v.get("bench").and_then(|b| b.as_str()),
+            Some("serve_scaling")
+        );
+        let points = match v.get("points") {
+            Some(Value::Arr(points)) => points,
+            other => panic!("points member missing or not an array: {other:?}"),
+        };
+        assert_eq!(points.len(), 2);
+        assert_eq!(
+            points[0].get("connections").and_then(|c| c.as_u64()),
+            Some(64)
+        );
+        assert!(points[1]
+            .get("latency_ms")
+            .and_then(|l| l.get("p99"))
+            .is_some());
+        assert!(text.contains("\"transcripts_identical\":true"));
     }
 
     #[test]

@@ -46,8 +46,19 @@ pub struct Metrics {
     pub pool_width: Arc<Gauge>,
     /// Pool dispatches currently in flight, sampled at scrape time.
     pub pool_queue_depth: Arc<Gauge>,
-    /// Open TCP connections, sampled at scrape time.
+    /// Open TCP connections, maintained live by the event loop.
     pub active_connections: Arc<Gauge>,
+    /// Connections refused at the admission cap with a load-shed response.
+    pub connections_rejected: Arc<Counter>,
+    /// Requests shed because the dispatch queue was at its bound.
+    pub requests_shed: Arc<Counter>,
+    /// Request handlers that panicked (answered 500-class, never swallowed).
+    pub connection_panics: Arc<Counter>,
+    /// Transient accept failures the event loop backed off from.
+    pub accept_errors: Arc<Counter>,
+    /// Requests queued or executing in the dispatcher, sampled at scrape
+    /// time.
+    pub dispatch_queue_depth: Arc<Gauge>,
 }
 
 impl Metrics {
@@ -86,6 +97,28 @@ impl Metrics {
         );
         let active_connections =
             registry.gauge("cqc_active_connections", "TCP connections currently open");
+        // Admission-control series (event-driven rewrite): appended after
+        // the pre-existing gauges so the historical prefix stays stable.
+        let connections_rejected = registry.counter(
+            "cqc_connections_rejected_total",
+            "connections rejected at the admission cap with a load-shed response",
+        );
+        let requests_shed = registry.counter(
+            "cqc_requests_shed_total",
+            "requests shed with an overload response (dispatch queue full)",
+        );
+        let connection_panics = registry.counter(
+            "cqc_connection_panics_total",
+            "request handlers that panicked (answered with an internal error)",
+        );
+        let accept_errors = registry.counter(
+            "cqc_accept_errors_total",
+            "transient accept failures backed off by the event loop",
+        );
+        let dispatch_queue_depth = registry.gauge(
+            "cqc_dispatch_queue_depth",
+            "requests queued or executing in the dispatcher",
+        );
         Metrics {
             connections,
             http_requests,
@@ -96,6 +129,11 @@ impl Metrics {
             pool_width,
             pool_queue_depth,
             active_connections,
+            connections_rejected,
+            requests_shed,
+            connection_panics,
+            accept_errors,
+            dispatch_queue_depth,
         }
     }
 
@@ -161,6 +199,11 @@ mod tests {
             "cqc_pool_width 0",
             "cqc_pool_queue_depth 0",
             "cqc_active_connections 0",
+            "cqc_connections_rejected_total 0",
+            "cqc_requests_shed_total 0",
+            "cqc_connection_panics_total 0",
+            "cqc_accept_errors_total 0",
+            "cqc_dispatch_queue_depth 0",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

@@ -1,6 +1,33 @@
-//! The network front end: a threaded TCP server that speaks HTTP/1.1 *and*
-//! raw newline-delimited JSON on one port, wrapping the sharded counting
-//! core of `cqc_serve::Server`.
+//! The network front end: an event-driven TCP server that speaks HTTP/1.1
+//! *and* raw newline-delimited JSON on one port, wrapping the sharded
+//! counting core of `cqc_serve::Server`.
+//!
+//! ## Architecture: readiness loop + dispatch workers
+//!
+//! One **event thread** owns every socket: it polls them for readiness
+//! (`poll(2)` through the std-only shim in [`crate::poll`]), accepts new
+//! connections, fills per-connection read buffers, frames requests
+//! ([`crate::conn`]: read → parse), and drains write buffers. Engine work
+//! never runs on the event thread — `/count`, `/stream` and NDJSON lines
+//! are pushed onto the **bounded dispatch queue** ([`crate::dispatch`]),
+//! where a small pool of dispatch workers executes them (fanning across
+//! the `cqc-runtime` pool) and hands fully rendered response bytes back.
+//! A connection with a request in flight is not read further — that
+//! per-connection backpressure is what keeps responses ordered and
+//! buffers bounded.
+//!
+//! ## Admission control
+//!
+//! Two explicit limits, both answered with the canonical overload bytes of
+//! [`cqc_serve::overload_line`] (identical JSON across protocols):
+//!
+//! * [`NetConfig::max_connections`] — connections over the cap get one
+//!   load-shed response (HTTP 503 / NDJSON error line) and are closed,
+//!   counted by `cqc_connections_rejected_total`.
+//! * [`NetConfig::dispatch_queue_limit`] — requests beyond the queue bound
+//!   are shed per-request (the connection stays usable), counted by
+//!   `cqc_requests_shed_total`; `cqc_dispatch_queue_depth` samples the
+//!   queue at scrape time.
 //!
 //! ## Protocol sniffing
 //!
@@ -25,39 +52,61 @@
 //! every request carries its own seed, work item `i` always runs under
 //! `split_seed(seed, i)`, and merges are index-ordered (see `cqc-serve`).
 //! The network layer adds nothing nondeterministic around the body — HTTP
-//! headers are a fixed function of the body — so transcript comparison is
-//! exact. `tests/wire_determinism.rs` pins the full matrix.
+//! headers are a fixed function of the body, and which *thread* renders a
+//! response (event loop for inline endpoints, a dispatch worker for engine
+//! work) never appears on the wire. `tests/wire_determinism.rs` pins the
+//! full matrix.
 //!
 //! ## Graceful shutdown
 //!
 //! [`ShutdownHandle::signal`] (or reaching `max_requests`) sets a flag and
-//! wakes the accept loop with a loopback connection. Connections finish
-//! their in-flight request, the accept thread joins every connection
-//! thread, and [`RunningServer::wait`]/[`RunningServer::shutdown`] return
-//! the total number of count requests served.
+//! writes a byte to the event thread's wake socket. The listener closes
+//! immediately, in-flight requests finish and flush (bounded by a short
+//! drain deadline for peers that stop reading), idle connections close,
+//! the dispatch workers join, and [`RunningServer::wait`] /
+//! [`RunningServer::shutdown`] return the total count requests served.
 
-use crate::http::{
-    finish_chunks, read_request, write_chunk, write_chunked_head, write_response,
-    write_response_with, HttpError,
-};
+use crate::conn::{Conn, HttpNext, NdjsonNext, Proto};
+use crate::dispatch::{Dispatcher, Job, JobKind, Token};
+use crate::http::{write_response, write_response_with, MAX_BODY_BYTES};
 use crate::metrics::Metrics;
+use crate::poll::{poll_fds, raw_fd, PollFd, POLLIN, POLLOUT};
 use cqc_obs::{Registry, Stopwatch};
 use cqc_serve::{Server, ServerConfig};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// How often idle connections and the wait loops poll the shutdown flag.
+/// The event loop's poll timeout: the granularity of the idle sweep and of
+/// accept-error backoff. Readiness (bytes, completions, shutdown wake)
+/// interrupts it immediately.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Default cap on concurrent connections (see [`NetConfig::max_connections`]).
-pub const DEFAULT_MAX_CONNECTIONS: usize = 256;
+/// A connection now costs one descriptor plus its buffers — not an OS
+/// thread — so the default is sized for thousands of keep-alive peers.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 4096;
 
 /// Default idle-read deadline (see [`NetConfig::idle_timeout`]).
 pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Default bound on dispatched-but-unanswered requests (see
+/// [`NetConfig::dispatch_queue_limit`]).
+pub const DEFAULT_DISPATCH_QUEUE_LIMIT: usize = 256;
+
+/// Cap on connections simultaneously being *rejected* (sniffing their
+/// protocol to frame the 503/error bytes). Beyond it, over-cap connections
+/// are closed bare — still counted — so a reject flood cannot itself pin
+/// descriptors.
+const MAX_REJECT_SLOTS: usize = 64;
+
+/// Once shutdown begins, how long flushed-but-unread response bytes may
+/// keep a connection open before it is closed anyway. Short enough that a
+/// peer that stopped reading cannot stall shutdown noticeably.
+const SHUTDOWN_DRAIN: Duration = Duration::from_secs(2);
 
 /// Configuration of the network front end.
 #[derive(Debug, Clone)]
@@ -69,10 +118,11 @@ pub struct NetConfig {
     /// requests (`None` = run until signalled). Smoke tests and the CLI's
     /// `--max-requests` use this.
     pub max_requests: Option<u64>,
-    /// Cap on concurrent connections (each costs an OS thread). Excess
-    /// connections are accepted and immediately closed — the TCP analogue
-    /// of a full listen backlog — so one peer cannot pin unbounded threads
-    /// and per-connection buffers. `0` means the default.
+    /// Cap on concurrent connections (each costs a descriptor and its
+    /// buffers). Excess connections receive one load-shed response (HTTP
+    /// 503 / NDJSON error line, counted by
+    /// `cqc_connections_rejected_total`) and are closed. `0` means the
+    /// default.
     pub max_connections: usize,
     /// Close a connection when no bytes arrive for this long — idle
     /// keep-alive peers *and* slowloris-style stalled requests both
@@ -80,6 +130,14 @@ pub struct NetConfig {
     /// recovered instead of being pinned until shutdown. Zero means the
     /// default.
     pub idle_timeout: Duration,
+    /// Bound on requests dispatched but not yet answered (queued plus
+    /// executing). Requests beyond it are shed with a 503/NDJSON error
+    /// (counted by `cqc_requests_shed_total`) while the connection stays
+    /// usable. `0` means the default.
+    pub dispatch_queue_limit: usize,
+    /// Dispatch worker threads executing engine requests off the event
+    /// thread. `0` means auto (derived from available parallelism).
+    pub dispatch_workers: usize,
 }
 
 impl Default for NetConfig {
@@ -89,49 +147,61 @@ impl Default for NetConfig {
             max_requests: None,
             max_connections: DEFAULT_MAX_CONNECTIONS,
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            dispatch_queue_limit: DEFAULT_DISPATCH_QUEUE_LIMIT,
+            dispatch_workers: 0,
         }
     }
 }
 
-/// State shared by the accept loop, every connection thread, and the
+/// Counters of the admission-control and failure paths (the same series
+/// are exported via `/metrics`; this is the programmatic view for tests
+/// and operational assertions).
+#[derive(Debug, Clone, Copy)]
+pub struct NetStats {
+    /// Connections refused at the cap with a load-shed response.
+    pub connections_rejected: u64,
+    /// Requests answered with a load-shed response (queue bound reached).
+    pub requests_shed: u64,
+    /// Request handlers that panicked (answered 500-class and counted,
+    /// never silently swallowed).
+    pub connection_panics: u64,
+    /// Transient `accept(2)` failures the event loop backed off from.
+    pub accept_errors: u64,
+}
+
+/// State shared by the event thread, the dispatch workers, and the
 /// shutdown handle.
-struct Shared {
-    serve: Server,
-    registry: Registry,
-    metrics: Metrics,
+pub(crate) struct Shared {
+    pub(crate) serve: Server,
+    pub(crate) registry: Registry,
+    pub(crate) metrics: Metrics,
     stopping: AtomicBool,
     served: AtomicU64,
     max_requests: Option<u64>,
-    max_connections: usize,
-    active_connections: AtomicU64,
-    idle_timeout: Duration,
-    addr: SocketAddr,
+    /// Write end of the event thread's wake socket: one byte unblocks the
+    /// poll immediately (`WouldBlock` means a wake is already pending).
+    wake: TcpStream,
 }
 
 impl Shared {
-    fn stopping(&self) -> bool {
+    pub(crate) fn stopping(&self) -> bool {
         self.stopping.load(Ordering::Relaxed)
     }
 
-    /// Set the stop flag and wake the accept loop.
+    /// Set the stop flag and wake the event thread.
     fn signal(&self) {
         self.stopping.store(true, Ordering::Relaxed);
-        // A loopback connection unblocks `accept`; errors are irrelevant
-        // (the listener may already be gone). Wildcard binds (0.0.0.0 /
-        // [::]) are not connectable addresses, so the wake-up targets the
-        // loopback of the same family with the bound port.
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(match wake.ip() {
-                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+        self.wake();
+    }
+
+    /// Nudge the event thread's poll awake.
+    pub(crate) fn wake(&self) {
+        let mut wake: &TcpStream = &self.wake;
+        let _ = wake.write(&[1]);
     }
 
     /// Count one served count-request; trigger shutdown at the limit.
-    fn count_served(&self) {
+    pub(crate) fn count_served(&self) {
         let served = self.served.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(max) = self.max_requests {
             if served >= max {
@@ -161,15 +231,17 @@ impl ShutdownHandle {
 pub struct RunningServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    event: Option<JoinHandle<()>>,
 }
 
 impl RunningServer {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
-    /// the accept loop.
+    /// the event thread and dispatch workers.
     pub fn bind(addr: &str, config: NetConfig) -> std::io::Result<RunningServer> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        let (wake_tx, wake_rx) = wake_pair()?;
         // Register every metric series before the first connection is
         // accepted: a scrape against an idle server must see the full,
         // zero-valued document, not whatever happened to be touched.
@@ -183,27 +255,49 @@ impl RunningServer {
             stopping: AtomicBool::new(false),
             served: AtomicU64::new(0),
             max_requests: config.max_requests,
+            wake: wake_tx,
+        });
+        let worker_wake = Arc::new(shared.wake.try_clone()?);
+        let workers = if config.dispatch_workers == 0 {
+            default_dispatch_workers()
+        } else {
+            config.dispatch_workers
+        };
+        let queue_limit = if config.dispatch_queue_limit == 0 {
+            DEFAULT_DISPATCH_QUEUE_LIMIT
+        } else {
+            config.dispatch_queue_limit
+        };
+        let dispatcher = Dispatcher::start(Arc::clone(&shared), workers, queue_limit, worker_wake);
+        let event_loop = EventLoop {
+            shared: Arc::clone(&shared),
+            dispatcher,
+            listener: Some(listener),
+            wake_rx,
+            slots: Vec::new(),
+            free: Vec::new(),
             max_connections: if config.max_connections == 0 {
                 DEFAULT_MAX_CONNECTIONS
             } else {
                 config.max_connections
             },
-            active_connections: AtomicU64::new(0),
             idle_timeout: if config.idle_timeout.is_zero() {
                 DEFAULT_IDLE_TIMEOUT
             } else {
                 config.idle_timeout
             },
-            addr: local,
-        });
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::Builder::new()
-            .name("cqc-net-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))?;
+            active: 0,
+            rejecting: 0,
+            accept_backoff: false,
+            drain: None,
+        };
+        let event = std::thread::Builder::new()
+            .name("cqc-net-event".into())
+            .spawn(move || event_loop.run())?;
         Ok(RunningServer {
             addr: local,
             shared,
-            accept: Some(accept),
+            event: Some(event),
         })
     }
 
@@ -229,13 +323,23 @@ impl RunningServer {
         self.shared.serve.cached_plans()
     }
 
-    /// Signal shutdown and wait for the accept loop and every connection
-    /// to finish. Returns the total count requests served.
+    /// A snapshot of the admission-control counters.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            connections_rejected: self.shared.metrics.connections_rejected.get(),
+            requests_shed: self.shared.metrics.requests_shed.get(),
+            connection_panics: self.shared.metrics.connection_panics.get(),
+            accept_errors: self.shared.metrics.accept_errors.get(),
+        }
+    }
+
+    /// Signal shutdown and wait for the event thread (and its dispatch
+    /// workers) to finish. Returns the total count requests served.
     pub fn shutdown(mut self) -> u64 {
         self.shared.signal();
-        if let Some(handle) = self.accept.take() {
-            // cqc-audit: allow(serve-panic) — shutdown path, not request handling; re-raising an accept-loop panic is the only sound option
-            handle.join().expect("accept thread panicked");
+        if let Some(handle) = self.event.take() {
+            // cqc-audit: allow(serve-panic) — shutdown path, not request handling; re-raising an event-thread panic is the only sound option
+            handle.join().expect("event thread panicked");
         }
         self.served()
     }
@@ -244,9 +348,9 @@ impl RunningServer {
     /// reached, or another holder of the handle signalled). Returns the
     /// total count requests served.
     pub fn wait(mut self) -> u64 {
-        if let Some(handle) = self.accept.take() {
-            // cqc-audit: allow(serve-panic) — shutdown path, not request handling; re-raising an accept-loop panic is the only sound option
-            handle.join().expect("accept thread panicked");
+        if let Some(handle) = self.event.take() {
+            // cqc-audit: allow(serve-panic) — shutdown path, not request handling; re-raising an event-thread panic is the only sound option
+            handle.join().expect("event thread panicked");
         }
         self.served()
     }
@@ -254,362 +358,590 @@ impl RunningServer {
 
 impl Drop for RunningServer {
     fn drop(&mut self) {
-        if let Some(handle) = self.accept.take() {
+        if let Some(handle) = self.event.take() {
             self.shared.signal();
             let _ = handle.join();
         }
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shared.stopping() {
+/// Dispatch workers when [`NetConfig::dispatch_workers`] is `0`: at least
+/// two (so one long `/stream` batch cannot head-of-line block every other
+/// request), bounded so dispatch threads do not crowd the runtime pool
+/// they fan into.
+fn default_dispatch_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(2, 8)
+}
+
+/// A loopback socket pair serving as the event thread's wake channel: the
+/// read end sits in the poll set, anyone holding the write end (shutdown
+/// handles, dispatch workers) makes the poll return by writing a byte.
+fn wake_pair() -> std::io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, _) = listener.accept()?;
+    tx.set_nonblocking(true)?;
+    tx.set_nodelay(true).ok();
+    rx.set_nonblocking(true)?;
+    Ok((tx, rx))
+}
+
+/// How the event loop should respond to an `accept(2)` error.
+#[derive(Debug, PartialEq, Eq)]
+enum AcceptDisposition {
+    /// Transient (aborted handshake, descriptor/buffer exhaustion): count
+    /// it, skip accepting for one tick, carry on.
+    Retry,
+    /// The listener is broken; stop the server cleanly.
+    Fatal,
+}
+
+/// Classify an accept error. Resource exhaustion (`EMFILE`, `ENFILE`,
+/// `ENOBUFS`, `ENOMEM`) is transient — closing connections release
+/// descriptors — as are peer-caused handshake failures; anything else
+/// (e.g. `EBADF`, `EINVAL`) means the listener itself is gone.
+fn classify_accept_error(error: &std::io::Error) -> AcceptDisposition {
+    use std::io::ErrorKind;
+    match error.kind() {
+        ErrorKind::WouldBlock
+        | ErrorKind::Interrupted
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::ConnectionReset
+        | ErrorKind::TimedOut => AcceptDisposition::Retry,
+        _ => match error.raw_os_error() {
+            // ENOMEM(12), ENFILE(23), EMFILE(24), ENOBUFS(105)
+            Some(12) | Some(23) | Some(24) | Some(105) => AcceptDisposition::Retry,
+            _ => AcceptDisposition::Fatal,
+        },
+    }
+}
+
+/// One connection slot: the generation counter outlives the connection so
+/// completions addressed to a closed connection (same index, older
+/// generation) are discarded instead of delivered to a new peer.
+struct Slot {
+    conn: Option<Conn>,
+    gen: u64,
+}
+
+/// The readiness loop: owns the listener, the wake socket, and every
+/// connection.
+struct EventLoop {
+    shared: Arc<Shared>,
+    dispatcher: Dispatcher,
+    listener: Option<TcpListener>,
+    wake_rx: TcpStream,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    max_connections: usize,
+    idle_timeout: Duration,
+    /// Live admitted connections (mirrored by the gauge).
+    active: usize,
+    /// Live over-cap connections awaiting their shed response.
+    rejecting: usize,
+    /// A retryable accept error happened: skip accepting for one tick.
+    accept_backoff: bool,
+    /// Started on the first stopping tick; bounds the final flush.
+    drain: Option<Stopwatch>,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        loop {
+            let stopping = self.shared.stopping();
+            if stopping {
+                // Close the port immediately: graceful shutdown stops
+                // accepting before it drains.
+                self.listener = None;
+                if self.drain.is_none() {
+                    self.drain = Some(Stopwatch::start());
+                }
+                if self.active == 0 && self.rejecting == 0 && self.dispatcher.depth() == 0 {
                     break;
                 }
-                // Back off briefly: persistent accept errors (fd
-                // exhaustion under load, say) must not busy-spin a core —
-                // sleeping also gives connection threads a chance to
-                // finish and release descriptors.
-                std::thread::sleep(POLL_INTERVAL);
-                continue;
             }
-        };
-        if shared.stopping() {
-            break; // the wake-up connection (or a raced late client)
-        }
-        // Concurrency cap: each connection costs an OS thread (plus up to
-        // one buffered request body), so excess connections are closed
-        // immediately — the TCP analogue of a full listen backlog.
-        if shared.active_connections.load(Ordering::Relaxed) >= shared.max_connections as u64 {
-            drop(stream);
-            continue;
-        }
-        shared.metrics.connections.inc();
-        shared.active_connections.fetch_add(1, Ordering::Relaxed);
-        let conn_shared = Arc::clone(&shared);
-        let spawned = std::thread::Builder::new()
-            .name("cqc-net-conn".into())
-            .spawn(move || {
-                // Decrements even if the handler panics, so a wedged
-                // counter can never starve the accept loop.
-                struct ActiveGuard<'a>(&'a Shared);
-                impl Drop for ActiveGuard<'_> {
-                    fn drop(&mut self) {
-                        self.0.active_connections.fetch_sub(1, Ordering::Relaxed);
-                    }
+
+            // Build the poll set: wake socket, listener, every connection.
+            let mut fds = vec![PollFd::new(raw_fd(&self.wake_rx), POLLIN)];
+            let listener_fd = self.listener.as_ref().and_then(|listener| {
+                if self.accept_backoff {
+                    None
+                } else {
+                    fds.push(PollFd::new(raw_fd(listener), POLLIN));
+                    Some(fds.len() - 1)
                 }
-                let _guard = ActiveGuard(&conn_shared);
-                let _ = handle_connection(stream, &conn_shared);
             });
-        match spawned {
-            Ok(handle) => connections.push(handle),
-            Err(_) => {
-                // The spawn never ran, so the guard never will either.
-                shared.active_connections.fetch_sub(1, Ordering::Relaxed);
-            }
-        }
-        // Reap finished connection threads so the vector stays bounded on
-        // long-running servers.
-        connections.retain(|h| !h.is_finished());
-    }
-    for handle in connections {
-        let _ = handle.join();
-    }
-}
-
-/// A `Read` adapter over the connection socket. The socket carries a
-/// permanent short read timeout ([`POLL_INTERVAL`]); every timeout
-/// re-checks the shutdown flag (and an idle deadline) and retries, so
-/// blocking reads are effectively "block until bytes, EOF, error,
-/// shutdown, or idle expiry". This is what makes graceful shutdown robust
-/// against *stalled* peers — a client that sends half a request and parks
-/// cannot pin its connection thread past the idle timeout, let alone
-/// forever — and what stops idle peers from permanently occupying
-/// [`NetConfig::max_connections`] slots.
-struct PollingStream<'a> {
-    stream: TcpStream,
-    shared: &'a Shared,
-    /// Restarted after every successful read; a read that stays byte-less
-    /// past `shared.idle_timeout` fails with `TimedOut`.
-    last_activity: Stopwatch,
-}
-
-impl std::io::Read for PollingStream<'_> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        loop {
-            if self.shared.stopping() {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::TimedOut,
-                    "server shutting down",
-                ));
-            }
-            if self.last_activity.elapsed() > self.shared.idle_timeout {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::TimedOut,
-                    "idle connection expired",
-                ));
-            }
-            match std::io::Read::read(&mut self.stream, buf) {
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    continue
-                }
-                result => {
-                    if result.is_ok() {
-                        self.last_activity.restart();
+            let mut watched: Vec<(usize, usize)> = Vec::new();
+            for (idx, slot) in self.slots.iter().enumerate() {
+                if let Some(conn) = &slot.conn {
+                    let mut events = 0i16;
+                    if conn.wants_read() {
+                        events |= POLLIN;
                     }
-                    return result;
+                    if conn.wants_write() {
+                        events |= POLLOUT;
+                    }
+                    watched.push((idx, fds.len()));
+                    fds.push(PollFd::new(conn.fd(), events));
+                }
+            }
+            if poll_fds(&mut fds, POLL_INTERVAL.as_millis() as i32).is_err() {
+                // A failing poll (EINVAL from an absurd fd set, say) must
+                // not busy-spin the core; tick at the poll interval.
+                std::thread::sleep(POLL_INTERVAL);
+            }
+
+            if fds[0].ready(POLLIN) {
+                drain_wake(&self.wake_rx);
+            }
+
+            // Accept phase. After a retryable error the listener sat out
+            // of the poll set for one tick; try again now.
+            let after_backoff = std::mem::take(&mut self.accept_backoff);
+            let accept_now = !stopping
+                && self.listener.is_some()
+                && (after_backoff || listener_fd.is_some_and(|idx| fds[idx].ready(POLLIN)));
+            if accept_now {
+                self.accept_ready();
+            }
+
+            // Completions: append rendered response bytes to their
+            // (still-live, same-generation) connections.
+            for completion in self.dispatcher.drain_completions() {
+                let Some(slot) = self.slots.get_mut(completion.token.slot) else {
+                    continue;
+                };
+                if slot.gen != completion.token.gen {
+                    continue; // the connection closed while the job ran
+                }
+                let Some(conn) = slot.conn.as_mut() else {
+                    continue;
+                };
+                conn.in_flight = false;
+                conn.queue(&completion.bytes);
+                if completion.close {
+                    conn.close_after_flush = true;
+                }
+            }
+
+            // Per-connection I/O and framing.
+            let mut readable = vec![false; self.slots.len()];
+            for &(slot_idx, fd_idx) in &watched {
+                readable[slot_idx] = fds[fd_idx].ready(POLLIN);
+            }
+            for idx in 0..self.slots.len() {
+                self.service(idx, readable.get(idx).copied().unwrap_or(false), stopping);
+            }
+
+            // Idle sweep (in-flight connections are waiting on us, not on
+            // the peer — they are exempt).
+            for idx in 0..self.slots.len() {
+                let expired = match &self.slots[idx].conn {
+                    Some(conn) => {
+                        !conn.in_flight && conn.last_activity.elapsed() > self.idle_timeout
+                    }
+                    None => false,
+                };
+                if expired {
+                    self.close_slot(idx);
+                }
+            }
+
+            // Shutdown drain: everything not waiting on a dispatch worker
+            // closes once flushed (or once the drain deadline passes).
+            if stopping {
+                let drain_expired = self
+                    .drain
+                    .as_ref()
+                    .is_some_and(|drain| drain.elapsed() > SHUTDOWN_DRAIN);
+                for idx in 0..self.slots.len() {
+                    let close = match &mut self.slots[idx].conn {
+                        Some(conn) if !conn.in_flight => {
+                            let _ = conn.flush_out();
+                            conn.flushed() || drain_expired
+                        }
+                        _ => false,
+                    };
+                    if close {
+                        self.close_slot(idx);
+                    }
                 }
             }
         }
+        // Queue drained, connections closed: stop and join the workers.
+        self.dispatcher.shutdown();
     }
-}
 
-/// Peek the first byte of the connection to decide its protocol: `None`
-/// means the peer closed (or the server is stopping, or the peer sat idle
-/// past the deadline) before sending any.
-fn first_byte(reader: &mut BufReader<PollingStream<'_>>) -> std::io::Result<Option<u8>> {
-    if let Some(&byte) = reader.buffer().first() {
-        return Ok(Some(byte));
-    }
-    let mut byte = [0u8; 1];
-    loop {
-        let polling = reader.get_ref();
-        if polling.shared.stopping() {
-            return Ok(None);
-        }
-        if polling.last_activity.elapsed() > polling.shared.idle_timeout {
-            return Ok(None);
-        }
-        match polling.stream.peek(&mut byte) {
-            Ok(0) => return Ok(None),
-            Ok(_) => return Ok(Some(byte[0])),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue
+    /// Accept until the listener would block.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) => match classify_accept_error(&e) {
+                    AcceptDisposition::Retry => {
+                        self.shared.metrics.accept_errors.inc();
+                        cqc_obs::trace::instant("net_accept_error", &e.kind().to_string());
+                        self.accept_backoff = true;
+                        return;
+                    }
+                    AcceptDisposition::Fatal => {
+                        cqc_obs::trace::instant("net_accept_fatal", &e.to_string());
+                        self.shared.signal();
+                        return;
+                    }
+                },
             }
-            Err(e) => return Err(e),
         }
     }
-}
 
-fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
-    stream.set_nodelay(true).ok();
-    stream.set_read_timeout(Some(POLL_INTERVAL))?;
-    let writer_stream = stream.try_clone()?;
-    let mut reader = BufReader::new(PollingStream {
-        stream,
-        shared,
-        last_activity: Stopwatch::start(),
-    });
-    let mut writer = BufWriter::new(writer_stream);
-    match first_byte(&mut reader)? {
-        Some(b'{') => serve_ndjson(&mut reader, &mut writer, shared),
-        Some(_) => serve_http(&mut reader, &mut writer, shared),
-        None => Ok(()),
-    }
-}
-
-/// The raw NDJSON protocol: one request line in, one response line out,
-/// until EOF or shutdown. Lines are bounded like HTTP bodies
-/// ([`crate::http::MAX_BODY_BYTES`]): a peer streaming bytes with no
-/// newline gets an error response and a closed connection instead of an
-/// unbounded buffer.
-fn serve_ndjson(
-    reader: &mut BufReader<PollingStream<'_>>,
-    writer: &mut BufWriter<TcpStream>,
-    shared: &Shared,
-) -> std::io::Result<()> {
-    const MAX_LINE: usize = crate::http::MAX_BODY_BYTES;
-    loop {
-        if shared.stopping() {
-            return Ok(());
+    /// Admit (or begin rejecting) one accepted connection.
+    fn admit(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
         }
-        let mut line = String::new();
-        if std::io::Read::take(&mut *reader, MAX_LINE as u64 + 1).read_line(&mut line)? == 0 {
-            return Ok(());
+        stream.set_nodelay(true).ok();
+        let over_cap = self.active >= self.max_connections;
+        if over_cap {
+            self.shared.metrics.connections_rejected.inc();
+            cqc_obs::trace::instant("net_shed", "connection");
+            if self.rejecting >= MAX_REJECT_SLOTS {
+                // Reject slots are themselves bounded: beyond them the
+                // close is bare (the counter still records it).
+                return;
+            }
+            self.rejecting += 1;
+        } else {
+            self.shared.metrics.connections.inc();
+            self.shared.metrics.active_connections.inc();
+            self.active += 1;
         }
-        if line.len() > MAX_LINE && !line.ends_with('\n') {
-            // over-long line: no way to resync on this stream — answer
-            // with a protocol error and close
-            let body = error_body(&format!("request line exceeds {MAX_LINE} bytes"));
-            writer.write_all(body.as_bytes())?;
-            writer.write_all(b"\n")?;
-            writer.flush()?;
-            return Ok(());
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        shared.metrics.ndjson_lines.inc();
-        let start = Stopwatch::start();
-        let (response, _) = shared
-            .serve
-            .handle_line_classified(line.trim_end_matches('\n'));
-        shared.metrics.latency.record(start.elapsed());
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        shared.count_served();
-    }
-}
-
-/// The HTTP/1.1 protocol: parse requests, dispatch endpoints, keep-alive.
-fn serve_http(
-    reader: &mut BufReader<PollingStream<'_>>,
-    writer: &mut BufWriter<TcpStream>,
-    shared: &Shared,
-) -> std::io::Result<()> {
-    loop {
-        if shared.stopping() {
-            return Ok(());
-        }
-        let request = match read_request(reader, writer) {
-            Ok(None) | Err(HttpError::UnexpectedEof) => return Ok(()),
-            Ok(Some(request)) => request,
-            Err(HttpError::Io(_)) => return Ok(()),
-            Err(HttpError::Malformed(m)) => {
-                shared.metrics.http_requests.inc();
-                let body = error_body(&m);
-                shared.metrics.observe_status(400);
-                write_response(writer, 400, "application/json", body.as_bytes(), true)?;
-                return Ok(());
+        let conn = Conn::new(stream, over_cap);
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(Slot { conn: None, gen: 0 });
+                self.slots.len() - 1
             }
         };
-        shared.metrics.http_requests.inc();
-        let keep_alive = request.keep_alive() && !shared.stopping();
-        let close = !keep_alive;
-        let path = request.target.split('?').next().unwrap_or("");
-        match (request.method.as_str(), path) {
-            ("POST", "/count") => {
-                // A request carrying a `traceparent` header gets it echoed
-                // back verbatim on the response — correlation across the
-                // wire. The echo is a pure function of the request bytes
-                // (tracing on or off never changes it), so it cannot
-                // perturb transcript comparison.
-                let traceparent = request.header("traceparent").map(str::to_string);
-                if let Some(t) = &traceparent {
-                    cqc_obs::trace::instant("traceparent", t);
-                }
-                let (status, body) = match std::str::from_utf8(&request.body) {
-                    Err(_) => (400, error_body("request body is not UTF-8")),
-                    Ok(text) => {
-                        let start = Stopwatch::start();
-                        let (body, is_error) = shared.serve.handle_line_classified(text.trim());
-                        shared.metrics.latency.record(start.elapsed());
-                        shared.count_served();
-                        (if is_error { 400 } else { 200 }, body)
-                    }
-                };
-                shared.metrics.observe_status(status);
-                let extra: Vec<(&str, &str)> = traceparent
-                    .as_deref()
-                    .map(|t| vec![("Traceparent", t)])
-                    .unwrap_or_default();
-                write_response_with(
-                    writer,
-                    status,
-                    "application/json",
-                    &extra,
-                    body.as_bytes(),
-                    close,
-                )?;
+        self.slots[idx].conn = Some(conn);
+    }
+
+    /// Run one connection through fill → frame/route → flush, closing it
+    /// on I/O failure or once a close-after-flush completes.
+    fn service(&mut self, idx: usize, can_read: bool, stopping: bool) {
+        let close_now = {
+            let gen = self.slots[idx].gen;
+            let Some(conn) = self.slots[idx].conn.as_mut() else {
+                return;
+            };
+            let token = Token { slot: idx, gen };
+            let mut close = false;
+            if can_read && conn.wants_read() && conn.fill().is_err() {
+                close = true;
             }
-            ("POST", "/stream") => match std::str::from_utf8(&request.body) {
+            if !close {
+                advance_conn(conn, token, &self.dispatcher, &self.shared, stopping);
+                if conn.flush_out().is_err() {
+                    close = true;
+                } else if conn.flushed() {
+                    close = conn.close_after_flush
+                        || (conn.peer_closed && !conn.in_flight && conn.buf_is_empty());
+                }
+            }
+            close
+        };
+        if close_now {
+            self.close_slot(idx);
+        }
+    }
+
+    /// Drop a connection and recycle its slot under a new generation.
+    fn close_slot(&mut self, idx: usize) {
+        if let Some(conn) = self.slots[idx].conn.take() {
+            if conn.reject {
+                self.rejecting -= 1;
+            } else {
+                self.active -= 1;
+                self.shared.metrics.active_connections.dec();
+            }
+            self.slots[idx].gen += 1;
+            self.free.push(idx);
+        }
+    }
+}
+
+/// Drain pending wake bytes so the socket is quiet until the next wake.
+fn drain_wake(wake_rx: &TcpStream) {
+    let mut sink = [0u8; 256];
+    let mut wake_rx: &TcpStream = wake_rx;
+    loop {
+        match wake_rx.read(&mut sink) {
+            Ok(0) => return,
+            Ok(_) => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Frame and route as many buffered requests as possible on one
+/// connection: dispatch engine work, answer inline endpoints, shed on a
+/// full queue, and stop at one in-flight request per connection.
+fn advance_conn(
+    conn: &mut Conn,
+    token: Token,
+    dispatcher: &Dispatcher,
+    shared: &Shared,
+    stopping: bool,
+) {
+    loop {
+        if conn.in_flight || conn.close_after_flush {
+            return;
+        }
+        if stopping {
+            // No new requests during shutdown: flush whatever is queued
+            // (including a completion that just landed) and close.
+            conn.close_after_flush = true;
+            return;
+        }
+        conn.sniff();
+        match conn.proto {
+            Proto::Unknown => return, // no bytes yet
+            Proto::Ndjson if conn.reject => {
+                let line = cqc_serve::overload_line(cqc_serve::OVERLOAD_CONNECTION_LIMIT);
+                conn.queue(line.as_bytes());
+                conn.queue(b"\n");
+                conn.close_after_flush = true;
+                return;
+            }
+            Proto::Http if conn.reject => {
+                let line = cqc_serve::overload_line(cqc_serve::OVERLOAD_CONNECTION_LIMIT);
+                let mut out = Vec::new();
+                let _ = write_response(&mut out, 503, "application/json", line.as_bytes(), true);
+                conn.queue(&out);
+                conn.close_after_flush = true;
+                return;
+            }
+            Proto::Ndjson => match conn.next_ndjson_line() {
+                NdjsonNext::NeedMore => {
+                    if conn.peer_closed {
+                        conn.close_after_flush = true;
+                    }
+                    return;
+                }
+                NdjsonNext::Line(line) => {
+                    shared.metrics.ndjson_lines.inc();
+                    let job = Job {
+                        token,
+                        kind: JobKind::Line { line },
+                    };
+                    if dispatcher.try_enqueue(job) {
+                        conn.in_flight = true;
+                        return;
+                    }
+                    shed_ndjson(conn, shared);
+                    // connection stays usable; try the next line
+                }
+                NdjsonNext::TooLong => {
+                    // over-long line: no way to resync on this stream —
+                    // answer with a protocol error and close
+                    let body = error_body(&format!("request line exceeds {MAX_BODY_BYTES} bytes"));
+                    conn.queue(body.as_bytes());
+                    conn.queue(b"\n");
+                    conn.close_after_flush = true;
+                    return;
+                }
+                NdjsonNext::BadUtf8 => {
+                    let body = error_body("request line is not UTF-8");
+                    conn.queue(body.as_bytes());
+                    conn.queue(b"\n");
+                    conn.close_after_flush = true;
+                    return;
+                }
+            },
+            Proto::Http => match conn.next_http_request() {
+                HttpNext::NeedMore => {
+                    if conn.peer_closed || conn.buf_at_cap() {
+                        // EOF (or an unfinishable request) mid-request:
+                        // nothing to answer, close once flushed.
+                        conn.close_after_flush = true;
+                    }
+                    return;
+                }
+                HttpNext::Malformed(m) => {
+                    shared.metrics.http_requests.inc();
+                    let body = error_body(&m);
+                    shared.metrics.observe_status(400);
+                    queue_http(conn, 400, "application/json", body.as_bytes(), true);
+                    return;
+                }
+                HttpNext::Request(request) => {
+                    shared.metrics.http_requests.inc();
+                    let keep_alive = request.keep_alive() && !shared.stopping();
+                    let close = !keep_alive;
+                    route_http(conn, token, request, close, dispatcher, shared);
+                    // inline endpoints keep the pipeline moving; dispatch
+                    // and close-bound responses stop this connection here
+                }
+            },
+        }
+    }
+}
+
+/// Route one parsed HTTP request: dispatch engine endpoints, answer the
+/// rest inline on the event thread.
+fn route_http(
+    conn: &mut Conn,
+    token: Token,
+    request: crate::http::Request,
+    close: bool,
+    dispatcher: &Dispatcher,
+    shared: &Shared,
+) {
+    let path = request.target.split('?').next().unwrap_or("").to_string();
+    match (request.method.as_str(), path.as_str()) {
+        ("POST", "/count") => {
+            let traceparent = request.header("traceparent").map(str::to_string);
+            match String::from_utf8(request.body) {
                 Err(_) => {
                     let body = error_body("request body is not UTF-8");
                     shared.metrics.observe_status(400);
-                    write_response(writer, 400, "application/json", body.as_bytes(), close)?;
-                }
-                Ok(text) if request.version == "HTTP/1.0" => {
-                    // HTTP/1.0 predates chunked encoding: buffer the
-                    // response lines and send them length-delimited.
-                    let mut body = String::new();
-                    for line in text.lines().filter(|l| !l.trim().is_empty()) {
-                        let start = Stopwatch::start();
-                        let (response, _) = shared.serve.handle_line_classified(line);
-                        shared.metrics.latency.record(start.elapsed());
-                        shared.count_served();
-                        body.push_str(&response);
-                        body.push('\n');
+                    let extra: Vec<(&str, &str)> = traceparent
+                        .as_deref()
+                        .map(|t| vec![("Traceparent", t)])
+                        .unwrap_or_default();
+                    let mut out = Vec::new();
+                    let _ = write_response_with(
+                        &mut out,
+                        400,
+                        "application/json",
+                        &extra,
+                        body.as_bytes(),
+                        close,
+                    );
+                    conn.queue(&out);
+                    if close {
+                        conn.close_after_flush = true;
                     }
-                    shared.metrics.observe_status(200);
-                    write_response(writer, 200, "application/x-ndjson", body.as_bytes(), close)?;
                 }
                 Ok(text) => {
-                    shared.metrics.observe_status(200);
-                    write_chunked_head(writer, "application/x-ndjson", close)?;
-                    for line in text.lines().filter(|l| !l.trim().is_empty()) {
-                        let start = Stopwatch::start();
-                        let (response, _) = shared.serve.handle_line_classified(line);
-                        shared.metrics.latency.record(start.elapsed());
-                        shared.count_served();
-                        write_chunk(writer, format!("{response}\n").as_bytes())?;
+                    let job = Job {
+                        token,
+                        kind: JobKind::Count {
+                            text,
+                            traceparent,
+                            close,
+                        },
+                    };
+                    if dispatcher.try_enqueue(job) {
+                        conn.in_flight = true;
+                    } else {
+                        shed_http(conn, close, shared);
                     }
-                    finish_chunks(writer)?;
                 }
-            },
-            ("GET", "/healthz") => {
-                shared.metrics.observe_status(200);
-                write_response(
-                    writer,
-                    200,
-                    "application/json",
-                    b"{\"status\":\"ok\"}",
-                    close,
-                )?;
-            }
-            ("GET", "/metrics") => {
-                // Gauges are sampled at scrape time, just before render.
-                shared
-                    .metrics
-                    .pool_width
-                    .set(cqc_runtime::pool::global().width() as u64);
-                shared
-                    .metrics
-                    .pool_queue_depth
-                    .set(cqc_runtime::pool::active_dispatches());
-                shared
-                    .metrics
-                    .active_connections
-                    .set(shared.active_connections.load(Ordering::Relaxed));
-                let text = shared.registry.render();
-                shared.metrics.observe_status(200);
-                write_response(
-                    writer,
-                    200,
-                    "text/plain; version=0.0.4",
-                    text.as_bytes(),
-                    close,
-                )?;
-            }
-            (_, "/count" | "/stream" | "/healthz" | "/metrics") => {
-                let body = error_body(&format!("method {} not allowed for {path}", request.method));
-                shared.metrics.observe_status(405);
-                write_response(writer, 405, "application/json", body.as_bytes(), close)?;
-            }
-            _ => {
-                let body = error_body(&format!("no such endpoint `{path}`"));
-                shared.metrics.observe_status(404);
-                write_response(writer, 404, "application/json", body.as_bytes(), close)?;
             }
         }
-        if close {
-            return Ok(());
+        ("POST", "/stream") => match String::from_utf8(request.body) {
+            Err(_) => {
+                let body = error_body("request body is not UTF-8");
+                shared.metrics.observe_status(400);
+                queue_http(conn, 400, "application/json", body.as_bytes(), close);
+            }
+            Ok(text) => {
+                let job = Job {
+                    token,
+                    kind: JobKind::Stream {
+                        text,
+                        http10: request.version == "HTTP/1.0",
+                        close,
+                    },
+                };
+                if dispatcher.try_enqueue(job) {
+                    conn.in_flight = true;
+                } else {
+                    shed_http(conn, close, shared);
+                }
+            }
+        },
+        ("GET", "/healthz") => {
+            shared.metrics.observe_status(200);
+            queue_http(conn, 200, "application/json", b"{\"status\":\"ok\"}", close);
+        }
+        ("GET", "/metrics") => {
+            // Gauges are sampled at scrape time, just before render
+            // (`cqc_active_connections` is maintained live by the event
+            // loop's admit/close bookkeeping).
+            shared
+                .metrics
+                .pool_width
+                .set(cqc_runtime::pool::global().width() as u64);
+            shared
+                .metrics
+                .pool_queue_depth
+                .set(cqc_runtime::pool::active_dispatches());
+            shared.metrics.dispatch_queue_depth.set(dispatcher.depth());
+            let text = shared.registry.render();
+            shared.metrics.observe_status(200);
+            queue_http(
+                conn,
+                200,
+                "text/plain; version=0.0.4",
+                text.as_bytes(),
+                close,
+            );
+        }
+        (_, "/count" | "/stream" | "/healthz" | "/metrics") => {
+            let body = error_body(&format!("method {} not allowed for {path}", request.method));
+            shared.metrics.observe_status(405);
+            queue_http(conn, 405, "application/json", body.as_bytes(), close);
+        }
+        _ => {
+            let body = error_body(&format!("no such endpoint `{path}`"));
+            shared.metrics.observe_status(404);
+            queue_http(conn, 404, "application/json", body.as_bytes(), close);
         }
     }
 }
 
+/// Queue a fixed-length HTTP response built on the event thread.
+fn queue_http(conn: &mut Conn, status: u16, content_type: &str, body: &[u8], close: bool) {
+    let mut out = Vec::new();
+    let _ = write_response(&mut out, status, content_type, body, close);
+    conn.queue(&out);
+    if close {
+        conn.close_after_flush = true;
+    }
+}
+
+/// Shed one HTTP request (dispatch queue full): 503 with the canonical
+/// overload bytes, connection kept alive unless the request asked to
+/// close.
+fn shed_http(conn: &mut Conn, close: bool, shared: &Shared) {
+    shared.metrics.requests_shed.inc();
+    cqc_obs::trace::instant("net_shed", "queue");
+    let line = cqc_serve::overload_line(cqc_serve::OVERLOAD_QUEUE_FULL);
+    queue_http(conn, 503, "application/json", line.as_bytes(), close);
+}
+
+/// Shed one NDJSON line (dispatch queue full): the canonical overload
+/// line, connection kept alive.
+fn shed_ndjson(conn: &mut Conn, shared: &Shared) {
+    shared.metrics.requests_shed.inc();
+    cqc_obs::trace::instant("net_shed", "queue");
+    let line = cqc_serve::overload_line(cqc_serve::OVERLOAD_QUEUE_FULL);
+    conn.queue(line.as_bytes());
+    conn.queue(b"\n");
+}
+
 /// A serve-protocol-shaped error body for transport-level failures.
-fn error_body(message: &str) -> String {
+pub(crate) fn error_body(message: &str) -> String {
     cqc_serve::json::Value::Obj(vec![
         ("id".to_string(), cqc_serve::json::Value::Null),
         (
@@ -629,5 +961,36 @@ mod tests {
         let body = error_body("boom \"quoted\"");
         assert_eq!(body, r#"{"id":null,"error":"boom \"quoted\""}"#);
         assert!(cqc_serve::json::parse(&body).is_ok());
+    }
+
+    #[test]
+    fn accept_errors_are_classified() {
+        use std::io::{Error, ErrorKind};
+        // Peer-caused and resource-exhaustion errors retry…
+        for retryable in [
+            Error::from(ErrorKind::ConnectionAborted),
+            Error::from(ErrorKind::ConnectionReset),
+            Error::from(ErrorKind::Interrupted),
+            Error::from_raw_os_error(24),  // EMFILE
+            Error::from_raw_os_error(23),  // ENFILE
+            Error::from_raw_os_error(105), // ENOBUFS
+        ] {
+            assert_eq!(
+                classify_accept_error(&retryable),
+                AcceptDisposition::Retry,
+                "{retryable}"
+            );
+        }
+        // …a broken listener does not.
+        for fatal in [
+            Error::from_raw_os_error(9),  // EBADF
+            Error::from_raw_os_error(22), // EINVAL
+        ] {
+            assert_eq!(
+                classify_accept_error(&fatal),
+                AcceptDisposition::Fatal,
+                "{fatal}"
+            );
+        }
     }
 }

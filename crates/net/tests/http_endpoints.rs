@@ -253,7 +253,7 @@ fn http_1_0_stream_requests_get_a_length_delimited_body() {
 }
 
 #[test]
-fn excess_connections_beyond_the_cap_are_closed() {
+fn excess_connections_beyond_the_cap_get_a_503_not_a_silent_close() {
     let server = RunningServer::bind(
         "127.0.0.1:0",
         NetConfig {
@@ -265,21 +265,25 @@ fn excess_connections_beyond_the_cap_are_closed() {
     // the first connection occupies the only slot (parked in the sniff)
     let held = TcpStream::connect(server.addr()).unwrap();
     std::thread::sleep(std::time::Duration::from_millis(150));
-    // the second is accepted and immediately closed: EOF (or a reset)
-    // instead of a response
+    // the second is over the cap: instead of the old silent close it gets
+    // a well-formed 503 with the pinned overload body, then the close
     let mut second = TcpStream::connect(server.addr()).unwrap();
     second
         .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
-        .ok();
-    let mut buf = Vec::new();
+        .unwrap();
+    let mut raw = String::new();
     use std::io::Read as _;
-    let n = second.read_to_end(&mut buf).unwrap_or(0);
-    assert_eq!(
-        n,
-        0,
-        "over-cap connection should be closed unanswered, got {:?}",
-        String::from_utf8_lossy(&buf)
+    second.read_to_string(&mut raw).unwrap();
+    assert!(
+        raw.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+        "{raw}"
     );
+    assert!(raw.contains("Connection: close\r\n"), "{raw}");
+    assert!(
+        raw.ends_with("{\"id\":null,\"error\":\"server overloaded: connection limit reached\"}"),
+        "{raw}"
+    );
+    assert_eq!(server.stats().connections_rejected, 1);
     drop(held);
     server.shutdown();
 }

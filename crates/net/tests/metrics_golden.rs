@@ -163,6 +163,33 @@ fn an_idle_server_scrape_matches_the_golden_bytes() {
         "TCP connections currently open",
         1,
     ));
+    // admission-control series (event-driven rewrite): zero on an idle
+    // server, appended after the historical prefix
+    expected.push_str(&counter(
+        "cqc_connections_rejected_total",
+        "connections rejected at the admission cap with a load-shed response",
+        0,
+    ));
+    expected.push_str(&counter(
+        "cqc_requests_shed_total",
+        "requests shed with an overload response (dispatch queue full)",
+        0,
+    ));
+    expected.push_str(&counter(
+        "cqc_connection_panics_total",
+        "request handlers that panicked (answered with an internal error)",
+        0,
+    ));
+    expected.push_str(&counter(
+        "cqc_accept_errors_total",
+        "transient accept failures backed off by the event loop",
+        0,
+    ));
+    expected.push_str(&gauge(
+        "cqc_dispatch_queue_depth",
+        "requests queued or executing in the dispatcher",
+        0,
+    ));
 
     assert_eq!(got, expected, "idle /metrics drifted from the golden bytes");
 }

@@ -63,6 +63,22 @@ impl Gauge {
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
+
+    /// Increment by one — for gauges tracking a live population (open
+    /// connections, queued jobs) rather than a sampled snapshot.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement by one, saturating at zero so a mismatched `dec` can never
+    /// wrap the gauge to `u64::MAX`.
+    pub fn dec(&self) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
 }
 
 /// Upper bounds of the duration histogram buckets, in nanoseconds
@@ -313,6 +329,18 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gauge_inc_dec_saturates_at_zero() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        assert_eq!(g.get(), 2);
+        g.dec();
+        g.dec();
+        g.dec(); // extra dec must not wrap
+        assert_eq!(g.get(), 0);
+    }
 
     #[test]
     fn histogram_buckets_are_cumulative() {

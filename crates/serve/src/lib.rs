@@ -39,6 +39,6 @@ pub mod json;
 pub mod server;
 
 pub use server::{
-    count_sharded, ServeError, Server, ServerConfig, StatsSnapshot, MAX_REQUEST_WORKERS,
-    MAX_SHARDS_PER_ITEM,
+    count_sharded, overload_line, ServeError, Server, ServerConfig, StatsSnapshot,
+    MAX_REQUEST_WORKERS, MAX_SHARDS_PER_ITEM, OVERLOAD_CONNECTION_LIMIT, OVERLOAD_QUEUE_FULL,
 };

@@ -576,6 +576,30 @@ impl Server {
     }
 }
 
+/// Reason fragment for a connection refused at the concurrent-connection
+/// cap (see [`overload_line`]).
+pub const OVERLOAD_CONNECTION_LIMIT: &str = "connection limit reached";
+
+/// Reason fragment for a request shed because the dispatch queue is at its
+/// bound (see [`overload_line`]).
+pub const OVERLOAD_QUEUE_FULL: &str = "dispatch queue full";
+
+/// The canonical load-shed response line: `{"id":null,"error":"server
+/// overloaded: <reason>"}`. Front ends must serve these bytes verbatim —
+/// as an HTTP 503 body and as a raw NDJSON error line (plus `\n`) — so
+/// clients parse one shape on every protocol and the shed path stays a
+/// pure function of the overload reason.
+pub fn overload_line(reason: &str) -> String {
+    Value::Obj(vec![
+        ("id".to_string(), Value::Null),
+        (
+            "error".to_string(),
+            Value::Str(format!("server overloaded: {reason}")),
+        ),
+    ])
+    .render()
+}
+
 /// Evaluate `dbs` through `shards` simulated shards: shard `s` owns the
 /// items `i ≡ s (mod shards)`, every item `i` is evaluated under the
 /// derived seed `split_seed(seed, i)`, and partial results are merged in
@@ -737,6 +761,18 @@ fn load_request_databases(req: &Value) -> Result<Vec<Structure>, ServeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn overload_line_bytes_are_pinned() {
+        assert_eq!(
+            overload_line(OVERLOAD_CONNECTION_LIMIT),
+            r#"{"id":null,"error":"server overloaded: connection limit reached"}"#
+        );
+        assert_eq!(
+            overload_line(OVERLOAD_QUEUE_FULL),
+            r#"{"id":null,"error":"server overloaded: dispatch queue full"}"#
+        );
+    }
 
     const FACTS: &str =
         "universe 6\nrelation E 2\nE 0 1\nE 0 2\nE 1 2\nE 2 3\nE 3 4\nE 3 5\nE 5 0\n";
