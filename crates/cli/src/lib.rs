@@ -93,9 +93,11 @@ COMMANDS:
                TCP — and write the BENCH_workloads.json trajectory point;
                `suite manifest` prints the golden enumeration manifest
     report     Summarise a --trace NDJSON file offline (`report flame`:
-               folded flame stacks + a per-phase wall-time table), or render
+               folded flame stacks + a per-phase wall-time table), render
                a BENCH_workloads.json table and diff it against the committed
-               baseline (`report bench`)
+               baseline (`report bench`), or analyse a wide-event request
+               log: slowest requests, per-class latency, shed timeline
+               (`report requests`)
     audit      Run the determinism & unsafety static-analysis pass over the
                workspace sources (exit 0 clean / 1 violations / 2 usage)
     help       Show this message
@@ -129,7 +131,9 @@ SERVE OPTIONS:
     --shards K            simulated shards per request (default 1); responses
                           are byte-identical for every K (seed splitting)
     --listen ADDR         serve over TCP instead (HTTP/1.1 POST /count,
-                          POST /stream, GET /healthz, GET /metrics — plus raw
+                          POST /stream, GET /healthz, GET /metrics, plus the
+                          read-only GET /debug/requests, /debug/flight and
+                          /debug/loop introspection endpoints — plus raw
                           NDJSON sniffed on the same port); stdin is the
                           signal pipe: any line triggers graceful shutdown
                           (EOF alone is ignored so detached servers keep
@@ -148,6 +152,14 @@ SERVE OPTIONS:
                           machine)
     --addr-file PATH      with --listen: write the bound address to PATH
                           (useful with `--listen 127.0.0.1:0`)
+    --request-log PATH    with --listen: append one wide NDJSON record per
+                          request (id, class, queue/handle/phase times,
+                          outcome) to PATH; `cqc report requests` consumes it
+    --slow-ms N           with --listen: dump the flight recorder when a
+                          request's handling exceeds N ms (needs --flight-dir)
+    --flight-dir DIR      with --listen: write flight-recorder snapshots
+                          (recent trace + wide events) into DIR on handler
+                          panics, shed bursts and --slow-ms requests
     --plan-cache N        LRU capacity of the prepared-plan cache (default 64)
     --quiet               omit the trailing served/plans summary line
 
@@ -171,10 +183,12 @@ LOADGEN OPTIONS:
     --transcript PATH     write the id-ordered response transcript; two runs
                           with one seed are byte-identical whatever the
                           concurrency, pool width, shard count or protocol
-    --obs-bench PATH      measure tracing overhead: warm up, run the mix with
-                          tracing off, run it again with tracing on, and write
-                          the comparison (wall times, overhead_pct, and the
-                          transcripts_identical invisibility witness)
+    --obs-bench PATH      measure observability overhead: warm up, then run
+                          several interleaved (off, on) repeats of the mix —
+                          tracer, wide-event log and flight recorder toggled
+                          together — and write the comparison (median/min
+                          overhead_pct and the transcripts_identical
+                          invisibility witness)
     --quiet               omit the human-readable summary
 
 SUITE OPTIONS:
@@ -199,6 +213,12 @@ REPORT OPTIONS (cqc report bench):
     --current PATH        the fresh suite run (default BENCH_workloads.json)
     --baseline PATH       the previously committed JSON to diff against;
                           throughput drops beyond 25% are flagged
+
+REPORT OPTIONS (cqc report requests):
+    --log PATH            the wide-event NDJSON file to analyse (from
+                          `cqc serve --request-log`, a `/debug/requests`
+                          scrape, or a flight dump)
+    --top N               slowest requests to list (default 10)
 
 AUDIT OPTIONS:
     --root DIR            workspace to audit (default: ascend from the current

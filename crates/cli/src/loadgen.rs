@@ -16,24 +16,41 @@
 use crate::common::approx_config;
 use crate::{Args, CliError};
 use cqc_net::loadgen::{
-    bench_json, obs_bench_json, run_against, run_scaling, scaling_bench_json,
+    bench_json, obs_bench_json, obs_overhead, run_against, run_scaling, scaling_bench_json,
     transcript_fingerprint, LoadgenOptions, Protocol,
 };
 use cqc_net::{NetConfig, RunningServer};
 use cqc_serve::ServerConfig;
 use std::net::{SocketAddr, ToSocketAddrs};
 
-/// The extra measurements of an `--obs-bench` run: the tracing-on repeat
-/// of the mix and the trace it recorded.
+/// Measured `(observability-off, observability-on)` pairs an `--obs-bench`
+/// run produces, in repeat order. A single back-to-back pair is too noisy
+/// to commit — scheduler jitter regularly makes the *second* run of a pair
+/// faster, reporting a nonsensical negative overhead — so the bench runs
+/// several interleaved pairs and reports the median.
+const OBS_BENCH_REPEATS: usize = 5;
+
+/// The extra measurements of an `--obs-bench` run: every measured
+/// `(off, on)` pair and the merged trace of the observability-on runs.
 struct ObsRun {
-    on: cqc_net::LoadReport,
+    pairs: Vec<(cqc_net::LoadReport, cqc_net::LoadReport)>,
     trace: cqc_obs::trace::Trace,
 }
 
+/// Flip every observability recorder — tracer, wide-event log, flight
+/// recorder — together. The obs bench measures the whole stack, not just
+/// the tracer.
+fn set_observability(on: bool) {
+    cqc_obs::trace::set_enabled(on);
+    cqc_obs::wide::set_enabled(on);
+    cqc_obs::flight::set_enabled(on);
+}
+
 /// Drive `addr` with the mix. Plain runs honour `trace` (tracing on for
-/// the run, drained by the caller). `--obs-bench` runs measure the tracer:
-/// a discarded warm-up (plan cache, pool spin-up), a measured tracing-off
-/// run, then a measured tracing-on run — same server, same mix.
+/// the run, drained by the caller). `--obs-bench` runs measure the full
+/// observability stack: a discarded warm-up (plan cache, pool spin-up),
+/// then [`OBS_BENCH_REPEATS`] interleaved `(off, on)` pairs — same server,
+/// same mix — summarised by their median overhead.
 fn execute(
     addr: SocketAddr,
     options: &LoadgenOptions,
@@ -46,15 +63,27 @@ fn execute(
         cqc_obs::trace::set_enabled(false);
         return Ok((report?, None));
     }
-    cqc_obs::trace::set_enabled(false);
+    set_observability(false);
     let _ = cqc_obs::trace::drain(); // isolate from earlier traffic
+    cqc_obs::flight::reset();
     run_against(addr, options)?; // warm-up, discarded
-    let off = run_against(addr, options)?;
-    cqc_obs::trace::set_enabled(true);
-    let on = run_against(addr, options);
-    cqc_obs::trace::set_enabled(false);
-    let trace = cqc_obs::trace::drain();
-    Ok((off, Some(ObsRun { on: on?, trace })))
+    let mut pairs = Vec::with_capacity(OBS_BENCH_REPEATS);
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    for _ in 0..OBS_BENCH_REPEATS {
+        let off = run_against(addr, options)?;
+        set_observability(true);
+        let on = run_against(addr, options);
+        set_observability(false);
+        let mut t = cqc_obs::trace::drain();
+        events.append(&mut t.events);
+        dropped += t.dropped;
+        cqc_obs::flight::reset(); // each pair starts with empty rings
+        pairs.push((off, on?));
+    }
+    let trace = cqc_obs::trace::Trace { events, dropped };
+    let first_off = pairs[0].0.clone();
+    Ok((first_off, Some(ObsRun { pairs, trace })))
 }
 
 /// Run `cqc loadgen`.
@@ -187,7 +216,7 @@ pub fn run_loadgen(args: &Args) -> Result<String, CliError> {
             .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
     }
     if let (Some(path), Some(obs)) = (&obs_bench_path, &obs) {
-        let doc = obs_bench_json(&report, &obs.on, obs.trace.events.len() as u64);
+        let doc = obs_bench_json(&obs.pairs, obs.trace.events.len() as u64);
         std::fs::write(path, format!("{doc}\n"))
             .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
     }
@@ -246,12 +275,17 @@ pub fn run_loadgen(args: &Args) -> Result<String, CliError> {
             text.push_str(&format!("transcript  : wrote {path}\n"));
         }
         if let (Some(path), Some(obs)) = (&obs_bench_path, &obs) {
+            let stats = obs_overhead(&obs.pairs);
+            let identical = obs.pairs.iter().all(|(off, on)| {
+                off.transcript == report.transcript && on.transcript == report.transcript
+            });
             text.push_str(&format!(
-                "obs bench   : wrote {path} (trace off {:.3} s, on {:.3} s, {} event(s), transcripts identical: {})\n",
-                report.wall.as_secs_f64(),
-                obs.on.wall.as_secs_f64(),
+                "obs bench   : wrote {path} ({} repeat(s), median overhead {:+.2}%, min {:+.2}%, {} event(s), transcripts identical: {})\n",
+                obs.pairs.len(),
+                stats.median_pct,
+                stats.min_pct,
                 obs.trace.events.len(),
-                report.transcript == obs.on.transcript,
+                identical,
             ));
         }
         if let (Some(path), Some(events)) = (&trace_path, trace_events) {
@@ -509,6 +543,12 @@ mod tests {
             v.get("bench").and_then(|b| b.as_str()),
             Some("obs_trace_overhead")
         );
+        assert_eq!(
+            v.get("repeats").and_then(|r| r.as_u64()),
+            Some(OBS_BENCH_REPEATS as u64)
+        );
+        assert!(v.get("overhead_pct_median").is_some(), "{doc}");
+        assert!(v.get("overhead_pct_min").is_some(), "{doc}");
         assert!(doc.contains("\"transcripts_identical\":true"), "{doc}");
         // the tracing-on run recorded request/work_item spans
         let ndjson = std::fs::read_to_string(&trace).unwrap();

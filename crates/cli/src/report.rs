@@ -11,6 +11,12 @@
 //! per-class throughput/latency table of a `cqc suite` run and, given the
 //! previously committed JSON as a baseline, reports the throughput delta
 //! per class and phase, flagging drops beyond the regression threshold.
+//!
+//! `cqc report requests --log FILE` consumes a wide-event request log
+//! (`cqc serve --request-log`, one NDJSON record per request) and renders
+//! the top-N slowest requests, a per-class latency breakdown, and the
+//! load-shed timeline. Flight-recorder dump files parse too — their trace
+//! lines are skipped, their wide lines analysed.
 
 use crate::{Args, CliError};
 use cqc_obs::trace::{build_forest, fold_stacks, phase_totals, Event, EventKind};
@@ -21,12 +27,13 @@ pub fn run_report(args: &Args) -> Result<String, CliError> {
     match args.positional() {
         [kind] if kind == "flame" => run_flame(args),
         [kind] if kind == "bench" => run_bench_report(args),
+        [kind] if kind == "requests" => run_requests_report(args),
         [other, ..] => Err(CliError::Usage(format!(
-            "unknown report `{other}` (expected `flame` or `bench`); run `cqc help`"
+            "unknown report `{other}` (expected `flame`, `bench` or `requests`); run `cqc help`"
         ))),
         [] => Err(CliError::Usage(
-            "`report` expects a report kind (`cqc report flame --trace FILE` \
-             or `cqc report bench --current FILE`)"
+            "`report` expects a report kind (`cqc report flame --trace FILE`, \
+             `cqc report bench --current FILE` or `cqc report requests --log FILE`)"
                 .into(),
         )),
     }
@@ -141,6 +148,186 @@ fn run_bench_report(args: &Args) -> Result<String, CliError> {
             "note        : wall-clock numbers are machine-dependent; treat flags as\n\
              \u{20}             prompts for a local rerun, not CI failures\n",
         );
+    }
+    Ok(out)
+}
+
+/// One parsed wide-event record from a request log (the inverse of
+/// `cqc_obs::WideEvent::to_json_line`, reduced to the members the report
+/// consumes).
+struct WideRow {
+    seq: u64,
+    t_ns: u64,
+    protocol: String,
+    endpoint: String,
+    class: String,
+    outcome: String,
+    status: u64,
+    queue_ns: u64,
+    handle_ns: u64,
+    prepare_ns: u64,
+    evaluate_ns: u64,
+    bytes: u64,
+    trace: String,
+}
+
+/// Parse a request-log (or `/debug/requests` tail, or flight-dump) NDJSON
+/// file. Wide records are collected; `dropped` markers are summed; flight
+/// headers and trace events (present in dump files) are skipped.
+fn parse_request_log(text: &str) -> Result<(Vec<WideRow>, u64), CliError> {
+    let bad =
+        |line: usize, m: String| CliError::Facts(format!("request-log line {}: {m}", line + 1));
+    let mut rows = Vec::new();
+    let mut dropped = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| bad(i, e.to_string()))?;
+        match v.get("type").and_then(Value::as_str) {
+            Some("wide") => {}
+            Some("dropped") => {
+                dropped += v.get("count").and_then(Value::as_u64).unwrap_or(0);
+                continue;
+            }
+            // flight headers and trace events inside dump files
+            Some(_) => continue,
+            None => return Err(bad(i, "missing `type`".into())),
+        }
+        let s = |key: &str| v.get(key).and_then(Value::as_str).unwrap_or("").to_string();
+        let n = |key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+        rows.push(WideRow {
+            seq: n("seq"),
+            t_ns: n("t_ns"),
+            protocol: s("protocol"),
+            endpoint: s("endpoint"),
+            class: s("class"),
+            outcome: s("outcome"),
+            status: n("status"),
+            queue_ns: n("queue_ns"),
+            handle_ns: n("handle_ns"),
+            prepare_ns: n("prepare_ns"),
+            evaluate_ns: n("evaluate_ns"),
+            bytes: n("bytes"),
+            trace: s("trace"),
+        });
+    }
+    Ok((rows, dropped))
+}
+
+/// Nearest-rank percentile of an ascending nanosecond slice, in ms.
+fn pct_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1e6
+}
+
+/// `cqc report requests`: top-N slowest requests, per-class latency
+/// breakdown, shed timeline — the offline consumer of a wide-event log.
+fn run_requests_report(args: &Args) -> Result<String, CliError> {
+    let path = args.require("log")?;
+    let top: usize = args.get_or("top", 10)?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read `{path}`: {e}")))?;
+    let (rows, dropped) = parse_request_log(&text)?;
+    if rows.is_empty() {
+        return Err(CliError::Facts(format!(
+            "`{path}` holds no wide events (is this a `--request-log` file?)"
+        )));
+    }
+
+    let mut out = String::new();
+    let count_of = |o: &str| rows.iter().filter(|r| r.outcome == o).count();
+    out.push_str(&format!(
+        "requests    : {} wide event(s) (ok {}, error {}, shed {}, panic {})",
+        rows.len(),
+        count_of("ok"),
+        count_of("error"),
+        count_of("shed"),
+        count_of("panic"),
+    ));
+    if dropped > 0 {
+        out.push_str(&format!(
+            " — {dropped} older event(s) dropped from the tail"
+        ));
+    }
+    out.push('\n');
+
+    // Top-N slowest by what the client felt: queue wait + handling.
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(rows[i].queue_ns + rows[i].handle_ns));
+    out.push_str(&format!(
+        "\nslowest {} (queue + handle):\n",
+        top.min(rows.len())
+    ));
+    out.push_str(
+        "seq      proto   endpoint  outcome  status  queue_ms  handle_ms  prep_ms  eval_ms    bytes  class/trace\n",
+    );
+    for &i in order.iter().take(top) {
+        let r = &rows[i];
+        let tag = if r.trace.is_empty() {
+            r.class.clone()
+        } else {
+            format!("{} [{}]", r.class, r.trace)
+        };
+        out.push_str(&format!(
+            "{:<8} {:<7} {:<9} {:<8} {:>6} {:>9.3} {:>10.3} {:>8.3} {:>8.3} {:>8}  {}\n",
+            r.seq,
+            r.protocol,
+            r.endpoint,
+            r.outcome,
+            r.status,
+            r.queue_ns as f64 / 1e6,
+            r.handle_ns as f64 / 1e6,
+            r.prepare_ns as f64 / 1e6,
+            r.evaluate_ns as f64 / 1e6,
+            r.bytes,
+            tag,
+        ));
+    }
+
+    // Per-class handling-latency breakdown (classes in first-seen order).
+    let mut classes: Vec<(String, Vec<u64>)> = Vec::new();
+    for r in &rows {
+        let name = if r.class.is_empty() { "-" } else { &r.class };
+        match classes.iter_mut().find(|(c, _)| c == name) {
+            Some((_, v)) => v.push(r.handle_ns),
+            None => classes.push((name.to_string(), vec![r.handle_ns])),
+        }
+    }
+    out.push_str("\nper-class handle latency (ms):\n");
+    out.push_str("class                     count      p50      p95      p99\n");
+    for (name, mut ns) in classes {
+        ns.sort_unstable();
+        out.push_str(&format!(
+            "{name:<25} {:>5} {:>8.3} {:>8.3} {:>8.3}\n",
+            ns.len(),
+            pct_ms(&ns, 0.50),
+            pct_ms(&ns, 0.95),
+            pct_ms(&ns, 0.99),
+        ));
+    }
+
+    // Shed timeline: seconds since the first event in the log.
+    let t0 = rows.iter().map(|r| r.t_ns).min().unwrap_or(0);
+    let mut shed_buckets: Vec<(u64, u64)> = Vec::new(); // (second, count)
+    for r in rows.iter().filter(|r| r.outcome == "shed") {
+        let sec = r.t_ns.saturating_sub(t0) / 1_000_000_000;
+        match shed_buckets.iter_mut().find(|(s, _)| *s == sec) {
+            Some((_, n)) => *n += 1,
+            None => shed_buckets.push((sec, 1)),
+        }
+    }
+    shed_buckets.sort_unstable();
+    if shed_buckets.is_empty() {
+        out.push_str("\nshed        : none\n");
+    } else {
+        out.push_str("\nshed timeline (seconds since first event):\n");
+        for (sec, n) in shed_buckets {
+            out.push_str(&format!("  t+{sec:<4}s : {n} shed\n"));
+        }
     }
     Ok(out)
 }
@@ -434,6 +621,96 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("classes"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A synthetic request log: two ok requests (one slow), one shed.
+    fn sample_request_log() -> String {
+        use cqc_obs::{Outcome, WideEvent};
+        let ev =
+            |seq, t_ns, class: &str, outcome, status, queue_ns, handle_ns, trace: &str| WideEvent {
+                seq,
+                t_ns,
+                protocol: "http",
+                endpoint: "count",
+                class: class.to_string(),
+                outcome,
+                status,
+                queue_ns,
+                handle_ns,
+                prepare_ns: handle_ns / 4,
+                evaluate_ns: handle_ns / 2,
+                bytes: 64,
+                slot: 1,
+                gen: 1,
+                conn_req: seq + 1,
+                trace: trace.to_string(),
+            };
+        let mut text = String::new();
+        for e in [
+            ev(0, 0, "Cq", Outcome::Ok, 200, 50_000, 2_000_000, ""),
+            ev(
+                1,
+                500_000_000,
+                "Dcq",
+                Outcome::Ok,
+                200,
+                100_000,
+                9_000_000,
+                "00-abc",
+            ),
+            ev(2, 2_100_000_000, "", Outcome::Shed, 503, 0, 0, ""),
+        ] {
+            text.push_str(&e.to_json_line());
+            text.push('\n');
+        }
+        text.push_str("{\"type\":\"dropped\",\"count\":4}\n");
+        text
+    }
+
+    #[test]
+    fn requests_report_ranks_classes_and_sheds() {
+        let path = temp("requests.ndjson");
+        std::fs::write(&path, sample_request_log()).unwrap();
+        let out = run_report(
+            &args_from([
+                "report",
+                "requests",
+                "--log",
+                path.to_str().unwrap(),
+                "--top",
+                "2",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(
+            out.contains("3 wide event(s) (ok 2, error 0, shed 1, panic 0)"),
+            "{out}"
+        );
+        assert!(out.contains("4 older event(s) dropped"), "{out}");
+        // the slow Dcq request ranks first and carries its trace id
+        let slow_at = out.find("Dcq [00-abc]").expect("slow request listed");
+        let fast_at = out.find("\n0        http").expect("fast request listed");
+        assert!(slow_at < fast_at, "{out}");
+        // per-class table has one row per class, "-" for the shed's empty class
+        assert!(out.contains("per-class handle latency"), "{out}");
+        assert!(out.contains("Cq"), "{out}");
+        assert!(out.contains("-    "), "{out}");
+        // the shed landed 2.1 s after the first event
+        assert!(out.contains("t+2   s : 1 shed"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn requests_report_rejects_wide_free_files() {
+        let path = temp("requests-empty.ndjson");
+        std::fs::write(&path, "{\"type\":\"dropped\",\"count\":1}\n").unwrap();
+        let err = run_report(
+            &args_from(["report", "requests", "--log", path.to_str().unwrap()]).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no wide events"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

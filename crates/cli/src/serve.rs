@@ -36,6 +36,9 @@ pub fn run_serve(args: &Args) -> Result<String, CliError> {
         delta: cfg.delta,
         seed: cfg.seed,
         plan_cache_capacity: plan_cache,
+        // The fail-injection hooks are for test harnesses driving library
+        // servers; the CLI never honours them.
+        fail_injection: false,
     };
     if let Some(listen) = args.value_of("listen") {
         return run_listen(args, listen, server_config);
@@ -138,6 +141,22 @@ fn run_listen(args: &Args, listen: &str, server_config: ServerConfig) -> Result<
     if let Some(n) = parse_flag::<usize>(args, "dispatch-workers")? {
         net_config.dispatch_workers = n;
     }
+    // Post-hoc observability: the wide-event request log (`--request-log`),
+    // the slow-request dump threshold (`--slow-ms`) and the flight-dump
+    // directory (`--flight-dir`). The flight recorder and wide-event
+    // recording are always on in listen mode — they are bounded, invisible
+    // to response bytes, and what makes `/debug/*` useful without advance
+    // warning; the file sinks remain opt-in.
+    net_config.request_log = args.value_of("request-log").map(std::path::PathBuf::from);
+    if let Some(ms) = parse_flag::<u64>(args, "slow-ms")? {
+        if ms == 0 {
+            return Err(CliError::Usage("`--slow-ms` must be at least 1".into()));
+        }
+        net_config.slow_ms = Some(ms);
+    }
+    net_config.flight_dir = args.value_of("flight-dir").map(std::path::PathBuf::from);
+    cqc_obs::wide::set_enabled(true);
+    cqc_obs::flight::set_enabled(true);
     let server = RunningServer::bind(listen, net_config)
         .map_err(|e| CliError::Io(format!("cannot listen on `{listen}`: {e}")))?;
     let addr = server.addr();

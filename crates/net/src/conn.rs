@@ -84,6 +84,10 @@ pub(crate) struct Conn {
     sent_100: bool,
     /// Restarted on every successful read/write; drives the idle sweep.
     pub last_activity: Stopwatch,
+    /// Engine requests framed on this connection (dispatched or shed) —
+    /// the 1-based `conn_req` ordinal of the wide-event log. Inline
+    /// endpoints (`/healthz`, `/metrics`, `/debug/*`) do not count.
+    pub requests: u64,
 }
 
 impl Conn {
@@ -101,6 +105,7 @@ impl Conn {
             peer_closed: false,
             sent_100: false,
             last_activity: Stopwatch::start(),
+            requests: 0,
         }
     }
 

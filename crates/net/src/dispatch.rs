@@ -16,7 +16,8 @@
 
 use crate::http::{finish_chunks, write_chunk, write_chunked_head, write_response_with};
 use crate::server::{error_body, Shared};
-use cqc_obs::Stopwatch;
+use cqc_obs::wide::Outcome;
+use cqc_obs::{Stopwatch, WideEvent};
 use std::collections::VecDeque;
 use std::net::TcpStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -39,6 +40,12 @@ pub(crate) struct Token {
 pub(crate) struct Job {
     /// The connection awaiting the response.
     pub token: Token,
+    /// Ordinal of this request on its connection (1-based), for the wide
+    /// event.
+    pub conn_req: u64,
+    /// Started at enqueue; its elapsed time at dequeue is the wide event's
+    /// queue wait.
+    pub queued: Stopwatch,
     /// What to execute.
     pub kind: JobKind,
 }
@@ -203,30 +210,66 @@ fn worker_loop(state: &QueueState, shared: &Shared, wake: &TcpStream) {
         };
         let token = job.token;
         // Captured before execution so a panicking handler can still be
-        // answered in the right protocol framing.
+        // answered in the right protocol framing (and classified in its
+        // wide event).
         let is_http = matches!(&job.kind, JobKind::Count { .. } | JobKind::Stream { .. });
-        let (bytes, close) = match catch_unwind(AssertUnwindSafe(|| execute(shared, job.kind))) {
-            Ok(rendered) => rendered,
-            Err(_) => {
-                shared.metrics.connection_panics.inc();
-                cqc_obs::trace::instant("net_panic", if is_http { "http" } else { "ndjson" });
-                let body = error_body("request handler panicked");
-                let mut out = Vec::new();
-                if is_http {
-                    let _ = crate::http::write_response(
-                        &mut out,
-                        500,
-                        "application/json",
-                        body.as_bytes(),
-                        true,
-                    );
-                } else {
-                    out.extend_from_slice(body.as_bytes());
-                    out.push(b'\n');
-                }
-                (out, true)
-            }
+        let (protocol, endpoint): (&'static str, &'static str) = match &job.kind {
+            JobKind::Count { .. } => ("http", "count"),
+            JobKind::Stream { .. } => ("http", "stream"),
+            JobKind::Line { .. } => ("ndjson", "line"),
         };
+        let wide_ctx = WideCtx {
+            token,
+            conn_req: job.conn_req,
+            queue_ns: if cqc_obs::wide::enabled() {
+                job.queued.elapsed().as_nanos().min(u64::MAX as u128) as u64
+            } else {
+                0
+            },
+        };
+        let exec = Stopwatch::start();
+        let (bytes, close) =
+            match catch_unwind(AssertUnwindSafe(|| execute(shared, job.kind, &wide_ctx))) {
+                Ok(rendered) => rendered,
+                Err(_) => {
+                    shared.metrics.connection_panics.inc();
+                    cqc_obs::trace::instant("net_panic", if is_http { "http" } else { "ndjson" });
+                    let body = error_body("request handler panicked");
+                    // The panicking request's wide event is recorded *before*
+                    // the flight dump below, so the dump always contains it —
+                    // the phase accumulator keeps whatever the handler noted
+                    // before unwinding.
+                    if cqc_obs::wide::enabled() {
+                        let handle_ns = exec.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                        emit_wide(
+                            shared,
+                            &wide_ctx,
+                            protocol,
+                            endpoint,
+                            Outcome::Panic,
+                            500,
+                            handle_ns,
+                            body.len(),
+                            None,
+                        );
+                    }
+                    shared.flight_dumps.dump("panic", true);
+                    let mut out = Vec::new();
+                    if is_http {
+                        let _ = crate::http::write_response(
+                            &mut out,
+                            500,
+                            "application/json",
+                            body.as_bytes(),
+                            true,
+                        );
+                    } else {
+                        out.extend_from_slice(body.as_bytes());
+                        out.push(b'\n');
+                    }
+                    (out, true)
+                }
+            };
         state.in_flight.fetch_sub(1, Ordering::Relaxed);
         lock(&state.completions).push(Completion {
             token,
@@ -240,11 +283,105 @@ fn worker_loop(state: &QueueState, shared: &Shared, wake: &TcpStream) {
     }
 }
 
+/// The wide-event coordinates of the job a worker is executing: slab
+/// token, per-connection request ordinal, and the queue wait measured at
+/// dequeue.
+pub(crate) struct WideCtx {
+    /// Connection slab token.
+    pub token: Token,
+    /// 1-based request ordinal on the connection.
+    pub conn_req: u64,
+    /// Nanoseconds the job waited in the dispatch queue.
+    pub queue_ns: u64,
+}
+
+/// Record the wide event for one handled request line and run the
+/// slow-request trigger. Drains the phase accumulator armed before the
+/// handler ran; `trace_override` (the HTTP `traceparent` header) wins over
+/// a `trace` member noted from the request body.
+#[allow(clippy::too_many_arguments)]
+fn emit_wide(
+    shared: &Shared,
+    ctx: &WideCtx,
+    protocol: &'static str,
+    endpoint: &'static str,
+    outcome: Outcome,
+    status: u16,
+    handle_ns: u64,
+    body_bytes: usize,
+    trace_override: Option<&str>,
+) {
+    let phases = cqc_obs::wide::phases_take();
+    shared.wide.record(WideEvent {
+        seq: 0,
+        t_ns: cqc_obs::clock::now_nanos(),
+        protocol,
+        endpoint,
+        class: phases.class,
+        outcome,
+        status,
+        queue_ns: ctx.queue_ns,
+        handle_ns,
+        prepare_ns: phases.prepare_ns,
+        evaluate_ns: phases.evaluate_ns,
+        bytes: body_bytes as u64,
+        slot: ctx.token.slot,
+        gen: ctx.token.gen,
+        conn_req: ctx.conn_req,
+        trace: trace_override.map(str::to_string).unwrap_or(phases.trace),
+    });
+}
+
+/// One `handle_line_classified` call with its observability wrapping:
+/// latency histogram, phase accumulator arm/drain, wide event, slow
+/// trigger. Returns the response body and its error flag — the response
+/// bytes are untouched by any of the wrapping.
+fn handle_observed(
+    shared: &Shared,
+    ctx: &WideCtx,
+    protocol: &'static str,
+    endpoint: &'static str,
+    line: &str,
+    trace_override: Option<&str>,
+) -> (String, bool) {
+    let wide_on = cqc_obs::wide::enabled();
+    if wide_on {
+        cqc_obs::wide::phases_begin();
+    }
+    let start = Stopwatch::start();
+    let (body, is_error) = shared.serve.handle_line_classified(line);
+    let elapsed = start.elapsed();
+    shared.metrics.latency.record(elapsed);
+    shared.count_served();
+    let handle_ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+    if wide_on {
+        let outcome = if is_error {
+            Outcome::Error
+        } else {
+            Outcome::Ok
+        };
+        let status = if is_error { 400 } else { 200 };
+        emit_wide(
+            shared,
+            ctx,
+            protocol,
+            endpoint,
+            outcome,
+            status,
+            handle_ns,
+            body.len(),
+            trace_override,
+        );
+    }
+    shared.note_handle_ns(handle_ns);
+    (body, is_error)
+}
+
 /// Execute one job against the serve layer and render the full response
 /// bytes. This is the exact request semantics of the thread-per-connection
 /// handlers (same calls, same order, same header bytes), relocated off the
 /// event thread — response bytes stay a pure function of request bytes.
-fn execute(shared: &Shared, kind: JobKind) -> (Vec<u8>, bool) {
+fn execute(shared: &Shared, kind: JobKind, ctx: &WideCtx) -> (Vec<u8>, bool) {
     match kind {
         JobKind::Count {
             text,
@@ -259,10 +396,14 @@ fn execute(shared: &Shared, kind: JobKind) -> (Vec<u8>, bool) {
             if let Some(t) = &traceparent {
                 cqc_obs::trace::instant("traceparent", t);
             }
-            let start = Stopwatch::start();
-            let (body, is_error) = shared.serve.handle_line_classified(text.trim());
-            shared.metrics.latency.record(start.elapsed());
-            shared.count_served();
+            let (body, is_error) = handle_observed(
+                shared,
+                ctx,
+                "http",
+                "count",
+                text.trim(),
+                traceparent.as_deref(),
+            );
             let status = if is_error { 400 } else { 200 };
             shared.metrics.observe_status(status);
             let extra: Vec<(&str, &str)> = traceparent
@@ -291,10 +432,7 @@ fn execute(shared: &Shared, kind: JobKind) -> (Vec<u8>, bool) {
                 // lines and send them length-delimited.
                 let mut body = String::new();
                 for line in text.lines().filter(|l| !l.trim().is_empty()) {
-                    let start = Stopwatch::start();
-                    let (response, _) = shared.serve.handle_line_classified(line);
-                    shared.metrics.latency.record(start.elapsed());
-                    shared.count_served();
+                    let (response, _) = handle_observed(shared, ctx, "http", "stream", line, None);
                     body.push_str(&response);
                     body.push('\n');
                 }
@@ -310,10 +448,7 @@ fn execute(shared: &Shared, kind: JobKind) -> (Vec<u8>, bool) {
                 shared.metrics.observe_status(200);
                 let _ = write_chunked_head(&mut out, "application/x-ndjson", close);
                 for line in text.lines().filter(|l| !l.trim().is_empty()) {
-                    let start = Stopwatch::start();
-                    let (response, _) = shared.serve.handle_line_classified(line);
-                    shared.metrics.latency.record(start.elapsed());
-                    shared.count_served();
+                    let (response, _) = handle_observed(shared, ctx, "http", "stream", line, None);
                     let _ = write_chunk(&mut out, format!("{response}\n").as_bytes());
                 }
                 let _ = finish_chunks(&mut out);
@@ -321,12 +456,14 @@ fn execute(shared: &Shared, kind: JobKind) -> (Vec<u8>, bool) {
             (out, close)
         }
         JobKind::Line { line } => {
-            let start = Stopwatch::start();
-            let (response, _) = shared
-                .serve
-                .handle_line_classified(line.trim_end_matches('\n'));
-            shared.metrics.latency.record(start.elapsed());
-            shared.count_served();
+            let (response, _) = handle_observed(
+                shared,
+                ctx,
+                "ndjson",
+                "line",
+                line.trim_end_matches('\n'),
+                None,
+            );
             let mut out = response.into_bytes();
             out.push(b'\n');
             (out, false)

@@ -5,7 +5,9 @@
 //! readiness loop, a per-connection state machine, and a bounded dispatch
 //! queue feeding a small worker pool — that speaks **HTTP/1.1**
 //! (`POST /count`, a streaming-NDJSON `POST /stream`, `GET /healthz`,
-//! `GET /metrics`) and the **raw NDJSON** protocol of `cqc serve` on the
+//! `GET /metrics`, and the read-only introspection endpoints
+//! `GET /debug/requests`, `GET /debug/flight`, `GET /debug/loop`) and the
+//! **raw NDJSON** protocol of `cqc serve` on the
 //! same port (first-byte sniff), plus a deterministic closed-loop **load
 //! generator** that drives the server over loopback and reports throughput
 //! and latency percentiles (including a connection-scaling mode,
@@ -49,8 +51,8 @@ pub mod poll;
 pub mod server;
 
 pub use loadgen::{
-    bench_json, obs_bench_json, run_against, run_scaling, scaling_bench_json, LoadReport,
-    LoadgenOptions, Protocol, ScalingPoint, ScalingReport,
+    bench_json, obs_bench_json, obs_overhead, run_against, run_scaling, scaling_bench_json,
+    LoadReport, LoadgenOptions, ObsOverhead, Protocol, ScalingPoint, ScalingReport,
 };
 pub use metrics::Metrics;
 pub use server::{NetConfig, NetStats, RunningServer, ShutdownHandle};

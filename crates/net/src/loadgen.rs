@@ -96,7 +96,7 @@ impl Default for LoadgenOptions {
 }
 
 /// The outcome of a load-generation run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LoadReport {
     /// The options the run used (echoed into the bench report).
     pub options: LoadgenOptions,
@@ -401,20 +401,81 @@ pub fn bench_json(report: &LoadReport) -> String {
     .render()
 }
 
-/// Render the `BENCH_obs.json` document from a back-to-back pair of
-/// identical runs — `off` with tracing disabled, `on` with tracing enabled
-/// (`cqc loadgen --obs-bench`). The document carries the two wall-clock
-/// measurements, the relative overhead, and the invisibility witness:
-/// whether the two transcripts are byte-identical (they must be — tracing
-/// can slow a run down, never change a response byte).
-pub fn obs_bench_json(off: &LoadReport, on: &LoadReport, trace_events: u64) -> String {
-    let o = &off.options;
-    let (wall_off, wall_on) = (off.wall.as_secs_f64(), on.wall.as_secs_f64());
-    let overhead_pct = if wall_off > 0.0 {
-        (wall_on - wall_off) / wall_off * 100.0
-    } else {
+/// Summary of the per-repeat observability overhead of an `--obs-bench`
+/// run (see [`obs_overhead`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ObsOverhead {
+    /// Median of the per-pair relative overheads, percent.
+    pub median_pct: f64,
+    /// Minimum (best-case) per-pair relative overhead, percent.
+    pub min_pct: f64,
+}
+
+/// Median of `values` (mean of the two middles for even counts); `0.0` for
+/// an empty slice.
+fn median_of(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    match sorted.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => sorted[n / 2],
+        n => (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0,
+    }
+}
+
+/// Per-pair relative overhead (%) of each observability-on run over its
+/// observability-off partner, summarised by median and min. The median —
+/// not a single pair's delta — is the committed figure: back-to-back wall
+/// clocks on a busy host are noisy enough that one pair regularly reports
+/// a *negative* overhead when the second run wins the scheduling lottery.
+pub fn obs_overhead(pairs: &[(LoadReport, LoadReport)]) -> ObsOverhead {
+    let pcts: Vec<f64> = pairs
+        .iter()
+        .map(|(off, on)| {
+            let (wall_off, wall_on) = (off.wall.as_secs_f64(), on.wall.as_secs_f64());
+            if wall_off > 0.0 {
+                (wall_on - wall_off) / wall_off * 100.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let min_pct = if pcts.is_empty() {
         0.0
+    } else {
+        pcts.iter().copied().fold(f64::INFINITY, f64::min)
     };
+    ObsOverhead {
+        median_pct: median_of(&pcts),
+        min_pct,
+    }
+}
+
+/// Render the `BENCH_obs.json` document from interleaved
+/// `(observability-off, observability-on)` run pairs of the same mix
+/// (`cqc loadgen --obs-bench`). The document carries median wall-clock and
+/// throughput figures for each side, the median and min per-pair overhead
+/// (`overhead_pct` *is* the median, kept under its historical name so CI
+/// greps and downstream dashboards keep working), and the invisibility
+/// witness: whether every transcript in every pair is byte-identical (it
+/// must be — observability can slow a run down, never change a response
+/// byte).
+pub fn obs_bench_json(pairs: &[(LoadReport, LoadReport)], trace_events: u64) -> String {
+    let first = pairs
+        .first()
+        .expect("obs_bench_json needs at least one run pair");
+    let o = &first.0.options;
+    let walls_off: Vec<f64> = pairs
+        .iter()
+        .map(|(off, _)| off.wall.as_secs_f64())
+        .collect();
+    let walls_on: Vec<f64> = pairs.iter().map(|(_, on)| on.wall.as_secs_f64()).collect();
+    let rps_off: Vec<f64> = pairs.iter().map(|(off, _)| off.throughput_rps).collect();
+    let rps_on: Vec<f64> = pairs.iter().map(|(_, on)| on.throughput_rps).collect();
+    let overhead = obs_overhead(pairs);
+    let identical = pairs.iter().all(|(off, on)| {
+        off.transcript == first.0.transcript && on.transcript == first.0.transcript
+    });
     Value::Obj(vec![
         (
             "bench".to_string(),
@@ -427,25 +488,37 @@ pub fn obs_bench_json(off: &LoadReport, on: &LoadReport, trace_events: u64) -> S
         ("requests".to_string(), Value::Num(o.requests as f64)),
         ("connections".to_string(), Value::Num(o.connections as f64)),
         ("seed".to_string(), Value::Str(o.seed.to_string())),
-        ("wall_seconds_trace_off".to_string(), Value::Num(wall_off)),
-        ("wall_seconds_trace_on".to_string(), Value::Num(wall_on)),
+        ("repeats".to_string(), Value::Num(pairs.len() as f64)),
+        (
+            "wall_seconds_trace_off".to_string(),
+            Value::Num(median_of(&walls_off)),
+        ),
+        (
+            "wall_seconds_trace_on".to_string(),
+            Value::Num(median_of(&walls_on)),
+        ),
         (
             "throughput_rps_trace_off".to_string(),
-            Value::Num(off.throughput_rps),
+            Value::Num(median_of(&rps_off)),
         ),
         (
             "throughput_rps_trace_on".to_string(),
-            Value::Num(on.throughput_rps),
+            Value::Num(median_of(&rps_on)),
         ),
-        ("overhead_pct".to_string(), Value::Num(overhead_pct)),
-        ("trace_events".to_string(), Value::Num(trace_events as f64)),
+        ("overhead_pct".to_string(), Value::Num(overhead.median_pct)),
         (
-            "transcripts_identical".to_string(),
-            Value::Bool(off.transcript == on.transcript),
+            "overhead_pct_median".to_string(),
+            Value::Num(overhead.median_pct),
         ),
+        ("overhead_pct_min".to_string(), Value::Num(overhead.min_pct)),
+        ("trace_events".to_string(), Value::Num(trace_events as f64)),
+        ("transcripts_identical".to_string(), Value::Bool(identical)),
         (
             "transcript_fnv1a".to_string(),
-            Value::Str(format!("{:016x}", transcript_fingerprint(&off.transcript))),
+            Value::Str(format!(
+                "{:016x}",
+                transcript_fingerprint(&first.0.transcript)
+            )),
         ),
     ])
     .render()
@@ -834,22 +907,46 @@ mod tests {
             bytes_received: 9,
             transcript: transcript.to_string(),
         };
-        let off = mk(1000, "{\"id\":0}\n");
-        let on = mk(1030, "{\"id\":0}\n");
-        let text = obs_bench_json(&off, &on, 42);
+        // three repeats with per-pair overheads +5 %, +3 %, -1 %: the
+        // committed figure is the median (+3 %), the min records the
+        // best-case pair (which may be negative on a noisy host)
+        let pairs = vec![
+            (mk(1000, "{\"id\":0}\n"), mk(1050, "{\"id\":0}\n")),
+            (mk(1000, "{\"id\":0}\n"), mk(1030, "{\"id\":0}\n")),
+            (mk(1000, "{\"id\":0}\n"), mk(990, "{\"id\":0}\n")),
+        ];
+        let text = obs_bench_json(&pairs, 42);
         let v = cqc_serve::json::parse(&text).expect("obs bench json parses");
         assert_eq!(
             v.get("bench").and_then(|b| b.as_str()),
             Some("obs_trace_overhead")
         );
         assert_eq!(v.get("trace_events").and_then(|t| t.as_u64()), Some(42));
+        assert_eq!(v.get("repeats").and_then(|r| r.as_u64()), Some(3));
         let overhead = v.get("overhead_pct").and_then(|p| p.as_f64()).unwrap();
         assert!((overhead - 3.0).abs() < 1e-9, "{overhead}");
+        let med = v
+            .get("overhead_pct_median")
+            .and_then(|p| p.as_f64())
+            .unwrap();
+        assert!((med - 3.0).abs() < 1e-9, "{med}");
+        let min = v.get("overhead_pct_min").and_then(|p| p.as_f64()).unwrap();
+        assert!((min + 1.0).abs() < 1e-9, "{min}");
         assert_eq!(
             v.get("transcripts_identical").map(|b| b.render()),
             Some("true".to_string())
         );
-        let diverged = obs_bench_json(&off, &mk(1030, "{\"id\":1}\n"), 42);
+        let stats = obs_overhead(&pairs);
+        assert!((stats.median_pct - 3.0).abs() < 1e-9);
+        assert!((stats.min_pct + 1.0).abs() < 1e-9);
+        // one diverging transcript anywhere in the repeats flips the witness
+        let diverged = obs_bench_json(
+            &[
+                (mk(1000, "{\"id\":0}\n"), mk(1030, "{\"id\":0}\n")),
+                (mk(1000, "{\"id\":0}\n"), mk(1030, "{\"id\":1}\n")),
+            ],
+            42,
+        );
         assert!(diverged.contains("\"transcripts_identical\":false"));
     }
 }

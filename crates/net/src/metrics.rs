@@ -59,6 +59,10 @@ pub struct Metrics {
     /// Requests queued or executing in the dispatcher, sampled at scrape
     /// time.
     pub dispatch_queue_depth: Arc<Gauge>,
+    /// Event-loop processing time per tick (poll return to iteration end).
+    pub event_loop_tick: Arc<Histogram>,
+    /// Polls woken by the wake socket (completions, shutdown signals).
+    pub event_loop_wakeups: Arc<Counter>,
 }
 
 impl Metrics {
@@ -119,6 +123,16 @@ impl Metrics {
             "cqc_dispatch_queue_depth",
             "requests queued or executing in the dispatcher",
         );
+        // Event-loop lag series (observability PR): appended after the
+        // admission-control block so every earlier byte of the scrape is
+        // untouched. They back `GET /debug/loop` and stand alone as lag
+        // alerting signals.
+        let event_loop_tick =
+            registry.histogram("cqc_event_loop_tick_seconds", LATENCY_BUCKET_BOUNDS_NANOS);
+        let event_loop_wakeups = registry.counter(
+            "cqc_event_loop_wakeups_total",
+            "event-loop polls woken by the wake socket",
+        );
         Metrics {
             connections,
             http_requests,
@@ -134,6 +148,8 @@ impl Metrics {
             connection_panics,
             accept_errors,
             dispatch_queue_depth,
+            event_loop_tick,
+            event_loop_wakeups,
         }
     }
 
@@ -204,6 +220,8 @@ mod tests {
             "cqc_connection_panics_total 0",
             "cqc_accept_errors_total 0",
             "cqc_dispatch_queue_depth 0",
+            "cqc_event_loop_tick_seconds_count 0",
+            "cqc_event_loop_wakeups_total 0",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

@@ -71,10 +71,12 @@ use crate::dispatch::{Dispatcher, Job, JobKind, Token};
 use crate::http::{write_response, write_response_with, MAX_BODY_BYTES};
 use crate::metrics::Metrics;
 use crate::poll::{poll_fds, raw_fd, PollFd, POLLIN, POLLOUT};
-use cqc_obs::{Registry, Stopwatch};
+use cqc_obs::wide::Outcome;
+use cqc_obs::{Registry, Stopwatch, WideEvent, WideLog};
 use cqc_serve::{Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -108,6 +110,21 @@ const MAX_REJECT_SLOTS: usize = 64;
 /// peer that stopped reading cannot stall shutdown noticeably.
 const SHUTDOWN_DRAIN: Duration = Duration::from_secs(2);
 
+/// Wide events kept in the in-memory tail behind `GET /debug/requests`.
+const WIDE_TAIL_CAP: usize = 512;
+
+/// Shed responses within [`SHED_BURST_WINDOW_NANOS`] that constitute a
+/// burst worth a flight-recorder dump.
+const SHED_BURST_THRESHOLD: u64 = 32;
+
+/// The shed-burst counting window.
+const SHED_BURST_WINDOW_NANOS: u64 = 1_000_000_000;
+
+/// Minimum spacing between non-panic flight dumps, so a sustained anomaly
+/// (every request slow, say) produces a bounded dump series instead of one
+/// file per request.
+const DUMP_COOLDOWN_MILLIS: u64 = 1_000;
+
 /// Configuration of the network front end.
 #[derive(Debug, Clone)]
 pub struct NetConfig {
@@ -138,6 +155,20 @@ pub struct NetConfig {
     /// Dispatch worker threads executing engine requests off the event
     /// thread. `0` means auto (derived from available parallelism).
     pub dispatch_workers: usize,
+    /// Append every wide event (one NDJSON record per request) to this
+    /// file — `cqc serve --request-log FILE`. The bounded in-memory tail
+    /// behind `GET /debug/requests` fills regardless; the file is the
+    /// durable log `cqc report requests` consumes. Recording only happens
+    /// while [`cqc_obs::wide::set_enabled`] is on.
+    pub request_log: Option<PathBuf>,
+    /// A request whose handler runs longer than this triggers an automatic
+    /// flight-recorder dump (`cqc serve --slow-ms`). `None` disables the
+    /// slow trigger.
+    pub slow_ms: Option<u64>,
+    /// Directory for automatic flight-recorder dumps (panic, shed burst,
+    /// slow request). `None` disables dump files; `GET /debug/flight`
+    /// still serves live snapshots.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for NetConfig {
@@ -149,6 +180,9 @@ impl Default for NetConfig {
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
             dispatch_queue_limit: DEFAULT_DISPATCH_QUEUE_LIMIT,
             dispatch_workers: 0,
+            request_log: None,
+            slow_ms: None,
+            flight_dir: None,
         }
     }
 }
@@ -169,12 +203,113 @@ pub struct NetStats {
     pub accept_errors: u64,
 }
 
+/// Event-loop tick statistics maintained live by the readiness loop and
+/// read only by `GET /debug/loop` (relaxed atomics — observation only).
+#[derive(Debug, Default)]
+pub(crate) struct LoopStats {
+    /// Completed loop iterations.
+    ticks: AtomicU64,
+    /// Total nanoseconds spent *processing* (poll return to iteration
+    /// end — the poll wait itself is idle time, not lag).
+    tick_ns_total: AtomicU64,
+    /// Slowest single tick.
+    tick_ns_max: AtomicU64,
+    /// Dispatch-queue depth high-water mark.
+    queue_depth_hwm: AtomicU64,
+}
+
+impl LoopStats {
+    fn note_tick(&self, tick_ns: u64, queue_depth: u64) {
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+        self.tick_ns_total.fetch_add(tick_ns, Ordering::Relaxed);
+        self.tick_ns_max.fetch_max(tick_ns, Ordering::Relaxed);
+        self.queue_depth_hwm
+            .fetch_max(queue_depth, Ordering::Relaxed);
+    }
+}
+
+/// Automatic flight-recorder dumps: where they go, how many happened, and
+/// the shed-burst detector. All state is relaxed atomics — a racy double
+/// count widens a window by one event, nothing more.
+pub(crate) struct FlightDumps {
+    /// Dump directory; `None` disables dump files entirely.
+    dir: Option<PathBuf>,
+    /// Dumps written (also the filename ordinal).
+    dumps: AtomicU64,
+    /// `unix_millis` of the last dump, for the cooldown.
+    last_dump_ms: AtomicU64,
+    /// Start of the current shed-burst window (trace-epoch nanoseconds).
+    shed_window_start_ns: AtomicU64,
+    /// Shed responses inside the current window.
+    shed_in_window: AtomicU64,
+}
+
+impl FlightDumps {
+    fn new(dir: Option<PathBuf>) -> FlightDumps {
+        FlightDumps {
+            dir,
+            dumps: AtomicU64::new(0),
+            last_dump_ms: AtomicU64::new(0),
+            shed_window_start_ns: AtomicU64::new(0),
+            shed_in_window: AtomicU64::new(0),
+        }
+    }
+
+    /// Count one shed response; `true` exactly when the count crosses
+    /// [`SHED_BURST_THRESHOLD`] within the current window.
+    pub(crate) fn note_shed(&self) -> bool {
+        let now = cqc_obs::clock::now_nanos();
+        let start = self.shed_window_start_ns.load(Ordering::Relaxed);
+        if now.saturating_sub(start) > SHED_BURST_WINDOW_NANOS {
+            self.shed_window_start_ns.store(now, Ordering::Relaxed);
+            self.shed_in_window.store(1, Ordering::Relaxed);
+            return SHED_BURST_THRESHOLD <= 1;
+        }
+        self.shed_in_window.fetch_add(1, Ordering::Relaxed) + 1 == SHED_BURST_THRESHOLD
+    }
+
+    /// Snapshot the flight recorder into a timestamped dump file. `force`
+    /// (the panic path) bypasses the cooldown — a panic dump must never be
+    /// suppressed. Returns the path written, `None` if dumps are disabled,
+    /// on cooldown, or unwritable.
+    pub(crate) fn dump(&self, reason: &str, force: bool) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        let now_ms = cqc_obs::clock::unix_millis();
+        if !force {
+            let last = self.last_dump_ms.load(Ordering::Relaxed);
+            if last != 0 && now_ms.saturating_sub(last) < DUMP_COOLDOWN_MILLIS {
+                return None;
+            }
+        }
+        self.last_dump_ms.store(now_ms.max(1), Ordering::Relaxed);
+        let ordinal = self.dumps.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("flight-{now_ms:013}-{ordinal:04}-{reason}.ndjson"));
+        let snapshot = cqc_obs::flight::snapshot();
+        std::fs::write(&path, snapshot.to_ndjson()).ok()?;
+        Some(path)
+    }
+
+    /// Dumps written so far.
+    pub(crate) fn count(&self) -> u64 {
+        self.dumps.load(Ordering::Relaxed)
+    }
+}
+
 /// State shared by the event thread, the dispatch workers, and the
 /// shutdown handle.
 pub(crate) struct Shared {
     pub(crate) serve: Server,
     pub(crate) registry: Registry,
     pub(crate) metrics: Metrics,
+    /// The wide-event request log (in-memory tail + optional file sink).
+    pub(crate) wide: WideLog,
+    /// Slow-request dump threshold in nanoseconds, from
+    /// [`NetConfig::slow_ms`].
+    pub(crate) slow_ns: Option<u64>,
+    /// Anomaly-triggered flight-recorder dumps.
+    pub(crate) flight_dumps: FlightDumps,
+    /// Event-loop tick statistics for `GET /debug/loop`.
+    pub(crate) loop_stats: LoopStats,
     stopping: AtomicBool,
     served: AtomicU64,
     max_requests: Option<u64>,
@@ -208,6 +343,37 @@ impl Shared {
                 self.signal();
             }
         }
+    }
+
+    /// Slow-request trigger: a handler that ran past `--slow-ms` dumps the
+    /// flight recorder (cooldown-limited).
+    pub(crate) fn note_handle_ns(&self, handle_ns: u64) {
+        if let Some(slow) = self.slow_ns {
+            if handle_ns > slow {
+                self.flight_dumps.dump("slow", false);
+            }
+        }
+    }
+
+    /// The `GET /debug/loop` body: event-loop tick/lag statistics plus the
+    /// health counters of the observability layer itself.
+    fn debug_loop_json(&self, queue_depth: u64) -> String {
+        let ticks = self.loop_stats.ticks.load(Ordering::Relaxed);
+        let total = self.loop_stats.tick_ns_total.load(Ordering::Relaxed);
+        let mean = total.checked_div(ticks).unwrap_or(0);
+        format!(
+            "{{\"ticks\":{},\"tick_ns_max\":{},\"tick_ns_mean\":{},\"wakeups\":{},\"dispatch_queue_depth\":{},\"dispatch_queue_depth_hwm\":{},\"flight_dumps\":{},\"flight_dropped\":{},\"wide_recorded\":{},\"wide_dropped\":{}}}",
+            ticks,
+            self.loop_stats.tick_ns_max.load(Ordering::Relaxed),
+            mean,
+            self.metrics.event_loop_wakeups.get(),
+            queue_depth,
+            self.loop_stats.queue_depth_hwm.load(Ordering::Relaxed),
+            self.flight_dumps.count(),
+            cqc_obs::flight::dropped_total(),
+            self.wide.recorded(),
+            self.wide.dropped(),
+        )
     }
 }
 
@@ -248,10 +414,21 @@ impl RunningServer {
         let serve = Server::new(config.serve);
         let registry = Registry::new();
         let metrics = Metrics::new(&registry, &serve);
+        let wide = WideLog::new(WIDE_TAIL_CAP);
+        if let Some(path) = &config.request_log {
+            wide.attach_file(std::fs::File::create(path)?);
+        }
+        if let Some(dir) = &config.flight_dir {
+            std::fs::create_dir_all(dir)?;
+        }
         let shared = Arc::new(Shared {
             serve,
             registry,
             metrics,
+            wide,
+            slow_ns: config.slow_ms.map(|ms| ms.saturating_mul(1_000_000)),
+            flight_dumps: FlightDumps::new(config.flight_dir.clone()),
+            loop_stats: LoopStats::default(),
             stopping: AtomicBool::new(false),
             served: AtomicU64::new(0),
             max_requests: config.max_requests,
@@ -494,7 +671,12 @@ impl EventLoop {
                 std::thread::sleep(POLL_INTERVAL);
             }
 
+            // Tick timing starts when poll returns: the poll wait is idle
+            // time, everything after it is the loop's processing lag.
+            let tick = Stopwatch::start();
+
             if fds[0].ready(POLLIN) {
+                self.shared.metrics.event_loop_wakeups.inc();
                 drain_wake(&self.wake_rx);
             }
 
@@ -570,6 +752,14 @@ impl EventLoop {
                     }
                 }
             }
+
+            // Close out the tick: histogram for `/metrics`, running stats
+            // for `/debug/loop`.
+            let tick_ns = tick.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.shared.metrics.event_loop_tick.record_nanos(tick_ns);
+            self.shared
+                .loop_stats
+                .note_tick(tick_ns, self.dispatcher.depth());
         }
         // Queue drained, connections closed: stop and join the workers.
         self.dispatcher.shutdown();
@@ -738,15 +928,18 @@ fn advance_conn(
                 }
                 NdjsonNext::Line(line) => {
                     shared.metrics.ndjson_lines.inc();
+                    conn.requests += 1;
                     let job = Job {
                         token,
+                        conn_req: conn.requests,
+                        queued: Stopwatch::start(),
                         kind: JobKind::Line { line },
                     };
                     if dispatcher.try_enqueue(job) {
                         conn.in_flight = true;
                         return;
                     }
-                    shed_ndjson(conn, shared);
+                    shed_ndjson(conn, token, shared);
                     // connection stays usable; try the next line
                 }
                 NdjsonNext::TooLong => {
@@ -832,8 +1025,11 @@ fn route_http(
                     }
                 }
                 Ok(text) => {
+                    conn.requests += 1;
                     let job = Job {
                         token,
+                        conn_req: conn.requests,
+                        queued: Stopwatch::start(),
                         kind: JobKind::Count {
                             text,
                             traceparent,
@@ -843,7 +1039,7 @@ fn route_http(
                     if dispatcher.try_enqueue(job) {
                         conn.in_flight = true;
                     } else {
-                        shed_http(conn, close, shared);
+                        shed_http(conn, token, close, shared);
                     }
                 }
             }
@@ -855,8 +1051,11 @@ fn route_http(
                 queue_http(conn, 400, "application/json", body.as_bytes(), close);
             }
             Ok(text) => {
+                conn.requests += 1;
                 let job = Job {
                     token,
+                    conn_req: conn.requests,
+                    queued: Stopwatch::start(),
                     kind: JobKind::Stream {
                         text,
                         http10: request.version == "HTTP/1.0",
@@ -866,7 +1065,7 @@ fn route_http(
                 if dispatcher.try_enqueue(job) {
                     conn.in_flight = true;
                 } else {
-                    shed_http(conn, close, shared);
+                    shed_http(conn, token, close, shared);
                 }
             }
         },
@@ -897,7 +1096,31 @@ fn route_http(
                 close,
             );
         }
-        (_, "/count" | "/stream" | "/healthz" | "/metrics") => {
+        // The `/debug/*` endpoints are read-only introspection served
+        // inline on the event thread, like `/healthz`: bounded bodies,
+        // no engine work, no effect on request handling. They never emit
+        // wide events themselves — a scraper polling `/debug/requests`
+        // must not fill the very log it is reading.
+        ("GET", "/debug/requests") => {
+            let body = shared.wide.tail_ndjson();
+            shared.metrics.observe_status(200);
+            queue_http(conn, 200, "application/x-ndjson", body.as_bytes(), close);
+        }
+        ("GET", "/debug/flight") => {
+            let body = cqc_obs::flight::snapshot().to_ndjson();
+            shared.metrics.observe_status(200);
+            queue_http(conn, 200, "application/x-ndjson", body.as_bytes(), close);
+        }
+        ("GET", "/debug/loop") => {
+            let body = shared.debug_loop_json(dispatcher.depth());
+            shared.metrics.observe_status(200);
+            queue_http(conn, 200, "application/json", body.as_bytes(), close);
+        }
+        (
+            _,
+            "/count" | "/stream" | "/healthz" | "/metrics" | "/debug/requests" | "/debug/flight"
+            | "/debug/loop",
+        ) => {
             let body = error_body(&format!("method {} not allowed for {path}", request.method));
             shared.metrics.observe_status(405);
             queue_http(conn, 405, "application/json", body.as_bytes(), close);
@@ -923,21 +1146,60 @@ fn queue_http(conn: &mut Conn, status: u16, content_type: &str, body: &[u8], clo
 /// Shed one HTTP request (dispatch queue full): 503 with the canonical
 /// overload bytes, connection kept alive unless the request asked to
 /// close.
-fn shed_http(conn: &mut Conn, close: bool, shared: &Shared) {
+fn shed_http(conn: &mut Conn, token: Token, close: bool, shared: &Shared) {
     shared.metrics.requests_shed.inc();
     cqc_obs::trace::instant("net_shed", "queue");
     let line = cqc_serve::overload_line(cqc_serve::OVERLOAD_QUEUE_FULL);
+    shed_wide(shared, token, "http", "count", line.len(), conn.requests);
     queue_http(conn, 503, "application/json", line.as_bytes(), close);
 }
 
 /// Shed one NDJSON line (dispatch queue full): the canonical overload
 /// line, connection kept alive.
-fn shed_ndjson(conn: &mut Conn, shared: &Shared) {
+fn shed_ndjson(conn: &mut Conn, token: Token, shared: &Shared) {
     shared.metrics.requests_shed.inc();
     cqc_obs::trace::instant("net_shed", "queue");
     let line = cqc_serve::overload_line(cqc_serve::OVERLOAD_QUEUE_FULL);
+    shed_wide(shared, token, "ndjson", "line", line.len(), conn.requests);
     conn.queue(line.as_bytes());
     conn.queue(b"\n");
+}
+
+/// Record the wide event for a shed request (queue and handler times are
+/// zero — the request never reached a worker) and feed the shed-burst
+/// detector, dumping the flight recorder when a burst crosses the
+/// threshold.
+fn shed_wide(
+    shared: &Shared,
+    token: Token,
+    protocol: &'static str,
+    endpoint: &'static str,
+    bytes: usize,
+    conn_req: u64,
+) {
+    if cqc_obs::wide::enabled() {
+        shared.wide.record(WideEvent {
+            seq: 0,
+            t_ns: cqc_obs::clock::now_nanos(),
+            protocol,
+            endpoint,
+            class: String::new(),
+            outcome: Outcome::Shed,
+            status: 503,
+            queue_ns: 0,
+            handle_ns: 0,
+            prepare_ns: 0,
+            evaluate_ns: 0,
+            bytes: bytes as u64,
+            slot: token.slot,
+            gen: token.gen,
+            conn_req,
+            trace: String::new(),
+        });
+    }
+    if shared.flight_dumps.note_shed() {
+        shared.flight_dumps.dump("shed-burst", false);
+    }
 }
 
 /// A serve-protocol-shaped error body for transport-level failures.
@@ -961,6 +1223,51 @@ mod tests {
         let body = error_body("boom \"quoted\"");
         assert_eq!(body, r#"{"id":null,"error":"boom \"quoted\""}"#);
         assert!(cqc_serve::json::parse(&body).is_ok());
+    }
+
+    #[test]
+    fn flight_dumps_detect_bursts_and_honour_the_cooldown() {
+        // the shed-burst detector fires exactly once, at the threshold
+        // crossing, however long the burst runs on
+        let dumps = FlightDumps::new(None);
+        let fired = (0..SHED_BURST_THRESHOLD * 2)
+            .filter(|_| dumps.note_shed())
+            .count();
+        assert_eq!(fired, 1);
+        // no directory → dumps disabled, even forced
+        assert!(dumps.dump("test", true).is_none());
+
+        let dir = std::env::temp_dir().join(format!("cqc-flight-dumps-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dumps = FlightDumps::new(Some(dir.clone()));
+        let first = dumps.dump("slow", false).expect("first dump writes");
+        assert!(
+            first
+                .file_name()
+                .unwrap()
+                .to_str()
+                .unwrap()
+                .contains("-slow"),
+            "{first:?}"
+        );
+        // the cooldown suppresses an immediate unforced follow-up…
+        assert!(dumps.dump("slow", false).is_none());
+        // …but the panic path bypasses it — a panic dump is never lost
+        let forced = dumps.dump("panic", true).expect("forced dump writes");
+        assert!(forced.to_str().unwrap().contains("-panic"), "{forced:?}");
+        assert_eq!(dumps.count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loop_stats_track_totals_max_and_high_water() {
+        let stats = LoopStats::default();
+        stats.note_tick(100, 2);
+        stats.note_tick(300, 1);
+        assert_eq!(stats.ticks.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.tick_ns_total.load(Ordering::Relaxed), 400);
+        assert_eq!(stats.tick_ns_max.load(Ordering::Relaxed), 300);
+        assert_eq!(stats.queue_depth_hwm.load(Ordering::Relaxed), 2);
     }
 
     #[test]

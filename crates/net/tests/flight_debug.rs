@@ -1,0 +1,181 @@
+//! The flight-recorder / wide-event acceptance test: the live `/debug/*`
+//! endpoints expose the request tail, the recorder snapshot and the
+//! event-loop statistics; a handler panic forces a flight dump that
+//! contains the panicking request's own wide event; and the `/debug`
+//! endpoints never record wide events about themselves (a scraper must
+//! not fill the log it reads).
+//!
+//! One `#[test]` body: the wide/flight toggles are process-global.
+
+use cqc_net::{NetConfig, RunningServer};
+use cqc_serve::ServerConfig;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+const COUNT_REQ: &str = r#"{"id": 1, "query": "ans(x) :- E(x, y), E(x, z), y != z", "dbs": ["universe 4\nrelation E 2\nE 0 1\nE 0 2\nE 3 1\nE 3 2\n"], "seed": 7, "method": "exact"}"#;
+
+/// One HTTP request over a fresh connection; returns the raw response.
+fn http(server: &RunningServer, request: &str) -> String {
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    raw
+}
+
+fn get(server: &RunningServer, path: &str) -> String {
+    http(
+        server,
+        &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn post_count(server: &RunningServer, body: &str) -> String {
+    http(
+        server,
+        &format!(
+            "POST /count HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// The body of an HTTP response (after the blank line).
+fn body_of(raw: &str) -> &str {
+    raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("")
+}
+
+#[test]
+fn debug_endpoints_and_panic_dumps_expose_the_flight_recorder() {
+    cqc_obs::wide::set_enabled(true);
+    cqc_obs::flight::set_enabled(true);
+    cqc_obs::flight::reset();
+
+    let dump_dir = std::env::temp_dir().join(format!("cqc-flight-debug-{}", std::process::id()));
+    std::fs::create_dir_all(&dump_dir).unwrap();
+    let server = RunningServer::bind(
+        "127.0.0.1:0",
+        NetConfig {
+            serve: ServerConfig {
+                // deliberate fail-injection hook: a request carrying
+                // `"panic": true` panics inside the handler
+                fail_injection: true,
+                ..ServerConfig::default()
+            },
+            flight_dir: Some(dump_dir.clone()),
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind");
+
+    // --- the wide-event tail -------------------------------------------
+    // two HTTP count requests and one raw NDJSON line…
+    for _ in 0..2 {
+        let raw = post_count(&server, COUNT_REQ);
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    }
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream.write_all(COUNT_REQ.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(response.contains("\"estimate\":2,"), "{response}");
+    drop(reader);
+    drop(stream);
+
+    // …show up as exactly three wide records in the tail, per protocol
+    let raw = get(&server, "/debug/requests");
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    assert!(raw.contains("application/x-ndjson"), "{raw}");
+    let tail = body_of(&raw).to_string();
+    let wide = |text: &str| {
+        text.lines()
+            .filter(|l| l.contains("\"type\":\"wide\""))
+            .count()
+    };
+    assert_eq!(wide(&tail), 3, "{tail}");
+    assert_eq!(tail.matches("\"protocol\":\"http\"").count(), 2, "{tail}");
+    assert_eq!(tail.matches("\"protocol\":\"ndjson\"").count(), 1, "{tail}");
+    assert!(tail.contains("\"outcome\":\"ok\""), "{tail}");
+    assert!(tail.contains("\"class\":"), "{tail}");
+
+    // scraping the tail again records nothing new: /debug endpoints are
+    // invisible to the log they serve
+    let again = body_of(&get(&server, "/debug/requests")).to_string();
+    assert_eq!(wide(&again), 3, "{again}");
+    assert!(!again.contains("\"endpoint\":\"debug"), "{again}");
+
+    // --- the flight snapshot and loop stats ----------------------------
+    let raw = get(&server, "/debug/flight");
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    let flight = body_of(&raw);
+    assert!(flight.starts_with("{\"type\":\"flight\""), "{flight}");
+    // the recorder mirrors both trace events and wide events
+    assert!(flight.contains("\"type\":\"wide\""), "{flight}");
+    assert!(flight.contains("\"name\":\"request\""), "{flight}");
+
+    let raw = get(&server, "/debug/loop");
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    let loop_stats = body_of(&raw);
+    let stats = cqc_serve::json::parse(loop_stats.trim()).expect("loop stats parse");
+    assert!(
+        stats.get("ticks").and_then(|v| v.as_u64()).unwrap() > 0,
+        "{loop_stats}"
+    );
+    for key in [
+        "tick_ns_max",
+        "tick_ns_mean",
+        "wakeups",
+        "dispatch_queue_depth",
+        "dispatch_queue_depth_hwm",
+        "flight_dumps",
+        "flight_dropped",
+        "wide_recorded",
+        "wide_dropped",
+    ] {
+        assert!(stats.get(key).is_some(), "`{key}` missing in {loop_stats}");
+    }
+    assert_eq!(
+        stats.get("wide_recorded").and_then(|v| v.as_u64()),
+        Some(3),
+        "{loop_stats}"
+    );
+
+    // debug endpoints are GET-only
+    let raw = http(
+        &server,
+        "POST /debug/loop HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    );
+    assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+
+    // --- a handler panic forces a dump with the panicking wide event ---
+    let panic_req = COUNT_REQ.replace("\"id\": 1", "\"id\": 99, \"panic\": true");
+    let raw = post_count(&server, &panic_req);
+    assert!(raw.starts_with("HTTP/1.1 500"), "{raw}");
+    let dumps: Vec<_> = std::fs::read_dir(&dump_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.to_str().unwrap().ends_with("-panic.ndjson"))
+        .collect();
+    assert_eq!(dumps.len(), 1, "{dumps:?}");
+    let dump_text = std::fs::read_to_string(&dumps[0]).unwrap();
+    assert!(dump_text.starts_with("{\"type\":\"flight\""), "{dump_text}");
+    // the dump contains the panicking request's own wide event — recorded
+    // before the snapshot was taken, force-bypassing the dump cooldown
+    assert!(dump_text.contains("\"outcome\":\"panic\""), "{dump_text}");
+    assert!(dump_text.contains("\"status\":500"), "{dump_text}");
+
+    // the server survives the panic and keeps serving
+    let raw = post_count(&server, COUNT_REQ);
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    // the panic is visible in the tail too
+    let tail = body_of(&get(&server, "/debug/requests")).to_string();
+    assert!(tail.contains("\"outcome\":\"panic\""), "{tail}");
+
+    server.shutdown();
+    cqc_obs::wide::set_enabled(false);
+    cqc_obs::flight::set_enabled(false);
+    cqc_obs::flight::reset();
+    std::fs::remove_dir_all(&dump_dir).ok();
+}

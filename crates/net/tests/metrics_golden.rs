@@ -13,12 +13,30 @@
 //!   the very first scrape exposes the full zeroed inventory instead of
 //!   only the counters that happened to be touched.
 //!
-//! The only non-literal line is `cqc_pool_width`, which reports the
-//! machine-dependent worker-pool width and is formatted dynamically.
+//! The only non-literal lines are `cqc_pool_width` (machine-dependent
+//! worker-pool width, formatted dynamically) and the event-loop block at
+//! the very end (`cqc_event_loop_tick_seconds`, `cqc_event_loop_wakeups_total`):
+//! the loop ticks while the scrape's own connection is accepted and read,
+//! so those values are timing-dependent and checked structurally instead.
+//!
+//! A second golden scrapes **after traffic** and pins the cross-series
+//! arithmetic: the serving core's request counter must equal the sum of
+//! the per-protocol request counts, the latency histogram must have seen
+//! exactly that many samples, and the `# TYPE` inventory must be unchanged
+//! from the idle scrape.
 
 use cqc_net::{NetConfig, RunningServer};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+
+/// The value of the single un-labelled series `name` in a scrape body.
+fn series_value(body: &str, name: &str) -> u64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("series `{name}` missing in:\n{body}"))
+        .parse()
+        .unwrap_or_else(|e| panic!("series `{name}` not an integer: {e}"))
+}
 
 /// Scrape `GET /metrics` once over a fresh connection; returns the body.
 fn scrape(server: &RunningServer) -> String {
@@ -191,5 +209,129 @@ fn an_idle_server_scrape_matches_the_golden_bytes() {
         0,
     ));
 
-    assert_eq!(got, expected, "idle /metrics drifted from the golden bytes");
+    // Everything up to the event-loop block is byte-exact…
+    assert!(
+        got.starts_with(&expected),
+        "idle /metrics drifted from the golden bytes:\ngot:\n{got}\nexpected prefix:\n{expected}"
+    );
+    // …the event-loop block itself is timing-dependent (the loop ticked
+    // while this very scrape was accepted and read), so it is pinned
+    // structurally: the tick histogram renders first, internally
+    // consistent (+Inf bucket == count), and the wakeups counter closes
+    // the scrape.
+    let tail = &got[expected.len()..];
+    assert!(
+        tail.starts_with("# TYPE cqc_event_loop_tick_seconds histogram\n"),
+        "{tail}"
+    );
+    let tick_count = series_value(tail, "cqc_event_loop_tick_seconds_count");
+    let inf_bucket: u64 = tail
+        .lines()
+        .find_map(|l| l.strip_prefix("cqc_event_loop_tick_seconds_bucket{le=\"+Inf\"} "))
+        .expect("+Inf bucket present")
+        .parse()
+        .unwrap();
+    assert_eq!(inf_bucket, tick_count, "{tail}");
+    assert!(tick_count > 0, "the loop never ticked? {tail}");
+    let wakeups_block = format!(
+        "# HELP cqc_event_loop_wakeups_total event-loop polls woken by the wake socket\n\
+         # TYPE cqc_event_loop_wakeups_total counter\n\
+         cqc_event_loop_wakeups_total {}\n",
+        series_value(tail, "cqc_event_loop_wakeups_total")
+    );
+    assert!(tail.ends_with(&wakeups_block), "{tail}");
+}
+
+const COUNT_REQ: &str = r#"{"id": 1, "query": "ans(x) :- E(x, y), E(x, z), y != z", "dbs": ["universe 4\nrelation E 2\nE 0 1\nE 0 2\nE 3 1\nE 3 2\n"], "seed": 7, "method": "exact"}"#;
+
+#[test]
+fn a_post_traffic_scrape_keeps_structure_and_counter_arithmetic() {
+    let server = RunningServer::bind("127.0.0.1:0", NetConfig::default()).expect("bind");
+
+    // three HTTP `POST /count` requests over fresh connections…
+    for _ in 0..3 {
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let request = format!(
+            "POST /count HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{COUNT_REQ}",
+            COUNT_REQ.len()
+        );
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    }
+    // …and two raw NDJSON lines over one sniffed connection
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for _ in 0..2 {
+        stream.write_all(COUNT_REQ.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        assert!(response.contains("\"estimate\":2,"), "{response}");
+    }
+    drop(reader);
+    drop(stream);
+
+    let got = scrape(&server);
+    server.shutdown();
+
+    // structure: the `# TYPE` inventory is exactly the idle one, in order
+    let types: Vec<&str> = got
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .collect();
+    assert_eq!(
+        types,
+        [
+            "cqc_connections_total counter",
+            "cqc_http_requests_total counter",
+            "cqc_ndjson_lines_total counter",
+            "cqc_http_responses_2xx_total counter",
+            "cqc_http_responses_4xx_total counter",
+            "cqc_serve_requests_total counter",
+            "cqc_serve_request_errors_total counter",
+            "cqc_shard_work_items_total counter",
+            "cqc_plan_cache_hits_total counter",
+            "cqc_plan_cache_misses_total counter",
+            "cqc_plan_cache_evictions_total counter",
+            "cqc_request_latency_seconds histogram",
+            "cqc_oracle_calls_total counter",
+            "cqc_colour_repetitions_total counter",
+            "cqc_shard_merge_seconds histogram",
+            "cqc_pool_width gauge",
+            "cqc_pool_queue_depth gauge",
+            "cqc_active_connections gauge",
+            "cqc_connections_rejected_total counter",
+            "cqc_requests_shed_total counter",
+            "cqc_connection_panics_total counter",
+            "cqc_accept_errors_total counter",
+            "cqc_dispatch_queue_depth gauge",
+            "cqc_event_loop_tick_seconds histogram",
+            "cqc_event_loop_wakeups_total counter",
+        ],
+        "{got}"
+    );
+
+    // arithmetic: the serving core handled exactly the per-protocol sum
+    let http_counts = 3u64;
+    let ndjson_lines = series_value(&got, "cqc_ndjson_lines_total");
+    assert_eq!(ndjson_lines, 2);
+    assert_eq!(
+        series_value(&got, "cqc_serve_requests_total"),
+        http_counts + ndjson_lines,
+        "{got}"
+    );
+    // every handled request recorded exactly one latency sample
+    assert_eq!(
+        series_value(&got, "cqc_request_latency_seconds_count"),
+        http_counts + ndjson_lines,
+        "{got}"
+    );
+    // the three count responses are the only 2xx bumps in the body (the
+    // final scrape's own 200 bumps after its body was rendered)
+    assert_eq!(series_value(&got, "cqc_http_responses_2xx_total"), 3);
+    assert_eq!(series_value(&got, "cqc_http_requests_total"), 4); // 3 + this scrape
+    assert_eq!(series_value(&got, "cqc_serve_request_errors_total"), 0);
+    assert_eq!(series_value(&got, "cqc_connections_total"), 5);
 }

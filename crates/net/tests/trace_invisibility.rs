@@ -13,6 +13,12 @@
 //! * an HTTP `POST /count` carrying a `traceparent` header gets it echoed
 //!   as a `Traceparent` response header.
 //!
+//! The same obligation extends to the rest of the observability stack:
+//! with the wide-event request log (file sink attached), the flight
+//! recorder, **and** a concurrent client hammering the `/debug/*`
+//! endpoints throughout the run, the transcript must still match the
+//! everything-off transcript byte for byte, on both protocols.
+//!
 //! Everything lives in one `#[test]` because the tracer and the worker cap
 //! are process-global: a single body sequences them deterministically.
 
@@ -21,6 +27,8 @@ use cqc_net::{NetConfig, RunningServer};
 use cqc_runtime::pool::set_worker_cap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 const COUNT_REQ: &str = r#"{"id": 1, "query": "ans(x) :- E(x, y), E(x, z), y != z", "dbs": ["universe 4\nrelation E 2\nE 0 1\nE 0 2\nE 3 1\nE 3 2\n"], "seed": 7, "method": "exact"}"#;
 
@@ -83,6 +91,85 @@ fn tracing_never_changes_a_byte_on_the_wire() {
                 assert!(ndjson.contains("\"name\":\"work_item\""), "{ndjson}");
             }
         }
+    }
+    // The whole stack on — tracer, wide-event log with a file sink, flight
+    // recorder — plus a concurrent /debug scraper: still not a byte of
+    // difference on the wire, on either protocol.
+    set_worker_cap(2);
+    for protocol in [Protocol::Http, Protocol::Ndjson] {
+        let options = LoadgenOptions {
+            shards: Some(2),
+            protocol,
+            ..base.clone()
+        };
+        let off = transcript(&options, false);
+
+        cqc_obs::trace::set_enabled(true);
+        cqc_obs::wide::set_enabled(true);
+        cqc_obs::flight::set_enabled(true);
+        let log_path = std::env::temp_dir().join(format!(
+            "cqc-invis-widelog-{}-{protocol:?}.ndjson",
+            std::process::id()
+        ));
+        let server = RunningServer::bind(
+            "127.0.0.1:0",
+            NetConfig {
+                request_log: Some(log_path.clone()),
+                ..NetConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let scraper = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut scrapes = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    for path in ["/debug/requests", "/debug/flight", "/debug/loop"] {
+                        let mut stream = TcpStream::connect(addr).expect("scraper connect");
+                        stream
+                            .write_all(
+                                format!(
+                                    "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+                                )
+                                .as_bytes(),
+                            )
+                            .expect("scraper write");
+                        let mut raw = String::new();
+                        stream.read_to_string(&mut raw).expect("scraper read");
+                        assert!(raw.starts_with("HTTP/1.1 200"), "{path}: {raw}");
+                        scrapes += 1;
+                    }
+                }
+                scrapes
+            })
+        };
+        let report = run_against(addr, &options).expect("loadgen run");
+        stop.store(true, Ordering::Relaxed);
+        let scrapes = scraper.join().expect("scraper thread");
+        server.shutdown();
+        cqc_obs::trace::set_enabled(false);
+        cqc_obs::wide::set_enabled(false);
+        cqc_obs::flight::set_enabled(false);
+        let _ = cqc_obs::trace::drain();
+        cqc_obs::flight::reset();
+
+        assert!(scrapes > 0, "the debug scraper never got a response in");
+        assert_eq!(
+            off, report.transcript,
+            "wide log + flight recorder + /debug scraping changed wire bytes ({protocol:?})"
+        );
+        // the request log captured exactly one wide record per request,
+        // and none for the scraper's own /debug traffic
+        let log_text = std::fs::read_to_string(&log_path).expect("request log written");
+        let wide_lines = log_text
+            .lines()
+            .filter(|l| l.contains("\"type\":\"wide\""))
+            .count();
+        assert_eq!(wide_lines, options.requests, "{log_text}");
+        assert!(!log_text.contains("\"endpoint\":\"debug"), "{log_text}");
+        std::fs::remove_file(&log_path).ok();
     }
     set_worker_cap(0); // restore auto for other tests in this process
 

@@ -49,6 +49,17 @@ pub fn now_nanos() -> u64 {
     epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
+/// Milliseconds since the Unix epoch, for naming artefacts that must be
+/// orderable across process restarts (flight-recorder dump files). Like
+/// every read in this module the value feeds telemetry only — it never
+/// reaches an estimate or a branch on the request path.
+pub fn unix_millis() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

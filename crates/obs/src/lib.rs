@@ -27,16 +27,24 @@
 //! * [`trace`] — the structured span tracer: deterministic span IDs,
 //!   per-thread ring buffers, NDJSON export, span forests and folded
 //!   flame stacks.
+//! * [`wide`] — wide-event request logs: one structured NDJSON record per
+//!   served request, with a bounded in-memory tail and optional file sink.
+//! * [`flight`] — the flight recorder: bounded per-thread rings of recent
+//!   trace + wide events, snapshotted on demand or on anomaly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod flight;
 pub mod metrics;
 pub mod seed;
 pub mod trace;
+pub mod wide;
 
 pub use clock::Stopwatch;
+pub use flight::{FlightEntry, FlightSnapshot};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use seed::{split_seed, split_seed2};
 pub use trace::Span;
+pub use wide::{Outcome, WideEvent, WideLog};

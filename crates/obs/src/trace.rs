@@ -146,6 +146,16 @@ fn with_local_buf(f: impl FnOnce(&mut ThreadBuf)) {
 }
 
 fn record(kind: EventKind) {
+    // The flight recorder mirrors every trace event into its own bounded
+    // per-thread ring, independently of whether the exporter buffers are
+    // filling — `--trace` off with the recorder on still remembers the
+    // last few seconds.
+    if crate::flight::enabled() {
+        crate::flight::record_trace(kind.clone());
+    }
+    if !enabled() {
+        return;
+    }
     with_local_buf(|buf| {
         if buf.events.len() >= MAX_EVENTS_PER_THREAD {
             buf.dropped += 1;
@@ -172,7 +182,7 @@ pub fn current_span() -> u64 {
 /// Record a point event (no-op when tracing is off). Format `detail`
 /// behind an [`enabled`] check when it allocates.
 pub fn instant(name: &'static str, detail: &str) {
-    if !enabled() {
+    if !enabled() && !crate::flight::enabled() {
         return;
     }
     record(EventKind::Instant {
@@ -193,7 +203,11 @@ pub struct Span {
 impl Span {
     /// Open a span whose parent is the innermost open span on this thread.
     pub fn enter(name: &'static str, id: u64) -> Span {
-        let parent = if enabled() { current_span() } else { 0 };
+        let parent = if enabled() || crate::flight::enabled() {
+            current_span()
+        } else {
+            0
+        };
         Span::open(name, id, parent)
     }
 
@@ -204,7 +218,7 @@ impl Span {
     }
 
     fn open(name: &'static str, id: u64, parent: u64) -> Span {
-        if !enabled() {
+        if !enabled() && !crate::flight::enabled() {
             return Span {
                 name,
                 id,
@@ -266,7 +280,7 @@ pub fn drain() -> Trace {
     trace
 }
 
-fn escape_json(raw: &str, out: &mut String) {
+pub(crate) fn escape_json(raw: &str, out: &mut String) {
     for c in raw.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -280,6 +294,45 @@ fn escape_json(raw: &str, out: &mut String) {
     }
 }
 
+/// Render one event as a single NDJSON line (with trailing newline) in the
+/// `--trace FILE` format. Shared by [`Trace::to_ndjson`] and the flight
+/// recorder's snapshot rendering, so both streams parse identically.
+pub(crate) fn render_event_line(e: &Event, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"type\":\"{}\",\"thread\":{},\"seq\":{},\"t_ns\":{}",
+        match &e.kind {
+            EventKind::Enter { .. } => "enter",
+            EventKind::Exit { .. } => "exit",
+            EventKind::Instant { .. } => "instant",
+        },
+        e.thread,
+        e.seq,
+        e.t_ns
+    ));
+    match &e.kind {
+        EventKind::Enter { name, id, parent } => {
+            out.push_str(",\"name\":\"");
+            escape_json(name, out);
+            out.push_str(&format!(
+                "\",\"id\":\"{id:016x}\",\"parent\":\"{parent:016x}\""
+            ));
+        }
+        EventKind::Exit { name, id } => {
+            out.push_str(",\"name\":\"");
+            escape_json(name, out);
+            out.push_str(&format!("\",\"id\":\"{id:016x}\""));
+        }
+        EventKind::Instant { name, detail } => {
+            out.push_str(",\"name\":\"");
+            escape_json(name, out);
+            out.push_str("\",\"detail\":\"");
+            escape_json(detail, out);
+            out.push('"');
+        }
+    }
+    out.push_str("}\n");
+}
+
 impl Trace {
     /// Render the trace as NDJSON, one event object per line (the
     /// `--trace FILE` format). IDs are 16-digit hex strings — JSON numbers
@@ -289,39 +342,7 @@ impl Trace {
     pub fn to_ndjson(&self) -> String {
         let mut out = String::new();
         for e in &self.events {
-            out.push_str(&format!(
-                "{{\"type\":\"{}\",\"thread\":{},\"seq\":{},\"t_ns\":{}",
-                match &e.kind {
-                    EventKind::Enter { .. } => "enter",
-                    EventKind::Exit { .. } => "exit",
-                    EventKind::Instant { .. } => "instant",
-                },
-                e.thread,
-                e.seq,
-                e.t_ns
-            ));
-            match &e.kind {
-                EventKind::Enter { name, id, parent } => {
-                    out.push_str(",\"name\":\"");
-                    escape_json(name, &mut out);
-                    out.push_str(&format!(
-                        "\",\"id\":\"{id:016x}\",\"parent\":\"{parent:016x}\""
-                    ));
-                }
-                EventKind::Exit { name, id } => {
-                    out.push_str(",\"name\":\"");
-                    escape_json(name, &mut out);
-                    out.push_str(&format!("\",\"id\":\"{id:016x}\""));
-                }
-                EventKind::Instant { name, detail } => {
-                    out.push_str(",\"name\":\"");
-                    escape_json(name, &mut out);
-                    out.push_str("\",\"detail\":\"");
-                    escape_json(detail, &mut out);
-                    out.push('"');
-                }
-            }
-            out.push_str("}\n");
+            render_event_line(e, &mut out);
         }
         if self.dropped > 0 {
             out.push_str(&format!(

@@ -87,6 +87,12 @@ pub struct ServerConfig {
     /// server facing many distinct (query, accuracy) keys must not grow
     /// without limit. Evictions are counted in [`StatsSnapshot`].
     pub plan_cache_capacity: usize,
+    /// Honour the deliberate failure hooks in requests (a `"panic": true`
+    /// member makes the handler panic). **Test harnesses only** — crash
+    /// paths (panic containment, flight-recorder dumps) cannot be
+    /// exercised end-to-end without a way to make a real handler fail. The
+    /// CLI never sets this, so the member is inert in production.
+    pub fail_injection: bool,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +104,7 @@ impl Default for ServerConfig {
             delta: 0.05,
             seed: 0xC0FFEE,
             plan_cache_capacity: 64,
+            fail_injection: false,
         }
     }
 }
@@ -403,6 +410,12 @@ impl Server {
                     .map(|t| t.to_string());
                 if let Some(t) = &trace_id {
                     cqc_obs::trace::instant("traceparent", t);
+                    // Correlate the request's wide event with the client's
+                    // trace id (the HTTP front end's `traceparent` header,
+                    // when present, overrides this at emission).
+                    if cqc_obs::wide::phases_active() {
+                        cqc_obs::wide::note_trace(t);
+                    }
                 }
                 (id.clone(), trace_id, self.handle(&req))
             }
@@ -504,8 +517,28 @@ impl Server {
         self.counters.work_items.add(dbs.len() as u64);
 
         let _span = cqc_obs::trace::Span::enter("request", split_seed(seed, REQUEST_SPAN_TAG));
+        // Deliberate failure hook for crash-path testing, inert unless the
+        // operator opted in (see [`ServerConfig::fail_injection`]).
+        if self.config.fail_injection && matches!(req.get("panic"), Some(Value::Bool(true))) {
+            // cqc-audit: allow(serve-panic) — deliberate fail-injection hook, reachable only when ServerConfig::fail_injection is set by a test harness
+            panic!("fail injection: request carried `\"panic\": true`");
+        }
+        // Phase annotations for the request's wide event: armed by the
+        // network front end's dispatch worker, drained at emission. The
+        // stopwatches run only when an accumulator is armed, and their
+        // readings land in telemetry only — never in a result.
+        let annotate = cqc_obs::wide::phases_active();
+        let prepare_timer = annotate.then(Stopwatch::start);
         let prepared = self.plan_for(query_text, epsilon, delta, backend)?;
+        if let Some(timer) = prepare_timer {
+            cqc_obs::wide::note_phase(
+                "prepare",
+                timer.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            );
+            cqc_obs::wide::note_class(&format!("{:?}", prepared.class()));
+        }
         let runtime = Runtime::new(workers);
+        let evaluate_timer = annotate.then(Stopwatch::start);
         let reports = count_sharded_observed(
             &prepared,
             &dbs,
@@ -515,6 +548,12 @@ impl Server {
             Some(&self.counters.shard_merge),
         )
         .map_err(|e| ServeError::Count(e.to_string()))?;
+        if let Some(timer) = evaluate_timer {
+            cqc_obs::wide::note_phase(
+                "evaluate",
+                timer.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            );
+        }
         // Telemetry roll-up into the unified registry. Oracle-call and
         // repetition counts are deterministic per item (unlike hom_calls,
         // which early exits make scheduling-dependent).
